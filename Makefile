@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# regenerate every paper table/figure artifact into benchmarks/out/
+figures: bench
+	@ls -1 benchmarks/out/
+
+examples:
+	@for s in examples/*.py; do echo "== $$s =="; python $$s; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

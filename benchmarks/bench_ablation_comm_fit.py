@@ -1,0 +1,79 @@
+"""Ablation — fitting the communication scaling laws (paper §III-E1).
+
+The characterization fits η(n) and volume(n) power laws from mpiP reports
+at two node counts.  The lazy alternative — profile once at n = 2 and
+assume communication is n-invariant — is ablated here: for CP (all-to-all,
+whose message count grows linearly with n) the naive model's predictions
+at n = 8 collapse, while the halo programs survive better.  This justifies
+the two-run profiling protocol.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.core.params import CommCharacteristics
+from repro.machines.spec import Configuration
+from repro.measure.timecmd import measure_wall_time
+from repro.workloads.registry import get_program
+
+
+def _naive_inputs(model):
+    """Replace the fitted laws with 'communication doesn't scale with n'."""
+    comm = model.inputs.comm
+    naive = CommCharacteristics(
+        eta_ref=comm.eta_ref,
+        volume_ref=comm.volume_ref,
+        eta_exponent=0.0,
+        volume_exponent=0.0,
+    )
+    return model.with_inputs(replace(model.inputs, comm=naive))
+
+
+def _mean_error(sim, model, program, configs):
+    errs = []
+    for cfg in configs:
+        measured = measure_wall_time(sim.run(program, cfg, run_index=1))
+        predicted = model.predict(cfg).time_s
+        errs.append(100.0 * abs(predicted - measured) / measured)
+    return float(np.mean(errs))
+
+
+def test_ablation_comm_scaling_fit(
+    benchmark, xeon_sim, model_cache, write_artifact
+):
+    fmax = xeon_sim.spec.node.core.fmax
+    configs = [Configuration(n, 8, fmax) for n in (2, 4, 8)]
+
+    def run_all():
+        out = {}
+        for name in ("CP", "LU"):
+            program = get_program(name)
+            fitted = model_cache(xeon_sim, name)
+            naive = _naive_inputs(fitted)
+            out[name] = (
+                _mean_error(xeon_sim, fitted, program, configs),
+                _mean_error(xeon_sim, naive, program, configs),
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{fit:.1f}", f"{naive:.1f}"]
+        for name, (fit, naive) in results.items()
+    ]
+    write_artifact(
+        "ablation_comm_fit.txt",
+        ascii_table(
+            ["program", "fitted laws |T err| [%]", "naive (n-invariant) [%]"],
+            rows,
+            "Ablation: mpiP two-point scaling fit vs n-invariant assumption "
+            "(Xeon, n in {2,4,8}, c=8, fmax)",
+        ),
+    )
+
+    cp_fit, cp_naive = results["CP"]
+    assert cp_fit < cp_naive, "the fit must matter for the all-to-all program"
+    assert cp_fit < 15.0

@@ -1,0 +1,118 @@
+"""Ablation — the paper's §IV-C error sources, swept.
+
+Two sensitivity studies quantify how the named inaccuracy sources
+propagate into validation error:
+
+* **power characterization error** — re-characterize the power table with
+  the absolute meter offset scaled 0x / 1x / 3x / 6x and track the energy
+  prediction error (paper: 0.4 W ARM / 2 W Xeon offsets "translate into a
+  larger underestimation of the energy consumed especially for larger
+  execution times");
+* **OS noise level** — scale the simulator's phase jitter and daemon
+  activity 0x / 1x / 2x / 4x and track the time error (paper: up to 10%
+  run-to-run irregularity is the most significant source).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.machines.spec import Configuration
+from repro.measure.microbench import characterize_power
+from repro.measure.timecmd import measure_wall_time
+from repro.measure.wattsup import read_meter
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.noise import NoiseModel
+from repro.workloads.registry import get_program
+
+
+def test_ablation_power_error(benchmark, xeon_sim, model_cache, write_artifact):
+    program = get_program("BT")
+    model = model_cache(xeon_sim, "BT")
+    fmax = xeon_sim.spec.node.core.fmax
+    configs = [Configuration(n, c, fmax) for n in (1, 4) for c in (1, 8)]
+
+    def run_all():
+        out = {}
+        for factor in (0.0, 1.0, 3.0, 6.0):
+            table = characterize_power(
+                xeon_sim.spec, abs_error_w=max(1e-6, 2.0 * factor)
+            )
+            variant = model.with_inputs(replace(model.inputs, power=table))
+            errs = []
+            for cfg in configs:
+                run = xeon_sim.run(program, cfg, run_index=1)
+                measured = read_meter(run).energy_j
+                predicted = variant.predict(cfg).energy_j
+                errs.append(100.0 * abs(predicted - measured) / measured)
+            out[factor] = float(np.mean(errs))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[f"{k:g}x (±{2*k:g} W)", f"{v:.1f}"] for k, v in results.items()]
+    write_artifact(
+        "ablation_power_error.txt",
+        ascii_table(
+            ["meter offset scale", "mean |E err| [%]"],
+            rows,
+            "Sensitivity: power-characterization error -> energy prediction "
+            "error (BT on Xeon)",
+        ),
+    )
+    # a 6x-worse meter must visibly degrade energy accuracy
+    assert results[6.0] > results[0.0]
+    assert results[1.0] < 15.0
+
+
+def test_ablation_os_noise(benchmark, xeon_sim, model_cache, write_artifact):
+    program = get_program("SP")
+    model = model_cache(xeon_sim, "SP")
+    fmax = xeon_sim.spec.node.core.fmax
+    configs = [Configuration(n, 8, fmax) for n in (1, 4, 8)]
+
+    def run_all():
+        out = {}
+        base = NoiseModel()
+        for factor in (0.0, 1.0, 2.0, 4.0):
+            noise = (
+                NoiseModel.disabled()
+                if factor == 0.0
+                else NoiseModel(
+                    phase_jitter_sigma=base.phase_jitter_sigma * factor,
+                    barrier_skew_s=base.barrier_skew_s * factor,
+                    daemon_rate_hz=base.daemon_rate_hz * factor,
+                    daemon_quantum_s=base.daemon_quantum_s,
+                )
+            )
+            noisy_sim = SimulatedCluster(
+                xeon_sim.spec, noise=noise, root_seed=xeon_sim.root_seed
+            )
+            errs = []
+            for cfg in configs:
+                measured = np.mean(
+                    [
+                        measure_wall_time(r)
+                        for r in noisy_sim.run_many(program, cfg, repetitions=3)
+                    ]
+                )
+                predicted = model.predict(cfg).time_s
+                errs.append(100.0 * abs(predicted - measured) / measured)
+            out[factor] = float(np.mean(errs))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[f"{k:g}x", f"{v:.1f}"] for k, v in results.items()]
+    write_artifact(
+        "ablation_os_noise.txt",
+        ascii_table(
+            ["OS-noise scale", "mean |T err| [%]"],
+            rows,
+            "Sensitivity: OS-noise level -> time prediction error "
+            "(SP on Xeon; model characterized at 1x noise)",
+        ),
+    )
+    assert results[4.0] > results[0.0]
+    assert results[1.0] < 15.0

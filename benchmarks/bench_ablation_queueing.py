@@ -1,0 +1,100 @@
+"""Ablation — the Eq. 5/6 network terms (DESIGN.md design choices).
+
+Three design choices in the time model are ablated against the simulated
+testbed on communication-heavy configurations:
+
+* the Eq. 5 waiting term itself (``none``): drop T_w,net;
+* the Poisson assumption (``mg1``): raw M/G/1 instead of the
+  bulk-synchronous bracket;
+* the Eq. 6 overlap (``service_overlap=False``): charge wire time on top
+  of the CPU-idle overlap window instead of max().
+
+The full model must beat each ablation on mean |time error| over the
+multi-node validation grid — otherwise the extra machinery isn't paying
+for itself.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.machines.spec import Configuration
+from repro.measure.timecmd import measure_wall_time
+from repro.workloads.registry import get_program
+
+
+def _errors(sim, model, program, variant_kwargs, configs):
+    errs = []
+    for cfg in configs:
+        measured = np.mean(
+            [
+                measure_wall_time(r)
+                for r in sim.run_many(program, cfg, repetitions=2)
+            ]
+        )
+        predicted = model.predict(cfg, **variant_kwargs).time_s
+        errs.append(100.0 * abs(predicted - measured) / measured)
+    return float(np.mean(errs)), float(np.max(errs))
+
+
+PROGRAMS = ("SP", "CP", "LB")
+
+
+def test_ablation_network_terms(benchmark, xeon_sim, model_cache, write_artifact):
+    fmax = xeon_sim.spec.node.core.fmax
+    configs = [
+        Configuration(n, c, fmax) for n in (2, 4, 8) for c in (1, 4, 8)
+    ]
+
+    variants = {
+        "full model (bracketed + overlap)": {},
+        "raw M/G/1 (no burst bracket)": {"queueing": "mg1"},
+        "no waiting term": {"queueing": "none"},
+        "no Eq.6 overlap (additive wire)": {"service_overlap": False},
+    }
+
+    def run_all():
+        out = {}
+        for name, kwargs in variants.items():
+            per_program = {
+                prog_name: _errors(
+                    xeon_sim,
+                    model_cache(xeon_sim, prog_name),
+                    get_program(prog_name),
+                    kwargs,
+                    configs,
+                )
+                for prog_name in PROGRAMS
+            }
+            mean = float(
+                np.mean([stats[0] for stats in per_program.values()])
+            )
+            worst = float(max(stats[1] for stats in per_program.values()))
+            out[name] = (mean, worst, per_program)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{mean:.1f}", f"{worst:.1f}"]
+        + [f"{per[p][0]:.1f}" for p in PROGRAMS]
+        for name, (mean, worst, per) in results.items()
+    ]
+    write_artifact(
+        "ablation_queueing.txt",
+        ascii_table(
+            ["variant", "mean |T err| [%]", "max |T err| [%]"]
+            + [f"{p} mean" for p in PROGRAMS],
+            rows,
+            "Ablation: Eq. 5/6 network terms on Xeon (multi-node grid, "
+            "mean over SP+CP+LB)",
+        ),
+    )
+
+    full_mean = results["full model (bracketed + overlap)"][0]
+    assert full_mean < 15.0
+    # dropping the waiting term must hurt (it is the paper's key novelty)
+    assert results["no waiting term"][0] > full_mean
+    # the bulk-synchronous bracket must beat the raw Poisson form overall
+    assert results["raw M/G/1 (no burst bracket)"][0] > full_mean
+    # and overlap modeling (Eq. 6's max) must beat the additive form
+    assert results["no Eq.6 overlap (additive wire)"][0] > full_mean

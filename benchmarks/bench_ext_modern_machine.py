@@ -1,0 +1,95 @@
+"""Extension — the 2015 methodology on a modern machine.
+
+The paper's central energy insight is an artefact of its era's hardware:
+relaxing the deadline sheds nodes *and* energy because the 2012 Xeon
+node's ~50 W idle floor dominates the bill.  A modern EPYC-class node has
+far better energy proportionality, so the trade-off shifts.  This bench
+runs the identical pipeline (characterize → model → Pareto) on the
+beyond-paper `epyc_cluster` and contrasts the frontiers:
+
+* the methodology transfers unchanged (errors stay within the paper's
+  bound);
+* the energy-optimal node count moves *up* relative to the old Xeon for
+  the same workload, because idle energy punishes long single-node runs
+  less harshly than busy-power punishes wide runs.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_table
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.core.model import HybridProgramModel
+from repro.core.pareto import pareto_frontier
+from repro.machines.epyc import epyc_cluster
+from repro.machines.spec import Configuration
+from repro.measure.timecmd import measure_wall_time
+from repro.simulate.cluster import SimulatedCluster
+from repro.units import joules_to_kj
+from repro.workloads.registry import get_program
+
+
+def test_ext_modern_machine(benchmark, xeon_sim, model_cache, write_artifact):
+    program = get_program("SP")
+    modern_sim = SimulatedCluster(epyc_cluster())
+
+    def run_all():
+        # Baseline at class A, not W: on a 64 MB-LLC node the class-W
+        # working set is cache-resident while class C is not, and Eq. 4's
+        # linear scaling cannot bridge a cache-regime boundary.  Sizing the
+        # baseline to the machine keeps both inputs in the same regime —
+        # the methodological footnote this study adds to the paper.
+        modern_model = HybridProgramModel.from_measurements(
+            modern_sim, program, baseline_class="A", repetitions=1
+        )
+        # accuracy spot-check on class C (runs long enough to amortize
+        # launch overheads on this much faster machine)
+        errs = []
+        for n, c in ((1, 16), (2, 16), (4, 16)):
+            cfg = Configuration(n, c, modern_sim.spec.node.core.fmax)
+            measured = measure_wall_time(
+                modern_sim.run(program, cfg, class_name="C", run_index=1)
+            )
+            predicted = modern_model.predict(cfg, "C").time_s
+            errs.append(100.0 * abs(predicted - measured) / measured)
+        evaluation = evaluate_space(
+            modern_model, ConfigSpace.physical(modern_sim.spec), "C"
+        )
+        return modern_model, errs, evaluation
+
+    _, errs, evaluation = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    frontier = pareto_frontier(evaluation)
+
+    old_model = model_cache(xeon_sim, "SP")
+    old_eval = evaluate_space(old_model, ConfigSpace.physical(xeon_sim.spec), "C")
+    old_frontier = pareto_frontier(old_eval)
+
+    rows = [
+        [p.label, f"{p.time_s:.2f}", f"{joules_to_kj(p.energy_j):.2f}", f"{p.ucr:.2f}"]
+        for p in frontier
+    ]
+    artifact = (
+        ascii_table(
+            ["(n,c,f)", "T[s]", "E[kJ]", "UCR"],
+            rows,
+            "SP class C on the EPYC-class reference cluster: Pareto frontier",
+        )
+        + f"\nmean |T err| on spot-checks: {np.mean(errs):.1f}%"
+        + "\nold-Xeon frontier energy-minimum at n="
+        + str(min(p.prediction.config.nodes for p in old_frontier))
+        + "; modern frontier energy-minimum at n="
+        + str(
+            min(
+                frontier,
+                key=lambda p: p.energy_j,
+            ).prediction.config.nodes
+        )
+    )
+    write_artifact("ext_modern_machine.txt", artifact)
+
+    # methodology transfers: accuracy within the paper bound
+    assert float(np.mean(errs)) < 15.0
+    # the frontier exists and spans configurations
+    assert len(frontier) >= 3
+    # energy still decreases along the relaxed end (claim 1 survives)
+    energies = [p.energy_j for p in frontier]
+    assert energies[0] > energies[-1]

@@ -1,0 +1,73 @@
+"""Extension — scalability diagnostics from model predictions.
+
+Strong/weak scaling sweeps for SP (halo) and CP (all-to-all) on Xeon,
+with Amdahl fits and Karp-Flatt curves.  The diagnostics must separate
+the two communication patterns and expose the time-vs-energy parallelism
+gap (Woo & Lee): the joule-optimal node count sits far below the
+time-optimal one.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core.scaling import (
+    energy_optimal_parallelism,
+    fit_amdahl,
+    karp_flatt,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.units import joules_to_kj
+
+NODES = (1, 2, 4, 8, 16, 32)
+
+
+def test_ext_scaling_diagnostics(benchmark, xeon_sim, model_cache, write_artifact):
+    def run_all():
+        out = {}
+        for name in ("SP", "CP"):
+            model = model_cache(xeon_sim, name)
+            strong = strong_scaling(model, NODES, cores=8, frequency_hz=1.8e9)
+            weak = weak_scaling(model, (1, 2, 4, 8), cores=8, frequency_hz=1.8e9)
+            out[name] = (strong, weak, fit_amdahl(strong), karp_flatt(strong))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for name, (strong, weak, amdahl, kf) in results.items():
+        rows = [
+            [
+                p.nodes,
+                f"{p.time_s:.1f}",
+                f"{p.speedup:.2f}",
+                f"{p.efficiency:.2f}",
+                f"{joules_to_kj(p.energy_j):.2f}",
+            ]
+            for p in strong
+        ]
+        sections.append(
+            ascii_table(
+                ["n", "T[s]", "speedup", "efficiency", "E[kJ]"],
+                rows,
+                f"{name}: strong scaling (c=8, f=1.8GHz)",
+            )
+            + f"\nAmdahl serial fraction: {amdahl:.3f}; "
+            + "Karp-Flatt: " + ", ".join(f"{v:.3f}" for v in kf)
+            + "\nweak scaling T[s]: "
+            + ", ".join(f"n={p.nodes}: {p.time_s:.1f}" for p in weak)
+        )
+    write_artifact("ext_scaling.txt", "\n\n".join(sections))
+
+    for name, (strong, weak, amdahl, kf) in results.items():
+        # sane diagnostics
+        assert 0.0 <= amdahl <= 0.5
+        # the energy optimum sits below the time optimum (Woo-Lee gap)
+        joule_best = energy_optimal_parallelism(strong)
+        time_best = min(strong, key=lambda p: p.time_s)
+        assert joule_best.nodes < time_best.nodes
+        # weak scaling holds within the communication overheads
+        assert weak[-1].time_s < 2.5 * weak[0].time_s
+
+    # halo vs all-to-all separation: CP's overhead grows faster at scale
+    sp_kf = results["SP"][3]
+    cp_kf = results["CP"][3]
+    assert cp_kf[-1] / max(cp_kf[1], 1e-9) > sp_kf[-1] / max(sp_kf[1], 1e-9)

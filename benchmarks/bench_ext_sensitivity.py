@@ -1,0 +1,50 @@
+"""Extension — tornado sensitivity of the model inputs (§IV-C, swept).
+
+For a compute-dominated and a network-dominated configuration of SP on
+Xeon, perturb every model input by ±10% and rank the prediction swings.
+The ranking must match the physics: work cycles dominate the single-node
+prediction, communication inputs dominate the multi-node one, and power
+inputs move only energy.
+"""
+
+from repro.analysis.sensitivity import render_tornado, tornado
+from repro.machines.spec import Configuration
+
+
+def test_ext_sensitivity_tornado(benchmark, xeon_sim, model_cache, write_artifact):
+    model = model_cache(xeon_sim, "SP")
+    single = Configuration(1, 8, 1.8e9)
+    multi = Configuration(8, 8, 1.8e9)
+
+    def run_all():
+        return tornado(model, single), tornado(model, multi)
+
+    res_single, res_multi = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    artifact = "\n\n".join(
+        [
+            "Sensitivity: ±10% input perturbation -> prediction swing "
+            "(SP on Xeon)",
+            f"--- single node {single} ---",
+            render_tornado(res_single),
+            f"--- multi node {multi} ---",
+            render_tornado(res_multi),
+        ]
+    )
+    write_artifact("ext_sensitivity_tornado.txt", artifact)
+
+    def top_time_driver(results):
+        return max(results, key=lambda r: r.time_swing).parameter
+
+    assert top_time_driver(res_single) == "work cycles (w_s)"
+    assert top_time_driver(res_multi) in ("network bandwidth (B)", "comm volume")
+
+    # power inputs never move time
+    for r in res_single + res_multi:
+        if "P_" in r.parameter:
+            assert r.time_swing == 0.0
+
+    # idle power is a first-order energy driver on the Xeon node (its
+    # 48 W floor dominates the energy bill)
+    idle = next(r for r in res_single if "P_idle" in r.parameter)
+    assert idle.energy_swing > 0.03

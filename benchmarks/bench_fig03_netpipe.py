@@ -1,0 +1,68 @@
+"""Figure 3 — Network characterization.
+
+Regenerates the NetPIPE latency/throughput-vs-message-size curves on the
+ARM cluster's 100 Mbps link.  Paper's headline: MPI over TCP plateaus at
+~90 Mbps; latency has a protocol floor for small messages.
+"""
+
+from repro.analysis.figures import ascii_chart
+from repro.analysis.report import format_series
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from repro.measure.netpipe import run_netpipe
+
+
+def test_fig03_network_characterization(benchmark, write_artifact):
+    result = benchmark.pedantic(
+        lambda: run_netpipe(arm_cluster()), rounds=1, iterations=1
+    )
+
+    sections = [
+        "Figure 3: Network characterization (ARM cluster, 100 Mbps link)",
+        "",
+        format_series(
+            "Message Latency vs Message Size",
+            [int(b) for b in result.message_bytes],
+            result.latency_s,
+            unit="s",
+        ),
+        "",
+        format_series(
+            "Throughput vs Message Size",
+            [int(b) for b in result.message_bytes],
+            result.throughput_mbps,
+            unit="Mbps",
+        ),
+        "",
+        ascii_chart(
+            result.message_bytes,
+            result.throughput_mbps,
+            logx=True,
+            title="throughput [Mbps] vs message size [B]",
+        ),
+        "",
+        f"peak throughput: {result.peak_throughput_mbps:.1f} Mbps "
+        "(paper: ~90 Mbps on the 100 Mbps link)",
+        f"latency floor:   {result.latency_floor_s() * 1e6:.0f} us",
+    ]
+    write_artifact("fig03_netpipe.txt", "\n".join(sections))
+
+    assert 85.0 <= result.peak_throughput_mbps <= 95.0
+
+
+def test_fig03_xeon_reference(benchmark, write_artifact):
+    """Companion sweep on the Xeon cluster's gigabit link."""
+    result = benchmark.pedantic(
+        lambda: run_netpipe(xeon_cluster()), rounds=1, iterations=1
+    )
+    write_artifact(
+        "fig03_netpipe_xeon.txt",
+        format_series(
+            "Throughput vs Message Size (Xeon, 1 Gbps)",
+            [int(b) for b in result.message_bytes],
+            result.throughput_mbps,
+            unit="Mbps",
+        )
+        + f"\npeak throughput: {result.peak_throughput_mbps:.0f} Mbps",
+    )
+    assert result.peak_throughput_mbps < 1000.0

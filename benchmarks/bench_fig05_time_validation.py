@@ -1,0 +1,40 @@
+"""Figure 5 — Execution-time validation, measured vs predicted.
+
+The paper plots the worst-case-error programs per cluster: BT and SP on
+Xeon, LB and CP on ARM, over the (n, c) grid at fmax.  Predicted times
+must track measured times within the paper's error bounds.
+"""
+
+from validation_common import campaign_table, run_campaign
+
+
+def test_fig05_xeon_bt_sp(benchmark, xeon_sim, model_cache, write_artifact):
+    def campaigns():
+        return [
+            run_campaign(xeon_sim, name, model_cache) for name in ("BT", "SP")
+        ]
+
+    bt, sp = benchmark.pedantic(campaigns, rounds=1, iterations=1)
+    artifact = "\n\n".join(
+        ["Figure 5 (left): execution-time validation on Xeon", ""]
+        + [campaign_table(c, "time") for c in (bt, sp)]
+    )
+    write_artifact("fig05_time_validation_xeon.txt", artifact)
+    assert bt.time_errors.mean_abs < 15.0
+    assert sp.time_errors.mean_abs < 15.0
+
+
+def test_fig05_arm_lb_cp(benchmark, arm_sim, model_cache, write_artifact):
+    def campaigns():
+        return [
+            run_campaign(arm_sim, name, model_cache) for name in ("LB", "CP")
+        ]
+
+    lb, cp = benchmark.pedantic(campaigns, rounds=1, iterations=1)
+    artifact = "\n\n".join(
+        ["Figure 5 (right): execution-time validation on ARM", ""]
+        + [campaign_table(c, "time") for c in (lb, cp)]
+    )
+    write_artifact("fig05_time_validation_arm.txt", artifact)
+    assert lb.time_errors.mean_abs < 15.0
+    assert cp.time_errors.mean_abs < 15.0

@@ -1,0 +1,50 @@
+"""Figure 6 — Energy validation, measured vs predicted.
+
+The paper plots LB and BT on Xeon, LB and CP on ARM.  §IV-C singles out
+LB on Xeon as the worst case: synchronization instructions grow with n*c,
+burning energy the model's linear scaling misses, so the model
+*underestimates* LB energy at (4,4)/(4,8)-class configurations.
+"""
+
+from validation_common import campaign_table, run_campaign
+
+
+def test_fig06_xeon_lb_bt(benchmark, xeon_sim, model_cache, write_artifact):
+    def campaigns():
+        return [
+            run_campaign(xeon_sim, name, model_cache) for name in ("LB", "BT")
+        ]
+
+    lb, bt = benchmark.pedantic(campaigns, rounds=1, iterations=1)
+    artifact = "\n\n".join(
+        ["Figure 6 (left): energy validation on Xeon", ""]
+        + [campaign_table(c, "energy") for c in (lb, bt)]
+    )
+    write_artifact("fig06_energy_validation_xeon.txt", artifact)
+    assert lb.energy_errors.mean_abs < 15.0
+    assert bt.energy_errors.mean_abs < 15.0
+
+    # the paper's §IV-C artefact: LB energy underestimated at high n*c
+    high_parallelism = [
+        r for r in lb.records if r.config.nodes * r.config.cores >= 16
+    ]
+    mean_signed = sum(r.energy_error_percent for r in high_parallelism) / len(
+        high_parallelism
+    )
+    assert mean_signed < 0.0, "LB energy should be underestimated at high n*c"
+
+
+def test_fig06_arm_lb_cp(benchmark, arm_sim, model_cache, write_artifact):
+    def campaigns():
+        return [
+            run_campaign(arm_sim, name, model_cache) for name in ("LB", "CP")
+        ]
+
+    lb, cp = benchmark.pedantic(campaigns, rounds=1, iterations=1)
+    artifact = "\n\n".join(
+        ["Figure 6 (right): energy validation on ARM", ""]
+        + [campaign_table(c, "energy") for c in (lb, cp)]
+    )
+    write_artifact("fig06_energy_validation_arm.txt", artifact)
+    assert lb.energy_errors.mean_abs < 15.0
+    assert cp.energy_errors.mean_abs < 15.0

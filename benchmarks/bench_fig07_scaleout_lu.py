@@ -1,0 +1,47 @@
+"""Figure 7 — Scale-out validation: LU at class C (4x baseline size).
+
+The model is characterized on the class-W baseline only, then predicts
+class C across 16 Xeon configurations (n in {1,2,4,8} x c in {1,2,4,8} at
+fmax).  The paper uses this to show the approach extends to programs
+whose communication characteristics scale linearly with input size.
+"""
+
+from repro.machines.spec import Configuration
+from validation_common import campaign_table, run_campaign
+
+FIG7_GRID = [(n, c) for n in (1, 2, 4, 8) for c in (1, 2, 4, 8)]
+
+
+def test_fig07_lu_class_c(benchmark, xeon_sim, model_cache, write_artifact):
+    fmax = xeon_sim.spec.node.core.fmax
+    configs = [Configuration(n, c, fmax) for n, c in FIG7_GRID]
+
+    campaign = benchmark.pedantic(
+        lambda: run_campaign(
+            xeon_sim, "LU", model_cache, configs=configs, class_name="C"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    artifact = "\n\n".join(
+        [
+            "Figure 7: scale-out program LU, class C (4x the class-W "
+            "baseline the model was characterized on)",
+            campaign_table(campaign, "time"),
+            campaign_table(campaign, "energy"),
+        ]
+    )
+    write_artifact("fig07_scaleout_lu.txt", artifact)
+
+    assert campaign.time_errors.mean_abs < 15.0
+    assert campaign.energy_errors.mean_abs < 15.0
+
+    # class C runs ~4x longer than class W at the same configuration
+    w = xeon_sim.run(
+        __import__("repro.workloads.npb", fromlist=["lu_program"]).lu_program(),
+        configs[0],
+        class_name="W",
+    )
+    record = campaign.records[0]
+    assert 3.0 < record.measured_time_s / w.wall_time_s < 5.0

@@ -1,0 +1,45 @@
+"""Figure 10 — UCR and time-energy performance on the Xeon cluster.
+
+All five programs over a 27-point (n, c, f) grid.  Paper structure:
+BT attains the highest UCR (~0.96 at the serial/fmin corner); UCR falls
+with n, c and f for every program; CP and LB show the steepest UCR
+collapse with total parallelism (process/thread imbalance + sync
+overheads).
+"""
+
+import numpy as np
+
+from repro.machines.spec import Configuration
+from repro.workloads.registry import PAPER_ORDER
+from ucr_common import ucr_figure
+
+
+def test_fig10_ucr_xeon(benchmark, xeon_sim, model_cache, write_artifact):
+    table, evaluations = benchmark.pedantic(
+        lambda: ucr_figure(xeon_sim, model_cache, time_unit="s"),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig10_ucr_xeon.txt", "Figure 10\n" + table)
+
+    # BT has the highest UCR upper bound, ~0.96
+    bt = model_cache(xeon_sim, "BT").predict(Configuration(1, 1, 1.2e9))
+    assert abs(bt.ucr - 0.96) < 0.04
+    for name in PAPER_ORDER:
+        model = model_cache(xeon_sim, name)
+        assert bt.ucr >= model.predict(Configuration(1, 1, 1.2e9)).ucr - 0.02
+
+    # UCR falls along every axis for every program
+    for name in PAPER_ORDER:
+        model = model_cache(xeon_sim, name)
+        serial = model.predict(Configuration(1, 1, 1.2e9)).ucr
+        assert model.predict(Configuration(1, 8, 1.2e9)).ucr < serial
+        assert model.predict(Configuration(1, 1, 1.8e9)).ucr < serial
+        assert model.predict(Configuration(8, 1, 1.2e9)).ucr < serial
+
+    # CP and LB collapse hardest with total parallelism
+    drops = {}
+    for name in PAPER_ORDER:
+        ev = evaluations[name]
+        drops[name] = ev.ucrs.max() / max(ev.ucrs.min(), 1e-9)
+    assert max(drops, key=drops.get) in ("CP", "LB")

@@ -1,0 +1,98 @@
+"""Table 2 — Cluster validation results.
+
+The paper's headline accuracy table: mean and standard deviation of the
+execution-time and energy prediction errors for all five programs on both
+clusters, over the full validation spaces (96 Xeon / 80 ARM
+configurations).  All means must come in under 15%.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.analysis.validation import validate_program
+from repro.core.configspace import ConfigSpace
+from repro.workloads.registry import PAPER_ORDER, get_program
+
+DOMAINS = {
+    "LU": "3D Navier-Stokes Equation Solver",
+    "SP": "3D Navier-Stokes Equation Solver",
+    "BT": "3D Navier-Stokes Equation Solver",
+    "CP": "Electronic-structure Calculations",
+    "LB": "Computational Fluid Dynamics",
+}
+
+
+def _full_campaigns(sim, model_cache):
+    campaigns = {}
+    space = ConfigSpace.validation(sim.spec)
+    for name in PAPER_ORDER:
+        campaigns[name] = validate_program(
+            sim,
+            get_program(name),
+            space=space,
+            repetitions=2,
+            model=model_cache(sim, name),
+        )
+    return campaigns
+
+
+def test_table2_validation_errors(
+    benchmark, xeon_sim, arm_sim, model_cache, write_artifact
+):
+    def run_all():
+        return _full_campaigns(xeon_sim, model_cache), _full_campaigns(
+            arm_sim, model_cache
+        )
+
+    xeon, arm = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    headers = [
+        "Program",
+        "Suite",
+        "T Xeon mean", "T Xeon std",
+        "T ARM mean", "T ARM std",
+        "E Xeon mean", "E Xeon std",
+        "E ARM mean", "E ARM std",
+    ]
+    rows = []
+    for name in PAPER_ORDER:
+        xe, ar = xeon[name], arm[name]
+        rows.append(
+            [
+                name,
+                get_program(name).suite.split(" (")[0],
+                f"{xe.time_errors.mean_abs:.0f}",
+                f"{xe.time_errors.std_abs:.0f}",
+                f"{ar.time_errors.mean_abs:.0f}",
+                f"{ar.time_errors.std_abs:.0f}",
+                f"{xe.energy_errors.mean_abs:.0f}",
+                f"{xe.energy_errors.std_abs:.0f}",
+                f"{ar.energy_errors.mean_abs:.0f}",
+                f"{ar.energy_errors.std_abs:.0f}",
+            ]
+        )
+    n_configs = len(ConfigSpace.validation(xeon_sim.spec)), len(
+        ConfigSpace.validation(arm_sim.spec)
+    )
+    artifact = (
+        ascii_table(
+            headers,
+            rows,
+            "Table 2: cluster validation results — error [%] of predicted vs "
+            f"measured over {n_configs[0]} Xeon and {n_configs[1]} ARM "
+            "configurations",
+        )
+        + "\n(paper bound: all means below 15%)"
+    )
+    write_artifact("table2_validation_errors.txt", artifact)
+
+    for campaigns in (xeon, arm):
+        for name, campaign in campaigns.items():
+            assert campaign.time_errors.mean_abs < 15.0, (
+                name,
+                campaign.cluster,
+                "time",
+            )
+            assert campaign.energy_errors.mean_abs < 15.0, (
+                name,
+                campaign.cluster,
+                "energy",
+            )

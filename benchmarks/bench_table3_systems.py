@@ -1,0 +1,36 @@
+"""Table 3 — Systems used for validation.
+
+Table 3 is descriptive (the two testbeds' specs); this bench prints it
+from the machine encodings and cross-checks the numbers the paper quotes.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+
+
+def test_table3_systems(benchmark, write_artifact):
+    def build():
+        xeon = xeon_cluster().spec_table()
+        arm = arm_cluster().spec_table()
+        keys = list(xeon.keys())
+        rows = [[k, xeon[k], arm[k]] for k in keys]
+        return ascii_table(
+            ["Attribute", "Intel Xeon E5-2603", "ARM Cortex-A9"],
+            rows,
+            "Table 3: systems used for validation",
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_artifact("table3_systems.txt", table)
+
+    xeon = xeon_cluster()
+    arm = arm_cluster()
+    assert xeon.max_nodes == 8 and arm.max_nodes == 8
+    assert xeon.node.max_cores == 8 and arm.node.max_cores == 4
+    assert min(xeon.frequencies_hz) == 1.2e9 and max(xeon.frequencies_hz) == 1.8e9
+    assert min(arm.frequencies_hz) == 0.2e9 and max(arm.frequencies_hz) == 1.4e9
+    assert xeon.node.memory.l3_kb == 20 * 1024
+    assert arm.node.memory.l3_kb == 0
+    assert xeon.node.nic.link_bytes_per_s * 8 == 1e9
+    assert arm.node.nic.link_bytes_per_s * 8 == 1e8

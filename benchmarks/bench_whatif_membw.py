@@ -1,0 +1,83 @@
+"""Section V-B — optimizing the Pareto frontier via UCR.
+
+The paper's what-if study: doubling the memory bandwidth halves the
+shared-memory stall cycles and lifts SP's UCR on Xeon configuration
+(1,8,1.8) from 0.67 to 0.81, cutting ~7 s and ~590 J — the system-designer
+workflow of rebalancing resources to optimize frontier points.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core.whatif import WhatIf
+from repro.machines.spec import Configuration
+from repro.units import joules_to_kj
+
+
+def test_whatif_memory_bandwidth(benchmark, xeon_sim, model_cache, write_artifact):
+    model = model_cache(xeon_sim, "SP")
+    cfg = Configuration(1, 8, 1.8e9)
+
+    def study():
+        base = model.predict(cfg)
+        tuned = WhatIf(model).memory_bandwidth(2.0).predict(cfg)
+        return base, tuned
+
+    base, tuned = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    rows = [
+        ["baseline", f"{base.time_s:.1f}", f"{joules_to_kj(base.energy_j):.2f}", f"{base.ucr:.2f}"],
+        ["2x memory bandwidth", f"{tuned.time_s:.1f}", f"{joules_to_kj(tuned.energy_j):.2f}", f"{tuned.ucr:.2f}"],
+        [
+            "delta",
+            f"{tuned.time_s - base.time_s:+.1f}",
+            f"{joules_to_kj(tuned.energy_j - base.energy_j):+.2f}",
+            f"{tuned.ucr - base.ucr:+.2f}",
+        ],
+    ]
+    artifact = (
+        ascii_table(
+            ["scenario", "T[s]", "E[kJ]", "UCR"],
+            rows,
+            "Section V-B what-if: SP on Xeon (1,8,1.8), memory bandwidth x2",
+        )
+        + "\n(paper: UCR 0.67 -> 0.81, -7 s, -590 J)"
+    )
+    write_artifact("whatif_membw.txt", artifact)
+
+    assert abs(base.ucr - 0.67) < 0.06
+    assert abs(tuned.ucr - 0.81) < 0.05
+    assert 3.0 < base.time_s - tuned.time_s < 12.0
+    assert 250.0 < base.energy_j - tuned.energy_j < 1200.0
+
+
+def test_whatif_network_bandwidth_counterpart(
+    benchmark, xeon_sim, model_cache, write_artifact
+):
+    """Companion study: network bandwidth x2 helps multi-node SP but not
+    the single-node configuration — contrast that locates the bottleneck."""
+    model = model_cache(xeon_sim, "SP")
+
+    def study():
+        single = Configuration(1, 8, 1.8e9)
+        multi = Configuration(8, 8, 1.8e9)
+        tuned = WhatIf(model).network_bandwidth(2.0)
+        return (
+            model.predict(single),
+            tuned.predict(single),
+            model.predict(multi),
+            tuned.predict(multi),
+        )
+
+    s_base, s_tuned, m_base, m_tuned = benchmark.pedantic(
+        study, rounds=1, iterations=1
+    )
+    artifact = "\n".join(
+        [
+            "Network bandwidth x2 (contrast study):",
+            f"  (1,8,1.8): T {s_base.time_s:.1f}s -> {s_tuned.time_s:.1f}s",
+            f"  (8,8,1.8): T {m_base.time_s:.1f}s -> {m_tuned.time_s:.1f}s",
+        ]
+    )
+    write_artifact("whatif_netbw.txt", artifact)
+
+    assert s_tuned.time_s == s_base.time_s  # no network on one node
+    assert m_tuned.time_s < m_base.time_s

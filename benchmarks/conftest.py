@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4): it rebuilds the data with the library, writes a plain-
+text artifact under ``benchmarks/out/`` (the "figure"), prints a short
+summary, and times the computational core with pytest-benchmark.
+
+Heavy campaigns use ``benchmark.pedantic(..., rounds=1)`` — the point is
+regenerating the result, not micro-timing it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.model import HybridProgramModel
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.registry import get_program
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables/figures."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    """Write one regenerated table/figure and echo its location."""
+
+    def write(name: str, content: str) -> pathlib.Path:
+        path = artifact_dir / name
+        path.write_text(content + "\n")
+        print(f"\n[artifact] {path}")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def xeon_sim() -> SimulatedCluster:
+    """The simulated Xeon testbed."""
+    return SimulatedCluster(xeon_cluster())
+
+
+@pytest.fixture(scope="session")
+def arm_sim() -> SimulatedCluster:
+    """The simulated ARM testbed."""
+    return SimulatedCluster(arm_cluster())
+
+
+@pytest.fixture(scope="session")
+def model_cache():
+    """Characterized models cached per (cluster, program) for the session."""
+    cache: dict[tuple[str, str], HybridProgramModel] = {}
+
+    def get(sim: SimulatedCluster, program_name: str) -> HybridProgramModel:
+        key = (sim.spec.name, program_name)
+        if key not in cache:
+            cache[key] = HybridProgramModel.from_measurements(
+                sim, get_program(program_name)
+            )
+        return cache[key]
+
+    return get

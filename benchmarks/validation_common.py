@@ -1,0 +1,75 @@
+"""Shared helpers for the validation benches (Figs. 5-7, Table 2)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table
+from repro.analysis.validation import ValidationCampaign, validate_program
+from repro.machines.spec import Configuration
+from repro.simulate.cluster import SimulatedCluster
+from repro.units import joules_to_kj
+from repro.workloads.registry import get_program
+
+#: The (n, c) grid of Figs. 5-6 on each cluster (at fmax).
+FIG56_XEON_NC = [(n, c) for n in (2, 4, 8) for c in (1, 4, 8)]
+FIG56_ARM_NC = [(n, c) for n in (2, 4, 8) for c in (1, 2, 4)]
+
+
+def fig56_configs(sim: SimulatedCluster) -> list[Configuration]:
+    """The Figs. 5-6 configuration list for a cluster, at fmax."""
+    grid = FIG56_XEON_NC if sim.spec.name == "xeon" else FIG56_ARM_NC
+    fmax = sim.spec.node.core.fmax
+    return [Configuration(n, c, fmax) for n, c in grid]
+
+
+def run_campaign(
+    sim: SimulatedCluster,
+    program_name: str,
+    model_cache,
+    configs=None,
+    class_name: str | None = None,
+    repetitions: int = 2,
+) -> ValidationCampaign:
+    """Measured-vs-predicted campaign for one program on one cluster."""
+    program = get_program(program_name)
+    model = model_cache(sim, program_name)
+    return validate_program(
+        sim,
+        program,
+        space=configs if configs is not None else fig56_configs(sim),
+        class_name=class_name,
+        repetitions=repetitions,
+        model=model,
+    )
+
+
+def campaign_table(campaign: ValidationCampaign, quantity: str) -> str:
+    """Render one campaign as a measured/predicted table.
+
+    ``quantity`` is ``"time"`` or ``"energy"``.
+    """
+    rows = []
+    for r in campaign.records:
+        if quantity == "time":
+            meas, pred, err = (
+                f"{r.measured_time_s:.1f}",
+                f"{r.predicted_time_s:.1f}",
+                f"{r.time_error_percent:+.1f}",
+            )
+            headers = ["(n,c)", "Measured[s]", "Predicted[s]", "err[%]"]
+        else:
+            meas, pred, err = (
+                f"{joules_to_kj(r.measured_energy_j):.2f}",
+                f"{joules_to_kj(r.predicted_energy_j):.2f}",
+                f"{r.energy_error_percent:+.1f}",
+            )
+            headers = ["(n,c)", "Measured[kJ]", "Predicted[kJ]", "err[%]"]
+        rows.append([r.config.label(with_frequency=False), meas, pred, err])
+    summary = campaign.time_errors if quantity == "time" else campaign.energy_errors
+    return (
+        ascii_table(
+            headers,
+            rows,
+            f"{campaign.program} on {campaign.cluster}",
+        )
+        + f"\n{quantity}: {summary}"
+    )

@@ -1,0 +1,67 @@
+"""Model-based cluster health checks: the model as a regression detector.
+
+A validated model knows what your cluster *should* do.  This example runs
+the paper's characterize-and-model pipeline once, then uses a handful of
+canary configurations to health-check three versions of the cluster:
+
+1. the healthy testbed — all canaries within the validation band;
+2. one node thermally throttled to ~60% speed — multi-node canaries flag,
+   the single-node canary (scheduled on a healthy node) stays clean;
+3. DRAM degraded to 30% bandwidth — every canary flags.
+
+The deviation *pattern* localizes the fault class without any per-node
+instrumentation.
+
+Run:  python examples/cluster_health.py
+"""
+
+from repro import (
+    Configuration,
+    FaultModel,
+    HybridProgramModel,
+    SimulatedCluster,
+    degraded_memory,
+    sp_program,
+    xeon_cluster,
+)
+from repro.analysis.anomaly import diagnose, health_check
+
+SINGLE_CANARIES = [Configuration(1, 8, 1.8e9)]
+MULTI_CANARIES = [Configuration(4, 4, 1.5e9), Configuration(8, 8, 1.8e9)]
+
+
+def report(name: str, model, testbed) -> None:
+    single = health_check(model, testbed, SINGLE_CANARIES)
+    multi = health_check(model, testbed, MULTI_CANARIES)
+    print(f"\n=== {name} ===")
+    for rep, label in ((single, "single-node"), (multi, "multi-node")):
+        for canary in rep.canaries:
+            status = "FLAG" if canary.flagged else "ok  "
+            print(
+                f"  [{status}] {label:12s} {canary.config}: "
+                f"expected {canary.expected_time_s:6.1f}s, "
+                f"measured {canary.measured_time_s:6.1f}s "
+                f"({canary.deviation:+.1%})"
+            )
+    print(f"  diagnosis: {diagnose(single, multi)}")
+
+
+def main() -> None:
+    healthy = SimulatedCluster(xeon_cluster())
+    print("characterizing SP on the healthy cluster ...")
+    model = HybridProgramModel.from_measurements(healthy, sp_program())
+
+    report("healthy cluster", model, healthy)
+
+    throttled = SimulatedCluster(
+        xeon_cluster(),
+        faults=FaultModel(straggler_node=2, straggler_factor=1.7),
+    )
+    report("node 2 thermally throttled (x1.7)", model, throttled)
+
+    slow_dram = SimulatedCluster(degraded_memory(xeon_cluster(), 0.3))
+    report("DRAM at 30% of nameplate bandwidth", model, slow_dram)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Cross-cluster shoot-out: Xeon vs ARM for each of the five programs.
+
+The paper chose its two validation clusters for their "diverse time-energy
+performance".  This example quantifies the diversity: for every program it
+builds both clusters' models, forms the combined Pareto frontier, and
+reports which machine owns the trade-off — plus the roofline placements
+that explain why.
+
+Run:  python examples/cluster_shootout.py
+"""
+
+from repro import (
+    ConfigSpace,
+    HybridProgramModel,
+    SimulatedCluster,
+    all_programs,
+    arm_cluster,
+    evaluate_space,
+    xeon_cluster,
+)
+from repro.analysis.compare import ClusterComparison
+from repro.core.roofline import node_roofline, place_workload
+from repro.units import joules_to_kj
+
+
+def main() -> None:
+    testbeds = {
+        "xeon": SimulatedCluster(xeon_cluster()),
+        "arm": SimulatedCluster(arm_cluster()),
+    }
+
+    print("machine balance points (AI where memory and compute roofs meet):")
+    for name, testbed in testbeds.items():
+        spec = testbed.spec
+        roof = node_roofline(spec, spec.node.max_cores, spec.node.core.fmax)
+        print(f"  {name}: {roof.balance_ai:.2f} abstract instr / DRAM byte")
+
+    for program in all_programs():
+        evaluations = {}
+        for name, testbed in testbeds.items():
+            model = HybridProgramModel.from_measurements(testbed, program)
+            evaluations[name] = evaluate_space(
+                model, ConfigSpace.physical(testbed.spec)
+            )
+        comparison = ClusterComparison(evaluations)
+        share = comparison.frontier_share()
+        fastest = comparison.combined_frontier()[0]
+        cheapest = comparison.combined_frontier()[-1]
+
+        placements = {
+            name: place_workload(testbed.spec, program)
+            for name, testbed in testbeds.items()
+        }
+        print(f"\n{program.name} ({program.domain}):")
+        print(
+            "  roofline: "
+            + ", ".join(
+                f"{name} AI={p.ai:.2f} ({p.bound}-bound)"
+                for name, p in placements.items()
+            )
+        )
+        print(
+            f"  frontier share: "
+            + ", ".join(f"{k}={v}" for k, v in share.items())
+        )
+        print(
+            f"  fastest : {fastest.cluster} {fastest.prediction.config} "
+            f"T={fastest.time_s:.1f}s E={joules_to_kj(fastest.energy_j):.2f}kJ"
+        )
+        print(
+            f"  cheapest: {cheapest.cluster} {cheapest.prediction.config} "
+            f"T={cheapest.time_s:.1f}s E={joules_to_kj(cheapest.energy_j):.2f}kJ"
+        )
+        crossover = comparison.crossover_deadline()
+        if crossover is not None:
+            print(f"  winner flips at deadline ~ {crossover:.0f}s")
+        else:
+            print(f"  one machine owns the whole frontier")
+
+
+if __name__ == "__main__":
+    main()

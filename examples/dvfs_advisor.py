@@ -1,0 +1,63 @@
+"""Phase-aware DVFS advice on top of the model (paper §II-A conjunction).
+
+The paper notes that runtime DVFS techniques "can be used in conjunction
+with our proposed approach".  This example shows the conjunction: for each
+interesting configuration of CP on the ARM cluster,
+
+1. decompose the measured memory stalls into their cache (cycle-bound) and
+   DRAM (time-bound) components using only the baseline (c, f) sweep;
+2. predict the time/energy effect of throttling stalled cores to each
+   lower DVFS point;
+3. recommend the schedule that minimizes energy within a slowdown budget;
+4. verify the recommendation against the simulated testbed (which
+   implements stall-phase throttling natively).
+
+Run:  python examples/dvfs_advisor.py
+"""
+
+from repro import Configuration, HybridProgramModel, SimulatedCluster, arm_cluster, cp_program
+from repro.core.dvfs import advise_stall_dvfs, decompose_stalls
+from repro.units import joules_to_kj
+
+
+def main() -> None:
+    testbed = SimulatedCluster(arm_cluster())
+    program = cp_program()
+    print("characterizing CP on the ARM cluster ...")
+    model = HybridProgramModel.from_measurements(testbed, program)
+
+    print("\nmeasured stall decomposition (from the baseline sweep alone):")
+    for c in (1, 2, 4):
+        split = decompose_stalls(model, c)
+        print(
+            f"  c={c}: cache-bound {split.cache_cycles:.3g} cycles, "
+            f"DRAM-bound {split.dram_seconds:.3g} s (per core)"
+        )
+
+    print("\nadvice (max 15% slowdown) and simulator verification:")
+    for n, c, f_ghz in [(1, 4, 1.4), (4, 4, 1.4), (8, 4, 1.4), (1, 2, 1.1)]:
+        cfg = Configuration(n, c, f_ghz * 1e9)
+        advice = advise_stall_dvfs(model, cfg, max_slowdown=0.15)
+        f_s = advice.best.stall_frequency_hz
+
+        static_run = testbed.run(program, cfg, run_index=0)
+        dvfs_run = testbed.run(program, cfg, run_index=0, stall_frequency_hz=f_s)
+        saved = static_run.energy.total_j - dvfs_run.energy.total_j
+
+        print(
+            f"  {cfg}: throttle stalls to {f_s / 1e9:g} GHz -> "
+            f"model saves {advice.energy_saving_j:6.0f} J "
+            f"({advice.slowdown:+.1%} time); "
+            f"testbed confirms {saved:6.0f} J "
+            f"({dvfs_run.wall_time_s / static_run.wall_time_s - 1:+.1%} time)"
+        )
+
+    print(
+        "\ninterpretation: memory-stall phases burn near-active power at "
+        "high f; clocking them down trades a bounded slowdown (the cache-"
+        "stall cycles stretch) for a large cut in stall power."
+    )
+
+
+if __name__ == "__main__":
+    main()

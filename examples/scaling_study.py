@@ -1,0 +1,69 @@
+"""Scalability diagnostics: strong/weak scaling, Amdahl, Karp-Flatt.
+
+Runs the classic scalability playbook on model predictions for two
+contrasting programs — SP (halo exchange: per-process communication
+shrinks with n) and CP (all-to-all: per-process message count grows with
+n) — and shows how the diagnostics tell them apart:
+
+* SP's Karp-Flatt curve *falls* after the n=1->2 startup cost: the
+  overhead amortizes, strong scaling keeps paying off;
+* CP's curve *rises*: overhead grows with parallelism, a contention
+  signature no fixed serial fraction can explain;
+* weak scaling (Gustafson) stays near-flat for both while the work grows
+  n-fold;
+* the energy-vs-parallelism sweep answers Woo & Lee's question: the
+  joule-optimal node count is far below the time-optimal one.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import HybridProgramModel, SimulatedCluster, cp_program, sp_program, xeon_cluster
+from repro.core.scaling import (
+    energy_optimal_parallelism,
+    fit_amdahl,
+    karp_flatt,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.units import joules_to_kj
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def study(model, name: str) -> None:
+    strong = strong_scaling(model, NODE_COUNTS, cores=8, frequency_hz=1.8e9)
+    print(f"\n{name}: strong scaling (c=8, f=1.8 GHz)")
+    print("  n    T[s]   speedup  efficiency   E[kJ]")
+    for p in strong:
+        print(
+            f"  {p.nodes:3d} {p.time_s:7.1f} {p.speedup:8.2f} "
+            f"{p.efficiency:10.2f} {joules_to_kj(p.energy_j):7.2f}"
+        )
+    print(f"  Amdahl fit: apparent serial fraction s = {fit_amdahl(strong):.3f}")
+    kf = karp_flatt(strong)
+    trend = "rising (growing overhead)" if kf[-1] > kf[0] else "falling (amortizing startup)"
+    print(f"  Karp-Flatt: {['%.3f' % v for v in kf]} -> {trend}")
+
+    best = energy_optimal_parallelism(strong)
+    fastest = min(strong, key=lambda p: p.time_s)
+    print(
+        f"  joule-optimal n = {best.nodes} "
+        f"({joules_to_kj(best.energy_j):.2f} kJ) vs time-optimal n = "
+        f"{fastest.nodes} ({joules_to_kj(fastest.energy_j):.2f} kJ)"
+    )
+
+    weak = weak_scaling(model, (1, 2, 4, 8), cores=8, frequency_hz=1.8e9)
+    print("  weak scaling (work grows with n): "
+          + ", ".join(f"n={p.nodes}: {p.time_s:.1f}s" for p in weak))
+
+
+def main() -> None:
+    testbed = SimulatedCluster(xeon_cluster())
+    for program in (sp_program(), cp_program()):
+        print(f"characterizing {program.name} ...")
+        model = HybridProgramModel.from_measurements(testbed, program)
+        study(model, program.name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Measured-vs-predicted validation study (paper Section IV, reduced).
+
+Reproduces the paper's validation procedure for any of the five programs
+on either cluster: characterize once, then compare the model's predictions
+against direct measurement (repeated simulated runs read through the
+``time`` command and the WattsUp meter) across the validation
+configuration space, reporting per-configuration errors and the Table 2
+style summary.
+
+Run:  python examples/validation_study.py [PROGRAM] [CLUSTER] [REPS]
+      (defaults: BT xeon 3)
+"""
+
+import sys
+
+from repro import SimulatedCluster, get_cluster, get_program, validate_program
+from repro.analysis.report import ascii_table
+from repro.core.model import HybridProgramModel
+from repro.units import joules_to_kj
+
+
+def main(program_name: str = "BT", cluster_name: str = "xeon", reps: str = "3") -> None:
+    testbed = SimulatedCluster(get_cluster(cluster_name))
+    program = get_program(program_name)
+
+    print(f"characterizing {program.name} on {cluster_name} ...")
+    model = HybridProgramModel.from_measurements(testbed, program)
+
+    print(f"validating over the full space ({int(reps)} runs per point) ...")
+    campaign = validate_program(
+        testbed, program, repetitions=int(reps), model=model
+    )
+
+    rows = [
+        [
+            r.config.label(),
+            f"{r.measured_time_s:.1f}",
+            f"{r.predicted_time_s:.1f}",
+            f"{r.time_error_percent:+.1f}",
+            f"{joules_to_kj(r.measured_energy_j):.2f}",
+            f"{joules_to_kj(r.predicted_energy_j):.2f}",
+            f"{r.energy_error_percent:+.1f}",
+        ]
+        for r in campaign.records
+    ]
+    print(
+        ascii_table(
+            [
+                "(n,c,f)",
+                "T meas[s]",
+                "T pred[s]",
+                "T err[%]",
+                "E meas[kJ]",
+                "E pred[kJ]",
+                "E err[%]",
+            ],
+            rows,
+            f"Validation: {program.name} on {cluster_name} "
+            f"({len(campaign.records)} configurations)",
+        )
+    )
+    print(f"\ntime:   {campaign.time_errors}")
+    print(f"energy: {campaign.energy_errors}")
+    print("(paper Table 2 bound: mean errors below 15%)")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:4])

@@ -1,0 +1,40 @@
+"""Validation and reporting: measured-vs-predicted campaigns (paper §IV)
+and the text rendering of the paper's tables and figures."""
+
+from repro.analysis.errors import ErrorSummary, percent_error, summarize_errors
+from repro.analysis.validation import (
+    ValidationCampaign,
+    ValidationRecord,
+    validate_program,
+)
+from repro.analysis.report import ascii_table, format_series
+from repro.analysis.figures import ascii_chart
+from repro.analysis.compare import ClusterComparison, LabeledPrediction
+from repro.analysis.sensitivity import Sensitivity, render_tornado, tornado
+from repro.analysis.uncertainty import PredictiveDistribution, propagate_uncertainty
+from repro.analysis.anomaly import HealthReport, diagnose, health_check
+from repro.analysis.regression import RegressionVerdict, compare_campaigns
+
+__all__ = [
+    "ClusterComparison",
+    "LabeledPrediction",
+    "Sensitivity",
+    "tornado",
+    "render_tornado",
+    "PredictiveDistribution",
+    "propagate_uncertainty",
+    "HealthReport",
+    "health_check",
+    "diagnose",
+    "RegressionVerdict",
+    "compare_campaigns",
+    "ErrorSummary",
+    "percent_error",
+    "summarize_errors",
+    "ValidationCampaign",
+    "ValidationRecord",
+    "validate_program",
+    "ascii_table",
+    "format_series",
+    "ascii_chart",
+]

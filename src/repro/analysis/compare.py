@@ -1,0 +1,106 @@
+"""Cross-cluster comparison: which machine for which constraint?
+
+The paper motivates its two validation clusters by their "diverse
+time-energy performance": the Xeon nodes are fast but power-hungry, the
+ARM nodes slow but frugal.  Given models of the same program on several
+clusters, this module answers the procurement-style questions that
+diversity raises:
+
+* the **combined Pareto frontier** across all machines — which cluster
+  owns which stretch of the time-energy trade-off;
+* the **winner for a deadline / an energy budget**;
+* the **crossover deadline** — the deadline below which the fast cluster
+  is mandatory and above which the frugal one wins on energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.configspace import SpaceEvaluation
+from repro.core.model import Prediction
+from repro.core.pareto import pareto_mask
+
+
+@dataclass(frozen=True)
+class LabeledPrediction:
+    """A prediction tagged with the cluster it belongs to."""
+
+    cluster: str
+    prediction: Prediction
+
+    @property
+    def time_s(self) -> float:
+        """Predicted execution time."""
+        return self.prediction.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted energy."""
+        return self.prediction.energy_j
+
+
+@dataclass(frozen=True)
+class ClusterComparison:
+    """Joint view over per-cluster space evaluations of one program."""
+
+    evaluations: Mapping[str, SpaceEvaluation]
+
+    def __post_init__(self) -> None:
+        if len(self.evaluations) < 2:
+            raise ValueError("comparison needs at least two clusters")
+
+    def _all_points(self) -> list[LabeledPrediction]:
+        return [
+            LabeledPrediction(cluster=name, prediction=p)
+            for name, ev in self.evaluations.items()
+            for p in ev.predictions
+        ]
+
+    def combined_frontier(self) -> list[LabeledPrediction]:
+        """Pareto frontier over the union of all clusters' spaces."""
+        points = self._all_points()
+        times = np.array([p.time_s for p in points])
+        energies = np.array([p.energy_j for p in points])
+        mask = pareto_mask(times, energies)
+        frontier = [p for p, keep in zip(points, mask) if keep]
+        return sorted(frontier, key=lambda p: p.time_s)
+
+    def winner_for_deadline(self, deadline_s: float) -> LabeledPrediction | None:
+        """Min-energy point across clusters meeting the deadline."""
+        feasible = [p for p in self._all_points() if p.time_s <= deadline_s]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.energy_j)
+
+    def winner_for_budget(self, budget_j: float) -> LabeledPrediction | None:
+        """Min-time point across clusters within the energy budget."""
+        feasible = [p for p in self._all_points() if p.energy_j <= budget_j]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.time_s)
+
+    def frontier_share(self) -> dict[str, int]:
+        """How many combined-frontier points each cluster owns."""
+        share = {name: 0 for name in self.evaluations}
+        for point in self.combined_frontier():
+            share[point.cluster] += 1
+        return share
+
+    def crossover_deadline(self) -> float | None:
+        """The deadline at which the winning cluster flips, if it does.
+
+        Scans the combined frontier from tight to loose deadlines; returns
+        the time of the first frontier point whose cluster differs from the
+        fastest point's cluster, or ``None`` if one cluster owns the whole
+        frontier.
+        """
+        frontier = self.combined_frontier()
+        first = frontier[0].cluster
+        for point in frontier[1:]:
+            if point.cluster != first:
+                return point.time_s
+        return None

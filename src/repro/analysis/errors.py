@@ -1,0 +1,52 @@
+"""Validation error statistics (paper Table 2's mean and std. dev.)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percent_error(predicted: float, measured: float) -> float:
+    """Signed prediction error in percent of the measured value."""
+    if measured == 0:
+        raise ValueError("measured value must be non-zero")
+    return 100.0 * (predicted - measured) / measured
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean and standard deviation of absolute percent errors.
+
+    Matches Table 2's reporting: the error magnitude averaged over all
+    validated configurations, plus its spread.
+    """
+
+    mean_abs: float
+    std_abs: float
+    max_abs: float
+    mean_signed: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"|err| mean={self.mean_abs:.1f}% std={self.std_abs:.1f}% "
+            f"max={self.max_abs:.1f}% (bias {self.mean_signed:+.1f}%, "
+            f"n={self.count})"
+        )
+
+
+def summarize_errors(errors_percent: Sequence[float]) -> ErrorSummary:
+    """Summarize a set of signed percent errors."""
+    arr = np.asarray(list(errors_percent), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no errors to summarize")
+    mags = np.abs(arr)
+    return ErrorSummary(
+        mean_abs=float(mags.mean()),
+        std_abs=float(mags.std()),
+        max_abs=float(mags.max()),
+        mean_signed=float(arr.mean()),
+        count=int(arr.size),
+    )

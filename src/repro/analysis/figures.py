@@ -1,0 +1,91 @@
+"""ASCII chart rendering — terminal-friendly versions of the paper's plots.
+
+Benchmarks regenerate each figure's *data*; these helpers additionally draw
+a rough chart so the shape (crossovers, frontiers, plateaus) is visible in
+the bench output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    marks: Sequence[str] | None = None,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render a scatter/line chart as ASCII.
+
+    ``marks`` can tag each point with its own glyph (e.g. ``"*"`` for
+    Pareto-optimal points and ``"."`` for dominated ones).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size == 0 or xs.shape != ys.shape:
+        raise ValueError("xs and ys must be non-empty and equal length")
+    if marks is not None and len(marks) != xs.size:
+        raise ValueError("marks must align with the points")
+
+    def transform(v: np.ndarray, log: bool) -> np.ndarray:
+        if log:
+            if np.any(v <= 0):
+                raise ValueError("log axis requires positive values")
+            return np.log10(v)
+        return v
+
+    tx = transform(xs, logx)
+    ty = transform(ys, logy)
+    x_lo, x_hi = float(tx.min()), float(tx.max())
+    y_lo, y_hi = float(ty.min()), float(ty.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(xs.size):
+        col = int(round((tx[i] - x_lo) / x_span * (width - 1)))
+        row = int(round((ty[i] - y_lo) / y_span * (height - 1)))
+        glyph = marks[i] if marks is not None else "o"
+        current = grid[height - 1 - row][col]
+        # Pareto stars win collisions so the frontier stays visible.
+        if current == " " or glyph == "*":
+            grid[height - 1 - row][col] = glyph
+
+    def label(v: float, log: bool) -> str:
+        raw = 10**v if log else v
+        return f"{raw:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{label(y_hi, logy)} {ylabel}".rstrip()
+    lines.append(top)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{label(x_lo, logx)}"
+        + " " * max(1, width - len(label(x_lo, logx)) - len(label(x_hi, logx)))
+        + f"{label(x_hi, logx)}  {xlabel}"
+    )
+    lines.append(f"(y min: {label(y_lo, logy)})")
+    return "\n".join(lines)
+
+
+def log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade tick positions covering [lo, hi] (for axis annotations)."""
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**k for k in range(first, last + 1)]

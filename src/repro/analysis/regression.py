@@ -1,0 +1,100 @@
+"""Campaign-to-campaign regression tracking.
+
+Model accuracy is an asset worth guarding in CI: a change to the model
+(or to a machine/workload constant) should not silently degrade the
+validation errors.  With :mod:`repro.io`'s campaign persistence, a
+baseline campaign can be committed and every build compared against it:
+
+    baseline = load_campaign("baseline_sp_xeon.json")
+    current  = validate_program(...)
+    verdict  = compare_campaigns(baseline, current)
+
+The comparison is per-configuration (paired), so it detects localized
+regressions that aggregate means smear out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.validation import ValidationCampaign
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """Outcome of comparing a campaign against its baseline."""
+
+    baseline_mean_abs: float
+    current_mean_abs: float
+    mean_delta: float
+    worst_config: str
+    worst_delta: float
+    regressed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"[{status}] mean |err| {self.baseline_mean_abs:.1f}% -> "
+            f"{self.current_mean_abs:.1f}% (delta {self.mean_delta:+.1f}pp); "
+            f"worst {self.worst_config}: {self.worst_delta:+.1f}pp"
+        )
+
+
+def compare_campaigns(
+    baseline: ValidationCampaign,
+    current: ValidationCampaign,
+    quantity: str = "time",
+    mean_tolerance_pp: float = 1.0,
+    point_tolerance_pp: float = 5.0,
+) -> RegressionVerdict:
+    """Compare two campaigns of the same program/cluster, paired by config.
+
+    Flags a regression when the mean absolute error worsens by more than
+    ``mean_tolerance_pp`` percentage points, or any single configuration
+    worsens by more than ``point_tolerance_pp``.
+    """
+    if quantity not in ("time", "energy"):
+        raise ValueError("quantity must be 'time' or 'energy'")
+    if (baseline.program, baseline.cluster) != (current.program, current.cluster):
+        raise ValueError(
+            "campaigns target different program/cluster pairs: "
+            f"{(baseline.program, baseline.cluster)} vs "
+            f"{(current.program, current.cluster)}"
+        )
+
+    def err(record) -> float:
+        return abs(
+            record.time_error_percent
+            if quantity == "time"
+            else record.energy_error_percent
+        )
+
+    base_by_cfg = {r.config: err(r) for r in baseline.records}
+    cur_by_cfg = {r.config: err(r) for r in current.records}
+    shared = sorted(
+        set(base_by_cfg) & set(cur_by_cfg),
+        key=lambda c: (c.nodes, c.cores, c.frequency_hz),
+    )
+    if not shared:
+        raise ValueError("campaigns share no configurations")
+
+    base_errs = np.array([base_by_cfg[c] for c in shared])
+    cur_errs = np.array([cur_by_cfg[c] for c in shared])
+    deltas = cur_errs - base_errs
+    worst_idx = int(np.argmax(deltas))
+
+    mean_delta = float(cur_errs.mean() - base_errs.mean())
+    regressed = (
+        mean_delta > mean_tolerance_pp
+        or float(deltas[worst_idx]) > point_tolerance_pp
+    )
+    return RegressionVerdict(
+        baseline_mean_abs=float(base_errs.mean()),
+        current_mean_abs=float(cur_errs.mean()),
+        mean_delta=mean_delta,
+        worst_config=shared[worst_idx].label(),
+        worst_delta=float(deltas[worst_idx]),
+        regressed=regressed,
+    )

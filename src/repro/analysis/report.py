@@ -1,0 +1,70 @@
+"""Plain-text table/series rendering for benches, examples and the CLI."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; numeric alignment is right, text is left.
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    numeric = [
+        all(_is_number(r[i]) for r in str_rows) if str_rows else False
+        for i in range(len(headers))
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(render_row(list(headers)))
+    lines.append(sep)
+    lines.extend(render_row(r) for r in str_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
+) -> str:
+    """Render an (x, y) series as aligned columns (a figure's data)."""
+    lines = [f"# {name}" + (f" [{unit}]" if unit else "")]
+    for x, y in zip(xs, ys):
+        lines.append(f"{_fmt(x):>14}  {y:>12.4g}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

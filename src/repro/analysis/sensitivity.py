@@ -1,0 +1,162 @@
+"""Input-sensitivity (tornado) analysis of the model (paper §IV-C, swept).
+
+The paper discusses three sources of inaccuracy qualitatively; this module
+quantifies how uncertainty in *each* model input propagates into the
+time/energy predictions: every input group is perturbed by ±δ around its
+measured value and the prediction swing recorded.  Sorting by swing gives
+the classic tornado diagram — which tells an experimenter where better
+measurement effort pays (e.g. on the ARM node, stall power barely matters
+next to memory-stall cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.model import HybridProgramModel
+from repro.core.params import ModelInputs, NetworkCharacteristics
+from repro.machines.spec import Configuration
+
+
+def _scale_baseline(inputs: ModelInputs, field: str, factor: float) -> ModelInputs:
+    new_baseline = {
+        key: replace(art, **{field: getattr(art, field) * factor})
+        for key, art in inputs.baseline.items()
+    }
+    return replace(inputs, baseline=new_baseline)
+
+
+def _scale_utilization(inputs: ModelInputs, factor: float) -> ModelInputs:
+    new_baseline = {
+        key: replace(art, utilization=min(1.0, art.utilization * factor))
+        for key, art in inputs.baseline.items()
+    }
+    return replace(inputs, baseline=new_baseline)
+
+
+def _scale_comm(inputs: ModelInputs, field: str, factor: float) -> ModelInputs:
+    return replace(
+        inputs,
+        comm=replace(inputs.comm, **{field: getattr(inputs.comm, field) * factor}),
+    )
+
+
+def _scale_bandwidth(inputs: ModelInputs, factor: float) -> ModelInputs:
+    net = inputs.network
+    return replace(
+        inputs,
+        network=NetworkCharacteristics(
+            bandwidth_bytes_per_s=net.bandwidth_bytes_per_s * factor,
+            latency_floor_s=net.latency_floor_s,
+        ),
+    )
+
+
+def _scale_power(inputs: ModelInputs, field: str, factor: float) -> ModelInputs:
+    power = inputs.power
+    if field == "core_active_w":
+        new = replace(
+            power, core_active_w={k: v * factor for k, v in power.core_active_w.items()}
+        )
+    elif field == "core_stall_w":
+        new = replace(
+            power, core_stall_w={k: v * factor for k, v in power.core_stall_w.items()}
+        )
+    else:
+        new = replace(power, **{field: getattr(power, field) * factor})
+    return replace(inputs, power=new)
+
+
+#: The perturbable input groups: name -> transformation(inputs, factor).
+INPUT_GROUPS: dict[str, Callable[[ModelInputs, float], ModelInputs]] = {
+    "work cycles (w_s)": lambda i, k: _scale_baseline(i, "work_cycles", k),
+    "non-memory stalls (b_s)": lambda i, k: _scale_baseline(
+        i, "nonmem_stall_cycles", k
+    ),
+    "memory stalls (m_s)": lambda i, k: _scale_baseline(i, "mem_stall_cycles", k),
+    "CPU utilization (U_s)": _scale_utilization,
+    "message count (eta)": lambda i, k: _scale_comm(i, "eta_ref", k),
+    "comm volume": lambda i, k: _scale_comm(i, "volume_ref", k),
+    "network bandwidth (B)": _scale_bandwidth,
+    "active power (P_act)": lambda i, k: _scale_power(i, "core_active_w", k),
+    "stall power (P_stall)": lambda i, k: _scale_power(i, "core_stall_w", k),
+    "memory power (P_mem)": lambda i, k: _scale_power(i, "mem_w", k),
+    "network power (P_net)": lambda i, k: _scale_power(i, "net_w", k),
+    "idle power (P_idle)": lambda i, k: _scale_power(i, "sys_idle_w", k),
+}
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Prediction swing for one input group perturbed by ±δ."""
+
+    parameter: str
+    time_low_s: float
+    time_high_s: float
+    energy_low_j: float
+    energy_high_j: float
+    base_time_s: float
+    base_energy_j: float
+
+    @property
+    def time_swing(self) -> float:
+        """Relative time swing across the ±δ interval."""
+        return (self.time_high_s - self.time_low_s) / self.base_time_s
+
+    @property
+    def energy_swing(self) -> float:
+        """Relative energy swing across the ±δ interval."""
+        return (self.energy_high_j - self.energy_low_j) / self.base_energy_j
+
+
+def tornado(
+    model: HybridProgramModel,
+    config: Configuration,
+    delta: float = 0.10,
+    class_name: str | None = None,
+) -> list[Sensitivity]:
+    """Tornado analysis: per-input ±δ prediction swings, largest first.
+
+    Sorted by energy swing (the paper's energy predictions are the ones
+    the §IV-C error sources threaten most).
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    base = model.predict(config, class_name)
+    results = []
+    for name, transform in INPUT_GROUPS.items():
+        lo = model.with_inputs(transform(model.inputs, 1.0 - delta)).predict(
+            config, class_name
+        )
+        hi = model.with_inputs(transform(model.inputs, 1.0 + delta)).predict(
+            config, class_name
+        )
+        t_lo, t_hi = sorted((lo.time_s, hi.time_s))
+        e_lo, e_hi = sorted((lo.energy_j, hi.energy_j))
+        results.append(
+            Sensitivity(
+                parameter=name,
+                time_low_s=t_lo,
+                time_high_s=t_hi,
+                energy_low_j=e_lo,
+                energy_high_j=e_hi,
+                base_time_s=base.time_s,
+                base_energy_j=base.energy_j,
+            )
+        )
+    return sorted(results, key=lambda s: s.energy_swing, reverse=True)
+
+
+def render_tornado(results: list[Sensitivity], width: int = 40) -> str:
+    """Render tornado bars (energy swing) as ASCII."""
+    if not results:
+        raise ValueError("nothing to render")
+    max_swing = max(s.energy_swing for s in results) or 1.0
+    lines = ["tornado: energy swing per ±10% input perturbation"]
+    for s in results:
+        bar = "#" * max(1, round(width * s.energy_swing / max_swing))
+        lines.append(
+            f"  {s.parameter:<24} {bar:<{width}} {s.energy_swing:6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Measured-vs-predicted validation campaigns (paper §IV).
+
+A campaign mirrors the paper's procedure exactly:
+
+1. characterize the program on the cluster (baseline sweep, mpiP, NetPIPE,
+   power micro-benchmarks) and build the analytical model;
+2. for every configuration in the validation space, *measure* execution
+   time (``time`` command) and energy (WattsUp meter) as the mean over
+   repeated runs;
+3. predict both with the model and record the percent errors.
+
+The result feeds Table 2 (error summary per program and cluster) and
+Figs. 5-7 (measured-vs-predicted series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.errors import ErrorSummary, percent_error, summarize_errors
+from repro.core.configspace import ConfigSpace
+from repro.core.model import HybridProgramModel
+from repro.machines.spec import Configuration
+from repro.measure.timecmd import measure_wall_time
+from repro.measure.wattsup import read_meter
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.base import HybridProgram
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """Measured vs predicted values at one configuration."""
+
+    program: str
+    cluster: str
+    class_name: str
+    config: Configuration
+    measured_time_s: float
+    measured_energy_j: float
+    predicted_time_s: float
+    predicted_energy_j: float
+
+    @property
+    def time_error_percent(self) -> float:
+        """Signed time prediction error (%)."""
+        return percent_error(self.predicted_time_s, self.measured_time_s)
+
+    @property
+    def energy_error_percent(self) -> float:
+        """Signed energy prediction error (%)."""
+        return percent_error(self.predicted_energy_j, self.measured_energy_j)
+
+
+@dataclass(frozen=True)
+class ValidationCampaign:
+    """All records of one program × cluster validation."""
+
+    program: str
+    cluster: str
+    records: tuple[ValidationRecord, ...]
+
+    @property
+    def time_errors(self) -> ErrorSummary:
+        """Summary of time errors (a Table 2 cell pair)."""
+        return summarize_errors([r.time_error_percent for r in self.records])
+
+    @property
+    def energy_errors(self) -> ErrorSummary:
+        """Summary of energy errors (a Table 2 cell pair)."""
+        return summarize_errors([r.energy_error_percent for r in self.records])
+
+    def select(self, **axes: Iterable[float]) -> list[ValidationRecord]:
+        """Filter records by configuration axes (nodes / cores / frequency).
+
+        Example: ``campaign.select(nodes=[2, 4, 8], cores=[1, 4, 8])``.
+        """
+        records = list(self.records)
+        if "nodes" in axes:
+            wanted = set(axes["nodes"])
+            records = [r for r in records if r.config.nodes in wanted]
+        if "cores" in axes:
+            wanted = set(axes["cores"])
+            records = [r for r in records if r.config.cores in wanted]
+        if "frequency_hz" in axes:
+            wanted = list(axes["frequency_hz"])
+            records = [
+                r
+                for r in records
+                if any(abs(r.config.frequency_hz - f) < 1e-3 for f in wanted)
+            ]
+        return records
+
+
+def measure_configuration(
+    cluster: SimulatedCluster,
+    program: HybridProgram,
+    config: Configuration,
+    class_name: str | None = None,
+    repetitions: int = 3,
+) -> tuple[float, float]:
+    """Measured (time, energy) at one configuration: mean over runs."""
+    runs = cluster.run_many(program, config, class_name, repetitions=repetitions)
+    times = [measure_wall_time(r) for r in runs]
+    energies = [read_meter(r).energy_j for r in runs]
+    return float(np.mean(times)), float(np.mean(energies))
+
+
+def validate_program(
+    cluster: SimulatedCluster,
+    program: HybridProgram,
+    space: ConfigSpace | Sequence[Configuration] | None = None,
+    class_name: str | None = None,
+    repetitions: int = 3,
+    model: HybridProgramModel | None = None,
+) -> ValidationCampaign:
+    """Run a full validation campaign for one program on one cluster."""
+    cls = class_name or program.reference_class
+    if model is None:
+        model = HybridProgramModel.from_measurements(cluster, program)
+    configs = list(space if space is not None else ConfigSpace.validation(cluster.spec))
+    records = []
+    for config in configs:
+        t_meas, e_meas = measure_configuration(
+            cluster, program, config, cls, repetitions=repetitions
+        )
+        pred = model.predict(config, cls)
+        records.append(
+            ValidationRecord(
+                program=program.name,
+                cluster=cluster.spec.name,
+                class_name=cls,
+                config=config,
+                measured_time_s=t_meas,
+                measured_energy_j=e_meas,
+                predicted_time_s=pred.time_s,
+                predicted_energy_j=pred.energy_j,
+            )
+        )
+    return ValidationCampaign(
+        program=program.name,
+        cluster=cluster.spec.name,
+        records=tuple(records),
+    )

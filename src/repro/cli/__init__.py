@@ -1,0 +1,5 @@
+"""Command-line interface: ``repro <subcommand>`` (see ``repro --help``)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

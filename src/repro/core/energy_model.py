@@ -1,0 +1,64 @@
+"""Energy model (paper §III-D, Eqs. 8-12).
+
+    E = (E_CPU + E_mem + E_net + E_idle) * n                         (8)
+    E_CPU  = (P_core,act·T_CPU + P_core,stall·T_mem) * c             (9)
+    E_mem  = P_mem · T_mem                                          (10)
+    E_net  = P_net · (T_w,net + T_s,net)                            (11)
+    E_idle = P_sys,idle · T                                         (12)
+
+Power parameters come from the *characterized* power table (micro-benchmark
+measurements with wall-meter error), never from the machine's true power
+model — keeping the model honest about the paper's §IV-C power-accuracy
+error source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.time_model import TimeBreakdown
+from repro.machines.power import PowerTable
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Predicted per-run energy components in joules (cluster totals)."""
+
+    cpu_j: float
+    mem_j: float
+    net_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Predicted total energy ``E`` (Eq. 8)."""
+        return self.cpu_j + self.mem_j + self.net_j + self.idle_j
+
+    @property
+    def total_kj(self) -> float:
+        """Total in kJ (the paper's reporting unit)."""
+        return self.total_j / 1e3
+
+
+def predict_energy(
+    power: PowerTable,
+    time: TimeBreakdown,
+    nodes: int,
+    cores: int,
+    frequency_hz: float,
+) -> EnergyBreakdown:
+    """Predict the energy of a run from its time breakdown (Eqs. 8-12)."""
+    p_act = power.active(cores, frequency_hz)
+    p_stall = power.stall(cores, frequency_hz)
+
+    e_cpu = (p_act * time.t_cpu_s + p_stall * time.t_mem_s) * cores
+    e_mem = power.mem_w * time.t_mem_s
+    e_net = power.net_w * time.t_net_s
+    e_idle = power.sys_idle_w * time.total_s
+
+    return EnergyBreakdown(
+        cpu_j=e_cpu * nodes,
+        mem_j=e_mem * nodes,
+        net_j=e_net * nodes,
+        idle_j=e_idle * nodes,
+    )

@@ -1,0 +1,111 @@
+"""`HybridProgramModel` — the user-facing prediction facade (paper Fig. 2).
+
+Bundles the measured :class:`~repro.core.params.ModelInputs` with the
+workload parameters the user knows (input class → iterations and work
+scale) and predicts time, energy and UCR for any configuration.  This is
+the object the Pareto/UCR analyses and all benchmarks operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.energy_model import EnergyBreakdown, predict_energy
+from repro.core.inputs import characterize
+from repro.core.params import ModelInputs
+from repro.core.time_model import TimeBreakdown, predict_time
+from repro.machines.spec import Configuration
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.base import HybridProgram
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One model prediction at a configuration."""
+
+    config: Configuration
+    class_name: str
+    time: TimeBreakdown
+    energy: EnergyBreakdown
+
+    @property
+    def time_s(self) -> float:
+        """Predicted execution time ``T``."""
+        return self.time.total_s
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted total energy ``E``."""
+        return self.energy.total_j
+
+    @property
+    def ucr(self) -> float:
+        """Predicted useful computation ratio (Eq. 13)."""
+        return self.time.ucr
+
+
+@dataclass(frozen=True)
+class HybridProgramModel:
+    """Time-energy model of one program on one cluster.
+
+    Build with :meth:`from_measurements` to run the full characterization
+    campaign, or construct directly from pre-assembled inputs (tests,
+    what-if variants).
+    """
+
+    program: HybridProgram
+    inputs: ModelInputs
+
+    @classmethod
+    def from_measurements(
+        cls,
+        cluster: SimulatedCluster,
+        program: HybridProgram,
+        baseline_class: str | None = None,
+        repetitions: int = 3,
+    ) -> "HybridProgramModel":
+        """Characterize the program on the cluster and build the model."""
+        inputs = characterize(
+            cluster, program, class_name=baseline_class, repetitions=repetitions
+        )
+        return cls(program=program, inputs=inputs)
+
+    def predict(
+        self,
+        config: Configuration,
+        class_name: str | None = None,
+        queueing: str = "bracketed",
+        service_overlap: bool = True,
+    ) -> Prediction:
+        """Predict time and energy at a configuration (Eqs. 1-12).
+
+        ``queueing`` and ``service_overlap`` select time-model variants for
+        ablation studies (see :func:`repro.core.time_model.predict_time`).
+        """
+        cls_name = class_name or self.inputs.baseline_class
+        scale = self.program.scale_factor(cls_name, self.inputs.baseline_class)
+        iterations = self.program.iterations(cls_name)
+        time = predict_time(
+            self.inputs,
+            nodes=config.nodes,
+            cores=config.cores,
+            frequency_hz=config.frequency_hz,
+            scale=scale,
+            iterations=iterations,
+            queueing=queueing,
+            service_overlap=service_overlap,
+        )
+        energy = predict_energy(
+            self.inputs.power,
+            time,
+            nodes=config.nodes,
+            cores=config.cores,
+            frequency_hz=config.frequency_hz,
+        )
+        return Prediction(
+            config=config, class_name=cls_name, time=time, energy=energy
+        )
+
+    def with_inputs(self, inputs: ModelInputs) -> "HybridProgramModel":
+        """A copy with substituted inputs (what-if analysis)."""
+        return replace(self, inputs=inputs)

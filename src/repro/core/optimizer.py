@@ -1,0 +1,61 @@
+"""Deadline / energy-budget configuration queries (paper §I, §V-A).
+
+"These configurations either consume minimum energy for a given execution
+time deadline, or execute in the minimum possible time for a given energy
+budget" — the two primitive queries users of the approach ask, plus a
+knee-point heuristic for users with neither constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configspace import SpaceEvaluation
+from repro.core.model import Prediction
+
+
+def min_energy_within_deadline(
+    evaluation: SpaceEvaluation, deadline_s: float
+) -> Prediction | None:
+    """Minimum-energy configuration meeting the deadline, or ``None``.
+
+    The returned point is Pareto-optimal by construction.
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    times = evaluation.times_s
+    feasible = times <= deadline_s
+    if not feasible.any():
+        return None
+    energies = np.where(feasible, evaluation.energies_j, np.inf)
+    return evaluation.predictions[int(np.argmin(energies))]
+
+
+def min_time_within_budget(
+    evaluation: SpaceEvaluation, budget_j: float
+) -> Prediction | None:
+    """Fastest configuration within the energy budget, or ``None``."""
+    if budget_j <= 0:
+        raise ValueError("energy budget must be positive")
+    energies = evaluation.energies_j
+    feasible = energies <= budget_j
+    if not feasible.any():
+        return None
+    times = np.where(feasible, evaluation.times_s, np.inf)
+    return evaluation.predictions[int(np.argmin(times))]
+
+
+def knee_point(evaluation: SpaceEvaluation) -> Prediction:
+    """Frontier knee: minimum normalized Euclidean distance to the ideal.
+
+    A convenience for users without explicit constraints: normalizes time
+    and energy to [0, 1] over the space and picks the point closest to the
+    (0, 0) ideal.
+    """
+    times = evaluation.times_s
+    energies = evaluation.energies_j
+    t_span = times.max() - times.min() or 1.0
+    e_span = energies.max() - energies.min() or 1.0
+    t_norm = (times - times.min()) / t_span
+    e_norm = (energies - energies.min()) / e_span
+    return evaluation.predictions[int(np.argmin(np.hypot(t_norm, e_norm)))]

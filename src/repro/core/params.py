@@ -1,0 +1,125 @@
+"""Model parameter records (paper Table 1).
+
+Everything the analytical model is allowed to know is collected in
+:class:`ModelInputs`: baseline counter measurements, fitted communication
+characteristics, the characterized network throughput and the characterized
+power table.  The model never touches the simulator's true internals — the
+only channel from testbed to model is measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.machines.power import PowerTable
+from repro.measure.baseline import BaselineSweep
+
+
+@dataclass(frozen=True)
+class BaselineArtefacts:
+    """Workload artefacts at one (c, f) point (paper Table 1, "Baseline
+    Execution" block): ``I_s, w_s, b_s, m_s, U_s``."""
+
+    instructions: float
+    work_cycles: float
+    nonmem_stall_cycles: float
+    mem_stall_cycles: float
+    utilization: float
+
+    @property
+    def useful_cycles(self) -> float:
+        """``w_s + b_s`` (Eq. 3)."""
+        return self.work_cycles + self.nonmem_stall_cycles
+
+
+@dataclass(frozen=True)
+class CommCharacteristics:
+    """Fitted communication signature (paper's η and ν with scaling laws).
+
+    Quantities are per logical process per iteration at the baseline input
+    class, normalized to the reference node count ``n = 2``; predictions at
+    other node counts follow the fitted power laws:
+
+    * ``η(n) = eta_ref * (n/2) ** eta_exponent``
+    * ``volume(n) = volume_ref * (2/n) ** volume_exponent``  (per process)
+    * ``ν(n) = volume(n) / η(n)``
+    """
+
+    eta_ref: float
+    volume_ref: float
+    eta_exponent: float
+    volume_exponent: float
+
+    def eta(self, nodes: int) -> float:
+        """Messages per process per iteration at ``nodes``."""
+        if nodes <= 1:
+            return 0.0
+        return self.eta_ref * (nodes / 2.0) ** self.eta_exponent
+
+    def volume(self, nodes: int) -> float:
+        """Bytes per process per iteration at ``nodes``."""
+        if nodes <= 1:
+            return 0.0
+        return self.volume_ref * (2.0 / nodes) ** self.volume_exponent
+
+    def nu(self, nodes: int) -> float:
+        """Mean message volume ν (bytes) at ``nodes``."""
+        if nodes <= 1:
+            return 0.0
+        return self.volume(nodes) / self.eta(nodes)
+
+
+@dataclass(frozen=True)
+class NetworkCharacteristics:
+    """NetPIPE-derived network inputs: achievable throughput ``B`` and the
+    per-message latency floor."""
+
+    bandwidth_bytes_per_s: float
+    latency_floor_s: float
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Everything the analytical model knows (paper Fig. 2's inputs).
+
+    ``baseline`` holds the single-node counter sweep; ``comm`` the fitted
+    mpiP characteristics; ``network`` the NetPIPE results; ``power`` the
+    characterized (not true) power table; ``baseline_iterations`` is
+    ``S_s``.
+    """
+
+    program: str
+    cluster: str
+    baseline_class: str
+    baseline_iterations: int
+    baseline: Mapping[tuple[int, float], BaselineArtefacts]
+    comm: CommCharacteristics
+    network: NetworkCharacteristics
+    power: PowerTable
+
+    def artefacts(self, cores: int, frequency_hz: float) -> BaselineArtefacts:
+        """Baseline artefacts at the (c, f) point nearest to the request."""
+        key = min(
+            self.baseline,
+            key=lambda k: (abs(k[0] - cores), abs(k[1] - frequency_hz)),
+        )
+        if key[0] != cores:
+            raise KeyError(f"no baseline artefacts for c={cores}")
+        return self.baseline[key]
+
+    @classmethod
+    def baseline_from_sweep(
+        cls, sweep: BaselineSweep
+    ) -> dict[tuple[int, float], BaselineArtefacts]:
+        """Convert a measured sweep into the model's artefact table."""
+        return {
+            key: BaselineArtefacts(
+                instructions=p.instructions,
+                work_cycles=p.work_cycles,
+                nonmem_stall_cycles=p.nonmem_stall_cycles,
+                mem_stall_cycles=p.mem_stall_cycles,
+                utilization=p.utilization,
+            )
+            for key, p in sweep.points.items()
+        }

@@ -1,0 +1,75 @@
+"""Time-energy Pareto frontier extraction (paper §V-A).
+
+A configuration is Pareto-optimal if no other configuration is both faster
+and uses no more energy (equivalently: it consumes the minimum energy among
+all configurations meeting some execution-time deadline).  The set of such
+points over all deadlines is the time-energy Pareto frontier of Figs. 8-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configspace import SpaceEvaluation
+from repro.core.model import Prediction
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier member."""
+
+    prediction: Prediction
+
+    @property
+    def time_s(self) -> float:
+        """Predicted execution time."""
+        return self.prediction.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted energy."""
+        return self.prediction.energy_j
+
+    @property
+    def ucr(self) -> float:
+        """Predicted UCR at this frontier point."""
+        return self.prediction.ucr
+
+    @property
+    def label(self) -> str:
+        """Paper-style (n,c,f) label."""
+        return self.prediction.config.label()
+
+
+def pareto_mask(times: np.ndarray, energies: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated (min-time, min-energy) points.
+
+    O(m log m): sort by time then keep points whose energy strictly
+    improves the running minimum.  Ties in time keep only the lowest
+    energy; exact duplicates keep the first occurrence.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    energies = np.asarray(energies, dtype=np.float64)
+    if times.shape != energies.shape or times.ndim != 1:
+        raise ValueError("times and energies must be equal-length 1-D arrays")
+    order = np.lexsort((energies, times))
+    mask = np.zeros(times.shape, dtype=bool)
+    best_energy = np.inf
+    for idx in order:
+        if energies[idx] < best_energy:
+            mask[idx] = True
+            best_energy = energies[idx]
+    return mask
+
+
+def pareto_frontier(evaluation: SpaceEvaluation) -> list[ParetoPoint]:
+    """Extract the frontier from a space evaluation, sorted by time."""
+    mask = pareto_mask(evaluation.times_s, evaluation.energies_j)
+    points = [
+        ParetoPoint(prediction=p)
+        for p, keep in zip(evaluation.predictions, mask)
+        if keep
+    ]
+    return sorted(points, key=lambda pt: pt.time_s)

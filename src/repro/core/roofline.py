@@ -1,0 +1,158 @@
+"""Roofline bounds: the first-principles counterpart to the model.
+
+The paper's related work (§II-A) contrasts its measurement-driven model
+with roofline-style first-principles approaches (Williams et al., Choi et
+al.'s energy roofline).  This module provides that complementary view on
+the same machine descriptions:
+
+* the **time roofline** — attainable instruction throughput at a node as
+  ``min(compute peak, AI * memory bandwidth)`` over arithmetic intensity
+  ``AI`` (abstract instructions per DRAM byte);
+* the **energy roofline** — minimum energy per instruction as the larger
+  of the compute and memory energy costs at a given AI;
+* **workload placement** — where each program sits relative to the
+  machine's balance point, and how close a measured/predicted execution
+  comes to its bound.
+
+Bounds use only machine specs (no baseline runs), so comparing them with
+model predictions quantifies how much of the machine the contention and
+overhead terms give away — an ablation bench does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.spec import ClusterSpec
+from repro.workloads.base import HybridProgram
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Per-node roofline at one (c, f) operating point.
+
+    ``compute_peak`` is abstract instructions/second; ``memory_bandwidth``
+    is DRAM bytes/second; ``balance_ai`` the arithmetic intensity where the
+    two roofs meet.
+    """
+
+    cores: int
+    frequency_hz: float
+    compute_peak: float
+    memory_bandwidth: float
+
+    @property
+    def balance_ai(self) -> float:
+        """The ridge point: AI where memory and compute roofs intersect."""
+        return self.compute_peak / self.memory_bandwidth
+
+    def attainable(self, ai: float | np.ndarray) -> float | np.ndarray:
+        """Attainable abstract-instruction throughput at intensity ``ai``."""
+        return np.minimum(self.compute_peak, np.asarray(ai) * self.memory_bandwidth)
+
+    def bound(self, ai: float) -> str:
+        """Which roof binds at intensity ``ai``."""
+        return "memory" if ai < self.balance_ai else "compute"
+
+
+def node_roofline(cluster: ClusterSpec, cores: int, frequency_hz: float) -> Roofline:
+    """Build the per-node roofline from the machine spec alone."""
+    core = cluster.node.core
+    if cores < 1 or cores > cluster.node.max_cores:
+        raise ValueError(f"cores must be in 1..{cluster.node.max_cores}")
+    # peak abstract instruction rate: each core retires 1/base_cpi native
+    # instructions per cycle, and native = abstract * instruction_scale
+    per_core = frequency_hz / (core.base_cpi * core.instruction_scale)
+    return Roofline(
+        cores=cores,
+        frequency_hz=frequency_hz,
+        compute_peak=per_core * cores,
+        memory_bandwidth=cluster.node.memory.bandwidth_bytes_per_s,
+    )
+
+
+@dataclass(frozen=True)
+class EnergyRoofline:
+    """Per-node energy-per-instruction floor at one (c, f) point.
+
+    ``compute_j_per_instr`` is active-core energy per abstract instruction
+    at peak throughput; ``memory_j_per_byte`` the DRAM energy per byte at
+    full bandwidth.  The energy floor at intensity ``AI`` is
+    ``compute_j_per_instr + memory_j_per_byte / AI`` plus the unavoidable
+    idle-power tax at the *time* roofline.
+    """
+
+    roofline: Roofline
+    compute_j_per_instr: float
+    memory_j_per_byte: float
+    idle_power_w: float
+
+    def floor_j_per_instr(self, ai: float) -> float:
+        """Minimum achievable energy per abstract instruction at ``ai``."""
+        dynamic = self.compute_j_per_instr + self.memory_j_per_byte / ai
+        idle_tax = self.idle_power_w / float(self.roofline.attainable(ai))
+        return dynamic + idle_tax
+
+
+def node_energy_roofline(
+    cluster: ClusterSpec, cores: int, frequency_hz: float
+) -> EnergyRoofline:
+    """Build the energy roofline (Choi et al.-style) from the spec."""
+    roof = node_roofline(cluster, cores, frequency_hz)
+    power = cluster.node.power
+    compute_w = cores * power.core_active_w(frequency_hz) + power.uncore_w(cores)
+    return EnergyRoofline(
+        roofline=roof,
+        compute_j_per_instr=compute_w / roof.compute_peak,
+        memory_j_per_byte=power.mem_active_w / roof.memory_bandwidth,
+        idle_power_w=power.sys_idle_w,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadPlacement:
+    """A program's position against a machine's roofline."""
+
+    program: str
+    ai: float
+    bound: str
+    attainable_instr_per_s: float
+    min_time_s: float
+    min_energy_j: float
+
+
+def place_workload(
+    cluster: ClusterSpec,
+    program: HybridProgram,
+    class_name: str | None = None,
+    cores: int | None = None,
+    frequency_hz: float | None = None,
+) -> WorkloadPlacement:
+    """Place a program on a node's roofline.
+
+    The AI uses the machine-amplified DRAM traffic (a small cache makes
+    the same program more memory-bound), and the time/energy minima are
+    single-node bounds a perfect execution could not beat.
+    """
+    cls = class_name or program.reference_class
+    c = cores if cores is not None else cluster.node.max_cores
+    f = frequency_hz if frequency_hz is not None else cluster.node.core.fmax
+
+    amplification = cluster.node.memory.miss_amplification(program.working_set(cls))
+    instructions = program.instructions(cls) * program.iterations(cls)
+    dram = program.dram_bytes(cls) * amplification * program.iterations(cls)
+    ai = instructions / dram
+
+    roof = node_roofline(cluster, c, f)
+    eroof = node_energy_roofline(cluster, c, f)
+    rate = float(roof.attainable(ai))
+    return WorkloadPlacement(
+        program=program.name,
+        ai=ai,
+        bound=roof.bound(ai),
+        attainable_instr_per_s=rate,
+        min_time_s=instructions / rate,
+        min_energy_j=eroof.floor_j_per_instr(ai) * instructions,
+    )

@@ -1,0 +1,163 @@
+"""Scalability analysis on top of the model (Amdahl-family diagnostics).
+
+The paper's related work leans on the Amdahl-law lineage (Hill & Marty,
+Woo & Lee's energy extension); this module derives those classic
+diagnostics from model predictions so users can read a program's scaling
+behaviour the way the 1988-2008 literature taught:
+
+* **strong scaling** — speedup/efficiency vs node count at fixed input;
+* **weak scaling** — time vs node count with the input grown
+  proportionally (Gustafson's regime), synthesizing scaled input classes;
+* **Amdahl fit** — the apparent serial fraction that best explains the
+  strong-scaling curve;
+* **Karp-Flatt metric** — the experimentally determined serial fraction
+  per point; a *rising* Karp-Flatt curve diagnoses overhead growth
+  (communication/contention) rather than a fixed serial bottleneck, which
+  is precisely the regime the paper's queueing terms model.
+
+Energy-wise the same sweep exposes Woo-Lee behaviour: energy per unit
+work vs parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import HybridProgramModel
+from repro.machines.spec import Configuration
+from repro.workloads.base import InputClass
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling sweep."""
+
+    nodes: int
+    time_s: float
+    energy_j: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling(
+    model: HybridProgramModel,
+    node_counts: Sequence[int],
+    cores: int,
+    frequency_hz: float,
+    class_name: str | None = None,
+) -> list[ScalingPoint]:
+    """Fixed-size speedup sweep over node counts (baseline: fewest nodes)."""
+    counts = sorted(set(int(n) for n in node_counts))
+    if not counts:
+        raise ValueError("need at least one node count")
+    preds = [
+        model.predict(Configuration(n, cores, frequency_hz), class_name)
+        for n in counts
+    ]
+    t_base = preds[0].time_s * counts[0]  # normalize to 1-node-equivalent
+    return [
+        ScalingPoint(
+            nodes=n,
+            time_s=p.time_s,
+            energy_j=p.energy_j,
+            speedup=t_base / p.time_s,
+            efficiency=t_base / (p.time_s * n),
+        )
+        for n, p in zip(counts, preds)
+    ]
+
+
+def weak_scaling(
+    model: HybridProgramModel,
+    node_counts: Sequence[int],
+    cores: int,
+    frequency_hz: float,
+    base_class: str | None = None,
+) -> list[ScalingPoint]:
+    """Gustafson sweep: the input grows proportionally with the node count.
+
+    Synthesizes input classes ``size_factor(n) = size_factor(base) * n``;
+    perfect weak scaling keeps time flat, so ``efficiency`` here is
+    ``T(smallest) / T(n)``.
+    """
+    counts = sorted(set(int(n) for n in node_counts))
+    if not counts:
+        raise ValueError("need at least one node count")
+    cls = base_class or model.program.reference_class
+    base = model.program.input_class(cls)
+
+    points = []
+    t_first = None
+    for n in counts:
+        scaled_name = f"__weak_{n}"
+        scaled = InputClass(
+            name=scaled_name,
+            iterations=base.iterations,
+            size_factor=base.size_factor * n,
+        )
+        grown = replace(
+            model, program=model.program.with_classes(**{scaled_name: scaled})
+        )
+        pred = grown.predict(Configuration(n, cores, frequency_hz), scaled_name)
+        if t_first is None:
+            t_first = pred.time_s
+        points.append(
+            ScalingPoint(
+                nodes=n,
+                time_s=pred.time_s,
+                energy_j=pred.energy_j,
+                speedup=n * t_first / pred.time_s,
+                efficiency=t_first / pred.time_s,
+            )
+        )
+    return points
+
+
+def fit_amdahl(points: Sequence[ScalingPoint]) -> float:
+    """Least-squares serial fraction explaining a strong-scaling curve.
+
+    Fits ``1/speedup = s + (1 - s)/n`` over the sweep; returns ``s``
+    clipped into [0, 1].
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two scaling points")
+    n = np.array([p.nodes for p in points], dtype=np.float64)
+    inv_speedup = 1.0 / np.array([p.speedup for p in points])
+    # 1/S = s*(1 - 1/n) + 1/n  ->  regress (1/S - 1/n) on (1 - 1/n)
+    x = 1.0 - 1.0 / n
+    y = inv_speedup - 1.0 / n
+    mask = x > 0
+    if not mask.any():
+        return 0.0
+    s = float(np.sum(x[mask] * y[mask]) / np.sum(x[mask] * x[mask]))
+    return float(np.clip(s, 0.0, 1.0))
+
+
+def karp_flatt(points: Sequence[ScalingPoint]) -> list[float]:
+    """Per-point experimentally determined serial fraction.
+
+    ``e(n) = (1/S - 1/n) / (1 - 1/n)`` for n > 1.  A flat curve means a
+    genuine serial bottleneck; a rising curve means growing parallel
+    overhead (contention, communication).
+    """
+    values = []
+    for p in points:
+        if p.nodes <= 1:
+            continue
+        values.append(
+            float(
+                (1.0 / p.speedup - 1.0 / p.nodes) / (1.0 - 1.0 / p.nodes)
+            )
+        )
+    return values
+
+
+def energy_optimal_parallelism(points: Sequence[ScalingPoint]) -> ScalingPoint:
+    """The sweep point with minimum energy (the Woo-Lee question: how much
+    parallelism minimizes joules, not seconds)."""
+    if not points:
+        raise ValueError("empty sweep")
+    return min(points, key=lambda p: p.energy_j)

@@ -1,0 +1,197 @@
+"""Execution-time model (paper §III-C, Eqs. 1-7).
+
+    T = T_CPU + T_w,net + T_s,net + T_w,mem + T_s,mem                (1)
+
+All cycle quantities are per-core averages from the baseline sweep at the
+*same* (c, f) point, scaled by the total-work ratio (the paper's ``S/S_s``)
+and divided across ``n`` nodes:
+
+* ``T_CPU = (w_s + b_s) * scale / (n * f)``                      (Eqs. 2-4)
+* ``T_w,mem + T_s,mem = m_s * scale / (n * f)``                     (Eq. 7)
+
+Network terms (for ``n > 1``):
+
+* ``T_s,net = max((1-U) * T_CPU, η·ν / B)``                         (Eq. 6)
+  — the wire time of the process's total communication, unless it is
+  already covered by CPU idle gaps (overlap);
+* ``T_w,net`` from the M/G/1 switch queue (Eq. 5): the paper's
+  ``λ·ŷ²/(1-ρ)`` is exactly Pollaczek-Khinchine under exponentially
+  distributed service, applied per message and accumulated over the
+  process's messages.  Since the arrival rate λ depends on the execution
+  time being predicted, the model solves a damped fixed point T → λ → T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import ModelInputs
+
+#: Fixed-point iteration controls.
+_MAX_FIXPOINT_ITER = 200
+_FIXPOINT_TOL = 1e-9
+_DAMPING = 0.5
+#: Utilization clamp: an offered load above this stretches T through the
+#: fixed point rather than producing a negative waiting time.
+_RHO_MAX = 0.985
+#: Bulk-synchronous burst floor: fraction of the inbound-burst drain time a
+#: barrier-synchronized iteration pays even when the run-average port
+#: utilization looks low (messages collide at the receiving port because
+#: they are released together, not spread Poisson-fashion).
+_BURST_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Predicted execution-time components (the Eq. 1 terms, seconds)."""
+
+    t_cpu_s: float
+    t_mem_s: float
+    t_net_service_s: float
+    t_net_wait_s: float
+    utilization_baseline: float
+    rho_network: float
+
+    @property
+    def t_net_s(self) -> float:
+        """Total network time ``T_w,net + T_s,net``."""
+        return self.t_net_service_s + self.t_net_wait_s
+
+    @property
+    def total_s(self) -> float:
+        """Predicted execution time ``T`` (Eq. 1)."""
+        return self.t_cpu_s + self.t_mem_s + self.t_net_s
+
+    @property
+    def ucr(self) -> float:
+        """Predicted useful computation ratio (Eq. 13)."""
+        return self.t_cpu_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def predict_time(
+    inputs: ModelInputs,
+    nodes: int,
+    cores: int,
+    frequency_hz: float,
+    scale: float,
+    iterations: int,
+    queueing: str = "bracketed",
+    service_overlap: bool = True,
+) -> TimeBreakdown:
+    """Predict the execution time of the program at ``(n, c, f)``.
+
+    Parameters
+    ----------
+    scale:
+        Total-work ratio of the target input over the baseline input
+        (the paper's ``S/S_s`` generalized to total work).
+    iterations:
+        ``S`` — iteration count of the target input (drives message counts,
+        whose per-iteration rate was profiled at the baseline class).
+    queueing:
+        Network-waiting variant, for ablation studies:
+        ``"bracketed"`` (default) — Eq. 5's M/G/1 estimate clamped between
+        the bulk-synchronous burst floor and the drain bound;
+        ``"mg1"`` — the raw Eq. 5 estimate (Poisson-arrival assumption);
+        ``"none"`` — drop T_w,net entirely.
+    service_overlap:
+        Eq. 6 variant: ``True`` (default) applies the paper's
+        ``max((1-U)·T_CPU, wire)`` overlap; ``False`` charges the full wire
+        time on top of computation (no overlap modeling).
+    """
+    if nodes < 1 or cores < 1:
+        raise ValueError("need nodes >= 1 and cores >= 1")
+    if scale <= 0 or iterations < 1:
+        raise ValueError("scale must be positive and iterations >= 1")
+    if queueing not in ("bracketed", "mg1", "none"):
+        raise ValueError(f"unknown queueing variant {queueing!r}")
+
+    art = inputs.artefacts(cores, frequency_hz)
+    f = frequency_hz
+
+    # Eqs. 2-4: useful cycles, split across n nodes
+    t_cpu = art.useful_cycles * scale / (nodes * f)
+    # Eq. 7: memory stalls scale identically (contention level is set by c,
+    # which the baseline point shares)
+    t_mem = art.mem_stall_cycles * scale / (nodes * f)
+
+    if nodes == 1:
+        return TimeBreakdown(
+            t_cpu_s=t_cpu,
+            t_mem_s=t_mem,
+            t_net_service_s=0.0,
+            t_net_wait_s=0.0,
+            utilization_baseline=art.utilization,
+            rho_network=0.0,
+        )
+
+    # --- communication characteristics at this node count ---------------
+    comm = inputs.comm
+    size_ratio = scale * inputs.baseline_iterations / iterations
+    eta_total = comm.eta(nodes) * iterations  # messages per process
+    volume_total = comm.volume(nodes) * size_ratio * iterations  # bytes/process
+    nu = volume_total / eta_total if eta_total else 0.0
+
+    bandwidth = inputs.network.bandwidth_bytes_per_s
+    overhead = inputs.network.latency_floor_s
+
+    # Eq. 6: non-overlapped network service time
+    wire_time = eta_total * overhead + volume_total / bandwidth
+    if service_overlap:
+        t_net_service = max((1.0 - art.utilization) * t_cpu, wire_time)
+    else:
+        t_net_service = (1.0 - art.utilization) * t_cpu + wire_time
+
+    # Eq. 5: switch waiting time via damped fixed point on T.  The switch
+    # is a non-blocking fabric, so the M/G/1 server of Eq. 5 is the
+    # *receiving port*: messages from multiple senders converge on one
+    # node's link and wait behind each other.  Per-message service there is
+    # the transfer time ν/B (the per-message protocol overhead is paid in
+    # parallel at each sender's NIC and already counted in T_s,net), and
+    # the arrival rate seen by one port is the process's own inbound rate
+    # η/T (traffic is spread evenly over ports by halo symmetry).
+    #
+    # The M/G/1 mean wait assumes Poisson arrivals; a bulk-synchronous
+    # program instead releases its messages in iteration bursts, so the
+    # realized wait is bracketed between a burst floor (concurrent senders
+    # interleaving into the port) and the drain bound (the port fully
+    # serializing the iteration's inbound burst).  The model takes the
+    # M/G/1 estimate clamped into that bracket.
+    y_mean = nu / bandwidth  # per-message service at the receiving port
+    drain_bound = eta_total * y_mean
+    burst_floor = _BURST_FLOOR * drain_bound if nodes > 2 else 0.0
+    if queueing == "none":
+        return TimeBreakdown(
+            t_cpu_s=t_cpu,
+            t_mem_s=t_mem,
+            t_net_service_s=t_net_service,
+            t_net_wait_s=0.0,
+            utilization_baseline=art.utilization,
+            rho_network=0.0,
+        )
+    t_total = t_cpu + t_mem + t_net_service
+    t_net_wait = 0.0
+    rho = 0.0
+    for _ in range(_MAX_FIXPOINT_ITER):
+        lam = eta_total / t_total  # per-port inbound message rate
+        rho = min(lam * y_mean, _RHO_MAX)
+        mean_wait = lam * y_mean**2 / (1.0 - rho)
+        new_wait = eta_total * mean_wait
+        if queueing == "bracketed":
+            new_wait = min(max(new_wait, burst_floor), drain_bound)
+        new_total = t_cpu + t_mem + t_net_service + new_wait
+        if abs(new_total - t_total) <= _FIXPOINT_TOL * t_total:
+            t_net_wait = new_wait
+            t_total = new_total
+            break
+        t_net_wait = _DAMPING * new_wait + (1.0 - _DAMPING) * t_net_wait
+        t_total = t_cpu + t_mem + t_net_service + t_net_wait
+
+    return TimeBreakdown(
+        t_cpu_s=t_cpu,
+        t_mem_s=t_mem,
+        t_net_service_s=t_net_service,
+        t_net_wait_s=t_net_wait,
+        utilization_baseline=art.utilization,
+        rho_network=rho,
+    )

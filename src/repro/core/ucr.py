@@ -1,0 +1,92 @@
+"""Useful Computation Ratio (paper §V-B, Eqs. 13-14).
+
+    UCR = T_useful / T = T_CPU / T                                  (13)
+    T   = T_CPU + T_data_dep + T_mem_contention + T_net_contention  (14)
+
+UCR is normalized to [0, 1] (unlike the classic computation-to-
+communication ratio), so it is comparable across configurations; its upper
+bound for a program is attained at (1, 1, f_min) where contention and
+communication vanish.  The decomposition separates:
+
+* ``T_data_dep``       — memory service time that exists even without any
+  contention (a program characteristic: the single-thread non-overlapped
+  memory time);
+* ``T_mem_contention`` — additional memory time caused by the c threads
+  sharing the controller (the Eq. 14 intra-node communication cost);
+* ``T_net_contention`` — all inter-node communication time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import HybridProgramModel, Prediction
+from repro.machines.spec import Configuration
+
+
+@dataclass(frozen=True)
+class UCRDecomposition:
+    """The Eq. 14 terms for one configuration (seconds)."""
+
+    t_cpu_s: float
+    t_data_dep_s: float
+    t_mem_contention_s: float
+    t_net_contention_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Execution time ``T`` reassembled from the terms."""
+        return (
+            self.t_cpu_s
+            + self.t_data_dep_s
+            + self.t_mem_contention_s
+            + self.t_net_contention_s
+        )
+
+    @property
+    def ucr(self) -> float:
+        """UCR (Eq. 13)."""
+        return self.t_cpu_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def ucr_decomposition(
+    model: HybridProgramModel,
+    prediction: Prediction,
+) -> UCRDecomposition:
+    """Decompose a prediction's time into the Eq. 14 terms.
+
+    The data-dependency term is estimated from the single-thread baseline
+    at the same frequency (no shared-memory contention with c = 1); memory
+    time beyond that proportion is attributed to intra-node contention.
+    """
+    cfg = prediction.config
+    single = model.inputs.artefacts(1, cfg.frequency_hz)
+    scale = model.program.scale_factor(
+        prediction.class_name, model.inputs.baseline_class
+    )
+    # The single-thread baseline's memory stalls are contention-free: its
+    # per-core stall cycles cover the whole problem's traffic.  Divided
+    # across n*c cores, they give the per-core memory time a contention-free
+    # execution would show — anything the prediction's memory term carries
+    # beyond that is intra-node contention.
+    t_data_dep = single.mem_stall_cycles * scale / (
+        cfg.nodes * cfg.cores * cfg.frequency_hz
+    )
+    t_data_dep = min(t_data_dep, prediction.time.t_mem_s)
+    t_mem_contention = prediction.time.t_mem_s - t_data_dep
+    return UCRDecomposition(
+        t_cpu_s=prediction.time.t_cpu_s,
+        t_data_dep_s=t_data_dep,
+        t_mem_contention_s=t_mem_contention,
+        t_net_contention_s=prediction.time.t_net_s,
+    )
+
+
+def ucr_upper_bound(
+    model: HybridProgramModel, class_name: str | None = None
+) -> Prediction:
+    """The program's UCR upper bound: the (1, 1, f_min) prediction."""
+    fmin = min(k[1] for k in model.inputs.baseline.keys())
+    return model.predict(
+        Configuration(nodes=1, cores=1, frequency_hz=fmin), class_name
+    )

@@ -1,0 +1,76 @@
+"""What-if analysis: resource scaling on the model inputs (paper §V-B).
+
+The paper's closing example: "doubling the memory bandwidth reduces the
+number of stall cycles due to shared-memory contention by two times, and
+thus improves the UCR of SP program executed on Xeon configuration
+(1,8,1.8) from 0.67 to 0.81", also cutting 7 s and 590 J — the system-
+designer workflow of optimizing the Pareto frontier by rebalancing
+resources.  Because the model is white-box, such studies are direct input
+transformations, no re-measurement needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.model import HybridProgramModel
+from repro.core.params import BaselineArtefacts, NetworkCharacteristics
+
+
+@dataclass(frozen=True)
+class WhatIf:
+    """Fluent what-if transformations over a model."""
+
+    model: HybridProgramModel
+
+    def memory_bandwidth(self, factor: float) -> HybridProgramModel:
+        """Scale memory bandwidth: memory stall cycles scale by 1/factor.
+
+        This is the paper's own approximation — contention and service both
+        shrink proportionally with controller bandwidth.
+        """
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        new_baseline = {
+            key: replace(art, mem_stall_cycles=art.mem_stall_cycles / factor)
+            for key, art in self.model.inputs.baseline.items()
+        }
+        return self.model.with_inputs(
+            replace(self.model.inputs, baseline=new_baseline)
+        )
+
+    def network_bandwidth(self, factor: float) -> HybridProgramModel:
+        """Scale achievable network throughput ``B``."""
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        net = self.model.inputs.network
+        new_net = NetworkCharacteristics(
+            bandwidth_bytes_per_s=net.bandwidth_bytes_per_s * factor,
+            latency_floor_s=net.latency_floor_s,
+        )
+        return self.model.with_inputs(
+            replace(self.model.inputs, network=new_net)
+        )
+
+    def network_latency(self, factor: float) -> HybridProgramModel:
+        """Scale the per-message latency floor (e.g. kernel-bypass NICs)."""
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        net = self.model.inputs.network
+        new_net = NetworkCharacteristics(
+            bandwidth_bytes_per_s=net.bandwidth_bytes_per_s,
+            latency_floor_s=net.latency_floor_s * factor,
+        )
+        return self.model.with_inputs(
+            replace(self.model.inputs, network=new_net)
+        )
+
+    def idle_power(self, factor: float) -> HybridProgramModel:
+        """Scale the platform idle floor (energy-proportionality studies)."""
+        if factor < 0:
+            raise ValueError("idle power factor must be non-negative")
+        power = replace(
+            self.model.inputs.power,
+            sys_idle_w=self.model.inputs.power.sys_idle_w * factor,
+        )
+        return self.model.with_inputs(replace(self.model.inputs, power=power))

@@ -1,0 +1,190 @@
+"""Persistence: save/load model inputs and validation results as JSON.
+
+Characterization is the expensive step on a real testbed (hours of
+baseline runs); a production workflow characterizes once and reuses the
+inputs.  This module round-trips :class:`~repro.core.params.ModelInputs`
+and validation campaigns through plain JSON — no pickle, so files are
+portable, diffable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.validation import ValidationCampaign, ValidationRecord
+from repro.core.params import (
+    BaselineArtefacts,
+    CommCharacteristics,
+    ModelInputs,
+    NetworkCharacteristics,
+)
+from repro.machines.power import PowerTable
+from repro.machines.spec import Configuration
+
+#: Format version written into every file; bump on schema changes.
+FORMAT_VERSION = 1
+
+
+def _key_to_str(key: tuple[int, float]) -> str:
+    return f"{key[0]}@{key[1]:.0f}"
+
+
+def _str_to_key(text: str) -> tuple[int, float]:
+    cores, f = text.split("@")
+    return int(cores), float(f)
+
+
+def model_inputs_to_dict(inputs: ModelInputs) -> dict[str, Any]:
+    """Convert model inputs to a JSON-serializable dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "model_inputs",
+        "program": inputs.program,
+        "cluster": inputs.cluster,
+        "baseline_class": inputs.baseline_class,
+        "baseline_iterations": inputs.baseline_iterations,
+        "baseline": {
+            _key_to_str(key): {
+                "instructions": art.instructions,
+                "work_cycles": art.work_cycles,
+                "nonmem_stall_cycles": art.nonmem_stall_cycles,
+                "mem_stall_cycles": art.mem_stall_cycles,
+                "utilization": art.utilization,
+            }
+            for key, art in inputs.baseline.items()
+        },
+        "comm": {
+            "eta_ref": inputs.comm.eta_ref,
+            "volume_ref": inputs.comm.volume_ref,
+            "eta_exponent": inputs.comm.eta_exponent,
+            "volume_exponent": inputs.comm.volume_exponent,
+        },
+        "network": {
+            "bandwidth_bytes_per_s": inputs.network.bandwidth_bytes_per_s,
+            "latency_floor_s": inputs.network.latency_floor_s,
+        },
+        "power": {
+            "core_active_w": {
+                _key_to_str(k): v for k, v in inputs.power.core_active_w.items()
+            },
+            "core_stall_w": {
+                _key_to_str(k): v for k, v in inputs.power.core_stall_w.items()
+            },
+            "mem_w": inputs.power.mem_w,
+            "net_w": inputs.power.net_w,
+            "sys_idle_w": inputs.power.sys_idle_w,
+        },
+    }
+
+
+def model_inputs_from_dict(data: dict[str, Any]) -> ModelInputs:
+    """Rebuild model inputs from a dict produced by
+    :func:`model_inputs_to_dict`."""
+    if data.get("kind") != "model_inputs":
+        raise ValueError("not a model-inputs document")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    return ModelInputs(
+        program=data["program"],
+        cluster=data["cluster"],
+        baseline_class=data["baseline_class"],
+        baseline_iterations=int(data["baseline_iterations"]),
+        baseline={
+            _str_to_key(key): BaselineArtefacts(**art)
+            for key, art in data["baseline"].items()
+        },
+        comm=CommCharacteristics(**data["comm"]),
+        network=NetworkCharacteristics(**data["network"]),
+        power=PowerTable(
+            core_active_w={
+                _str_to_key(k): v for k, v in data["power"]["core_active_w"].items()
+            },
+            core_stall_w={
+                _str_to_key(k): v for k, v in data["power"]["core_stall_w"].items()
+            },
+            mem_w=data["power"]["mem_w"],
+            net_w=data["power"]["net_w"],
+            sys_idle_w=data["power"]["sys_idle_w"],
+        ),
+    )
+
+
+def save_model_inputs(inputs: ModelInputs, path: str | pathlib.Path) -> None:
+    """Write model inputs to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(model_inputs_to_dict(inputs), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_model_inputs(path: str | pathlib.Path) -> ModelInputs:
+    """Read model inputs from a JSON file."""
+    return model_inputs_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def campaign_to_dict(campaign: ValidationCampaign) -> dict[str, Any]:
+    """Convert a validation campaign to a JSON-serializable dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "validation_campaign",
+        "program": campaign.program,
+        "cluster": campaign.cluster,
+        "records": [
+            {
+                "class_name": r.class_name,
+                "nodes": r.config.nodes,
+                "cores": r.config.cores,
+                "frequency_hz": r.config.frequency_hz,
+                "measured_time_s": r.measured_time_s,
+                "measured_energy_j": r.measured_energy_j,
+                "predicted_time_s": r.predicted_time_s,
+                "predicted_energy_j": r.predicted_energy_j,
+            }
+            for r in campaign.records
+        ],
+    }
+
+
+def campaign_from_dict(data: dict[str, Any]) -> ValidationCampaign:
+    """Rebuild a validation campaign from its dict form."""
+    if data.get("kind") != "validation_campaign":
+        raise ValueError("not a validation-campaign document")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    records = tuple(
+        ValidationRecord(
+            program=data["program"],
+            cluster=data["cluster"],
+            class_name=rec["class_name"],
+            config=Configuration(
+                nodes=rec["nodes"],
+                cores=rec["cores"],
+                frequency_hz=rec["frequency_hz"],
+            ),
+            measured_time_s=rec["measured_time_s"],
+            measured_energy_j=rec["measured_energy_j"],
+            predicted_time_s=rec["predicted_time_s"],
+            predicted_energy_j=rec["predicted_energy_j"],
+        )
+        for rec in data["records"]
+    )
+    return ValidationCampaign(
+        program=data["program"], cluster=data["cluster"], records=records
+    )
+
+
+def save_campaign(campaign: ValidationCampaign, path: str | pathlib.Path) -> None:
+    """Write a validation campaign to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(campaign_to_dict(campaign), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_campaign(path: str | pathlib.Path) -> ValidationCampaign:
+    """Read a validation campaign from a JSON file."""
+    return campaign_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,41 @@
+"""Machine descriptions: cluster, node, core, memory, network and power specs.
+
+This package encodes Table 3 of the paper (the two validation clusters) as
+data, plus the "true" power behaviour of each machine that the simulator
+integrates to produce measured energy.  The analytical model never reads the
+true power tables directly — it uses *characterized* tables produced by
+:mod:`repro.measure.microbench`, which carry the bounded characterization
+error the paper discusses in Section IV-C.
+"""
+
+from repro.machines.spec import (
+    ClusterSpec,
+    Configuration,
+    CoreSpec,
+    InstructionMix,
+    MemorySpec,
+    NetworkSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+from repro.machines.power import NodePowerModel, PowerTable
+from repro.machines.xeon import xeon_cluster
+from repro.machines.arm import arm_cluster
+from repro.machines.registry import get_cluster, list_clusters
+
+__all__ = [
+    "ClusterSpec",
+    "Configuration",
+    "CoreSpec",
+    "InstructionMix",
+    "MemorySpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "SwitchSpec",
+    "NodePowerModel",
+    "PowerTable",
+    "xeon_cluster",
+    "arm_cluster",
+    "get_cluster",
+    "list_clusters",
+]

@@ -1,0 +1,93 @@
+"""A modern reference cluster: 16-core EPYC-class nodes with 10 GbE.
+
+Not one of the paper's testbeds (Table 3 has only the Xeon E5-2603 and
+Cortex-A9 clusters) and therefore *not registered by default* — the
+validation campaigns and Table/Figure benches never touch it.  It exists
+so users can explore how the 2015 methodology transfers to a current
+machine: deeper cache hierarchy, an order of magnitude more memory
+bandwidth, wide DVFS range, and much better energy proportionality.
+
+Register it explicitly when wanted::
+
+    from repro.machines.registry import register_cluster
+    from repro.machines.epyc import epyc_cluster
+    register_cluster("epyc", epyc_cluster)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machines.power import NodePowerModel
+from repro.machines.spec import (
+    ClusterSpec,
+    CoreSpec,
+    MemorySpec,
+    NetworkSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+from repro.units import GIB, gbps, ghz
+
+#: DVFS operating points (P-states, coarse).
+EPYC_FREQUENCIES_GHZ = (1.5, 2.0, 2.5, 3.0, 3.5)
+
+
+@lru_cache(maxsize=None)
+def epyc_cluster(max_nodes: int = 16) -> ClusterSpec:
+    """Build the EPYC-class reference cluster spec."""
+    core = CoreSpec(
+        name="EPYC-class x86",
+        isa="x86_64",
+        frequencies_hz=tuple(ghz(f) for f in EPYC_FREQUENCIES_GHZ),
+        instruction_scale=1.0,
+        # very wide core: ~2.5 sustained IPC on HPC kernels
+        base_cpi=0.40,
+        hazard_cpi_flops=0.15,
+        hazard_cpi_branch=0.35,
+        hazard_cpi_other=0.10,
+        l1_kb=32,
+        line_bytes=64,
+        memory_overlap=0.70,
+        mlp=10.0,
+        cache_stall_cpi=0.05,
+    )
+    memory = MemorySpec(
+        capacity_bytes=128 * GIB,
+        bandwidth_bytes_per_s=80.0e9,
+        latency_s=85e-9,
+        l2_kb=8 * 1024,
+        l3_kb=64 * 1024,
+        channels=8,
+    )
+    nic = NetworkSpec(
+        link_bytes_per_s=gbps(10),
+        per_message_overhead_s=12e-6,
+        protocol_efficiency=0.95,
+        cpu_cost_per_message_s=2e-6,
+        cpu_cost_per_byte_s=3e-11,
+        mtu_bytes=9000,
+    )
+    power = NodePowerModel(
+        fmax_hz=ghz(3.5),
+        core_leakage_w=0.8,
+        core_dynamic_w=7.0,
+        dvfs_alpha=2.4,
+        stall_fraction=0.35,
+        uncore_active_w=18.0,
+        uncore_per_core_w=0.6,
+        mem_active_w=20.0,
+        net_active_w=8.0,
+        # far better energy proportionality than the 2012-era Xeon node
+        sys_idle_w=55.0,
+    )
+    node = NodeSpec(core=core, max_cores=16, memory=memory, nic=nic, power=power)
+    switch = SwitchSpec(port_bytes_per_s=gbps(10), forwarding_latency_s=1e-6)
+    return ClusterSpec(
+        name="epyc",
+        node=node,
+        max_nodes=max_nodes,
+        switch=switch,
+        description="16-node EPYC-class reference cluster, 10 GbE "
+        "(beyond-paper machine)",
+    )

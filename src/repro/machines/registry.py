@@ -1,0 +1,36 @@
+"""Registry of named clusters for CLI / benchmark lookup."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machines.arm import arm_cluster
+from repro.machines.spec import ClusterSpec
+from repro.machines.xeon import xeon_cluster
+
+_FACTORIES: dict[str, Callable[[], ClusterSpec]] = {
+    "xeon": xeon_cluster,
+    "arm": arm_cluster,
+}
+
+
+def list_clusters() -> list[str]:
+    """Names of all registered clusters."""
+    return sorted(_FACTORIES)
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a cluster spec by name (``"xeon"`` or ``"arm"``)."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {name!r}; available: {list_clusters()}"
+        ) from None
+
+
+def register_cluster(name: str, factory: Callable[[], ClusterSpec]) -> None:
+    """Register a user-defined cluster (see examples/custom_machine.py)."""
+    if name in _FACTORIES:
+        raise ValueError(f"cluster {name!r} already registered")
+    _FACTORIES[name] = factory

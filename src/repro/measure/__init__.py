@@ -1,0 +1,45 @@
+"""Measurement instrumentation (paper Section III-E "Model Inputs").
+
+Thin, faithful stand-ins for the paper's measurement tools, each reading
+only what its physical counterpart could read:
+
+* :mod:`repro.measure.timecmd`  — the ``time`` command (wall clock).
+* :mod:`repro.measure.wattsup`  — the WattsUp wall meter (total energy and
+  average power only, with meter error).
+* :mod:`repro.measure.counters` — hardware performance counters
+  (instructions, work/stall cycles, utilization).
+* :mod:`repro.measure.mpip`     — the mpiP lightweight MPI profiler
+  (message counts η and volumes ν).
+* :mod:`repro.measure.netpipe`  — NetPIPE ping-pong network
+  characterization (Fig. 3).
+* :mod:`repro.measure.microbench` — pipeline-stress micro-benchmarks that
+  characterize active/stall core power across (c, f).
+* :mod:`repro.measure.baseline` — the single-node baseline-execution sweep
+  that feeds the analytical model.
+"""
+
+from repro.measure.baseline import BaselinePoint, BaselineSweep, CommProfile, run_baseline_sweep, profile_communication
+from repro.measure.counters import CounterReading, read_counters
+from repro.measure.microbench import characterize_power
+from repro.measure.mpip import MpiPReport, profile_run
+from repro.measure.netpipe import NetpipeResult, run_netpipe
+from repro.measure.timecmd import measure_wall_time
+from repro.measure.wattsup import MeterReading, read_meter
+
+__all__ = [
+    "BaselinePoint",
+    "BaselineSweep",
+    "CommProfile",
+    "run_baseline_sweep",
+    "profile_communication",
+    "CounterReading",
+    "read_counters",
+    "characterize_power",
+    "MpiPReport",
+    "profile_run",
+    "NetpipeResult",
+    "run_netpipe",
+    "measure_wall_time",
+    "MeterReading",
+    "read_meter",
+]

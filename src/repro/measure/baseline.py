@@ -1,0 +1,143 @@
+"""Baseline-execution campaigns (paper §III-A, §III-E1).
+
+The model's workload inputs come from running the program with a *small*
+input on a *single node*, sweeping all (c, f) points and reading the
+hardware counters: work cycles ``w_s``, non-memory stalls ``b_s``, memory
+stalls ``m_s`` and utilization ``U_s``.  Communication characteristics are
+profiled with mpiP on small multi-node runs (two node counts, so the
+power-law scaling of η and ν can be fitted rather than assumed).
+
+This module drives those campaigns against a :class:`~repro.simulate.
+cluster.SimulatedCluster` exactly as an experimenter would drive a physical
+one: repeated runs, averaged counter readings, no access to simulator
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.machines.spec import Configuration
+from repro.measure.counters import CounterReading, read_counters
+from repro.measure.mpip import MpiPReport, profile_run
+from repro.measure.timecmd import measure_wall_time
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.base import HybridProgram
+
+
+@dataclass(frozen=True)
+class BaselinePoint:
+    """Averaged counter measurements at one (c, f) baseline point."""
+
+    cores: int
+    frequency_hz: float
+    instructions: float
+    work_cycles: float
+    nonmem_stall_cycles: float
+    mem_stall_cycles: float
+    utilization: float
+    wall_time_s: float
+
+    @classmethod
+    def from_readings(
+        cls,
+        cores: int,
+        frequency_hz: float,
+        readings: list[CounterReading],
+        wall_times: list[float],
+    ) -> "BaselinePoint":
+        """Average repeated measurements into one point."""
+        return cls(
+            cores=cores,
+            frequency_hz=frequency_hz,
+            instructions=float(np.mean([r.instructions for r in readings])),
+            work_cycles=float(np.mean([r.work_cycles for r in readings])),
+            nonmem_stall_cycles=float(
+                np.mean([r.nonmem_stall_cycles for r in readings])
+            ),
+            mem_stall_cycles=float(np.mean([r.mem_stall_cycles for r in readings])),
+            utilization=float(np.mean([r.utilization for r in readings])),
+            wall_time_s=float(np.mean(wall_times)),
+        )
+
+
+@dataclass(frozen=True)
+class BaselineSweep:
+    """Full single-node (c, f) baseline characterization of one program."""
+
+    program: str
+    cluster: str
+    class_name: str
+    iterations: int
+    points: Mapping[tuple[int, float], BaselinePoint]
+
+    def point(self, cores: int, frequency_hz: float) -> BaselinePoint:
+        """Look up the baseline point nearest to ``(c, f)``."""
+        key = min(
+            self.points,
+            key=lambda k: (abs(k[0] - cores), abs(k[1] - frequency_hz)),
+        )
+        if key[0] != cores:
+            raise KeyError(f"no baseline measurement for c={cores}")
+        return self.points[key]
+
+
+@dataclass(frozen=True)
+class CommProfile:
+    """mpiP reports at two node counts — enough to fit the scaling laws."""
+
+    program: str
+    class_name: str
+    reports: tuple[MpiPReport, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.reports) < 2:
+            raise ValueError("need mpiP reports at >= 2 node counts to fit scaling")
+        if len({r.nodes for r in self.reports}) != len(self.reports):
+            raise ValueError("mpiP reports must be at distinct node counts")
+
+
+def run_baseline_sweep(
+    cluster: SimulatedCluster,
+    program: HybridProgram,
+    class_name: str | None = None,
+    repetitions: int = 3,
+) -> BaselineSweep:
+    """Single-node sweep over all (c, f): the paper's baseline executions."""
+    cls = class_name or program.reference_class
+    spec = cluster.spec
+    points: dict[tuple[int, float], BaselinePoint] = {}
+    for c in spec.node.core_counts:
+        for f in spec.frequencies_hz:
+            config = Configuration(nodes=1, cores=c, frequency_hz=f)
+            runs = cluster.run_many(program, config, cls, repetitions=repetitions)
+            readings = [read_counters(r) for r in runs]
+            walls = [measure_wall_time(r) for r in runs]
+            points[(c, f)] = BaselinePoint.from_readings(c, f, readings, walls)
+    return BaselineSweep(
+        program=program.name,
+        cluster=spec.name,
+        class_name=cls,
+        iterations=program.iterations(cls),
+        points=points,
+    )
+
+
+def profile_communication(
+    cluster: SimulatedCluster,
+    program: HybridProgram,
+    class_name: str | None = None,
+    node_counts: tuple[int, ...] = (2, 4),
+) -> CommProfile:
+    """mpiP profiling runs at small node counts (c=1, fmax)."""
+    cls = class_name or program.reference_class
+    spec = cluster.spec
+    reports = []
+    for n in node_counts:
+        config = Configuration(nodes=n, cores=1, frequency_hz=spec.node.core.fmax)
+        run = cluster.run(program, config, cls)
+        reports.append(profile_run(run, iterations=program.iterations(cls)))
+    return CommProfile(program=program.name, class_name=cls, reports=tuple(reports))

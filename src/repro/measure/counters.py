@@ -1,0 +1,68 @@
+"""Hardware performance-counter interface (paper §III-E1).
+
+The paper reads work cycles, memory stall cycles and similar quantities
+"using hardware performance counters", which are "non-intrusive with
+respect to the execution of the application".  The simulated counters are
+exact accumulators plus the small multiplexing error real PMUs exhibit when
+more events are programmed than hardware counters exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.simulate.results import RunResult
+
+#: Relative error from PMU event multiplexing / sampling.
+MULTIPLEX_ERROR = 0.01
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """One PMU read-out: the paper's baseline-execution artefacts.
+
+    Cycle quantities are per-core averages (the form Eqs. 2-7 consume).
+    """
+
+    instructions: float
+    work_cycles: float
+    nonmem_stall_cycles: float
+    mem_stall_cycles: float
+    utilization: float
+
+    @property
+    def useful_cycles(self) -> float:
+        """``w + b`` (Eq. 3)."""
+        return self.work_cycles + self.nonmem_stall_cycles
+
+
+def read_counters(
+    run: RunResult,
+    rng: np.random.Generator | None = None,
+    root_seed: int = rng_mod.DEFAULT_ROOT_SEED,
+) -> CounterReading:
+    """PMU-observed counters for a run (deterministic per run identity)."""
+    if rng is None:
+        rng = rng_mod.derive(
+            root_seed,
+            "pmu",
+            run.cluster,
+            run.program,
+            run.class_name,
+            run.config.label(),
+        )
+    c = run.counters
+
+    def observe(value: float) -> float:
+        return value * (1.0 + rng.normal(0.0, MULTIPLEX_ERROR))
+
+    return CounterReading(
+        instructions=observe(c.instructions),
+        work_cycles=observe(c.work_cycles),
+        nonmem_stall_cycles=observe(c.nonmem_stall_cycles),
+        mem_stall_cycles=observe(c.mem_stall_cycles),
+        utilization=float(np.clip(observe(c.utilization), 0.0, 1.0)),
+    )

@@ -1,0 +1,60 @@
+"""mpiP-style lightweight MPI profiling (paper §III-E1).
+
+mpiP links into the application and aggregates, per rank, how many MPI
+calls were made and how many bytes each moved — "lightweight" because it
+keeps only aggregate statistics, not traces.  From its report the paper
+extracts the communication characteristics η (message count) and ν (bytes
+per message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulate.results import RunResult
+
+
+@dataclass(frozen=True)
+class MpiPReport:
+    """Aggregate MPI statistics for one run.
+
+    ``eta_per_process_iter`` is the paper's η normalized per process per
+    iteration (the form the communication scaling laws are fitted in);
+    ``nu_bytes`` is the mean per-message volume ν.
+    """
+
+    nodes: int
+    iterations: int
+    total_messages: float
+    total_bytes: float
+
+    @property
+    def eta_per_process_iter(self) -> float:
+        """Messages per logical process per iteration."""
+        if self.nodes == 0 or self.iterations == 0:
+            return 0.0
+        return self.total_messages / (self.nodes * self.iterations)
+
+    @property
+    def volume_per_process_iter(self) -> float:
+        """Bytes per logical process per iteration."""
+        if self.nodes == 0 or self.iterations == 0:
+            return 0.0
+        return self.total_bytes / (self.nodes * self.iterations)
+
+    @property
+    def nu_bytes(self) -> float:
+        """Mean message volume ν in bytes."""
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_bytes / self.total_messages
+
+
+def profile_run(run: RunResult, iterations: int) -> MpiPReport:
+    """Build the mpiP report for a run (the profiler sees exact counts)."""
+    return MpiPReport(
+        nodes=run.config.nodes,
+        iterations=iterations,
+        total_messages=run.messages.total_messages,
+        total_bytes=run.messages.total_bytes,
+    )

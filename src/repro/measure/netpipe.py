@@ -1,0 +1,114 @@
+"""NetPIPE-style network characterization (paper §III-E2, Fig. 3).
+
+NetPIPE ping-pongs messages of exponentially growing sizes between two
+nodes and reports per-size latency and throughput.  The paper uses it to
+establish that MPI over TCP reaches only ~90 Mbps on the 100 Mbps link —
+the ``B`` (communication throughput) input of the model.
+
+The exchange is simulated on the event engine at MTU-frame granularity:
+each frame is serialized by the sending NIC (per-message protocol overhead
+is charged once, on the first frame), store-and-forwarded by the switch,
+and delivered through the receiving link; frames pipeline across the two
+servers, so large transfers asymptote to the link's effective bandwidth
+while small ones are dominated by the protocol latency floor — reproducing
+Fig. 3's two regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.machines.spec import ClusterSpec
+from repro.simulate.engine import FifoServer, Simulator
+from repro.units import to_mbps
+
+#: Default NetPIPE sweep: 1 B to 16 MiB, powers of two.
+DEFAULT_SIZES = tuple(2**k for k in range(0, 25))
+
+
+@dataclass(frozen=True)
+class NetpipeResult:
+    """Latency/throughput curves over message size (Fig. 3's two series)."""
+
+    message_bytes: np.ndarray
+    latency_s: np.ndarray
+    throughput_mbps: np.ndarray
+
+    @property
+    def peak_throughput_mbps(self) -> float:
+        """The achievable-bandwidth plateau (the model's ``B``)."""
+        return float(self.throughput_mbps.max())
+
+    def achievable_bandwidth_bytes_per_s(self) -> float:
+        """Peak throughput converted to bytes/s for the model."""
+        return self.peak_throughput_mbps * 1e6 / 8.0
+
+    def latency_floor_s(self) -> float:
+        """Small-message one-way latency floor."""
+        return float(self.latency_s.min())
+
+
+def _one_way_time(cluster: ClusterSpec, size: float) -> float:
+    """Event-driven one-way transfer time for one message."""
+    nic = cluster.node.nic
+    switch = cluster.switch
+    frames = max(1, int(np.ceil(size / nic.mtu_bytes)))
+    frame_bytes = size / frames
+
+    sim = Simulator()
+    sender = FifoServer(sim)
+    receiver = FifoServer(sim)
+    done: list[float] = []
+
+    frame_link_time = frame_bytes / nic.effective_bandwidth
+
+    def deliver(_wait: float, completion: float) -> None:
+        done.append(completion)
+
+    def at_switch(_wait: float, _completion: float) -> None:
+        # store-and-forward, then the receiving link serializes the frame
+        def after_forward() -> None:
+            receiver.submit(frame_link_time, deliver)
+
+        sim.schedule(switch.forwarding_latency_s, after_forward)
+
+    def post_frame(index: int) -> None:
+        overhead = nic.per_message_overhead_s if index == 0 else 0.0
+
+        def start() -> None:
+            sender.submit(frame_link_time, at_switch)
+
+        sim.schedule(overhead, start)
+
+    for k in range(frames):
+        post_frame(k)
+    sim.run()
+    return max(done)
+
+
+def run_netpipe(
+    cluster: ClusterSpec,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repetitions: int = 3,
+    rng: np.random.Generator | None = None,
+    root_seed: int = rng_mod.DEFAULT_ROOT_SEED,
+) -> NetpipeResult:
+    """Run the characterization sweep on a cluster's network."""
+    if rng is None:
+        rng = rng_mod.derive(root_seed, "netpipe", cluster.name)
+    latencies = np.empty(len(sizes))
+    for i, size in enumerate(sizes):
+        base = _one_way_time(cluster, float(size))
+        # OS scheduling jitter on each timed ping
+        observed = base * (1.0 + np.abs(rng.normal(0.0, 0.01, size=repetitions)))
+        latencies[i] = observed.mean()
+    sizes_arr = np.asarray(sizes, dtype=np.float64)
+    throughput = to_mbps(sizes_arr / latencies)
+    return NetpipeResult(
+        message_bytes=sizes_arr,
+        latency_s=latencies,
+        throughput_mbps=throughput,
+    )

@@ -1,0 +1,18 @@
+"""Wall-clock measurement — the ``time`` command (paper §IV-B).
+
+The system ``time`` command reports elapsed time at centisecond resolution;
+the quantization matters only for very short runs but is modeled for
+fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.simulate.results import RunResult
+
+#: ``time`` reports two decimal places.
+RESOLUTION_S = 0.01
+
+
+def measure_wall_time(run: RunResult) -> float:
+    """Wall time of a run as the ``time`` command would report it."""
+    return round(run.wall_time_s / RESOLUTION_S) * RESOLUTION_S

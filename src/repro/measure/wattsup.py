@@ -1,0 +1,65 @@
+"""WattsUp wall-meter model (paper §IV-B, Fig. 4).
+
+The meter integrates true wall power into energy but adds instrument error:
+a per-session calibration bias (the meter's ±1.5% accuracy class) plus
+1-second sampling quantization.  It observes only the cluster total — the
+per-component breakdown inside :class:`~repro.simulate.results.
+ComponentEnergy` is invisible to it, exactly as on the physical testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.simulate.results import RunResult
+
+#: Accuracy class of the WattsUp Pro (±1.5% of reading).
+ACCURACY = 0.015
+
+#: Sampling period of the meter.
+SAMPLE_PERIOD_S = 1.0
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """One energy measurement as the wall meter reports it."""
+
+    energy_j: float
+    mean_power_w: float
+    duration_s: float
+
+
+def read_meter(
+    run: RunResult,
+    rng: np.random.Generator | None = None,
+    root_seed: int = rng_mod.DEFAULT_ROOT_SEED,
+) -> MeterReading:
+    """Meter-observed energy for a run.
+
+    With no explicit generator, a stream derived from the run's identity is
+    used, so a given run always produces the same reading (re-reading a
+    meter does not change the past).
+    """
+    if rng is None:
+        rng = rng_mod.derive(
+            root_seed,
+            "wattsup",
+            run.cluster,
+            run.program,
+            run.class_name,
+            run.config.label(),
+        )
+    true_energy = run.energy.total_j
+    bias = rng.normal(0.0, ACCURACY / 2.0)
+    # sampling quantization: the last partial second is dropped or kept whole
+    mean_power = true_energy / run.wall_time_s
+    sampled_duration = round(run.wall_time_s / SAMPLE_PERIOD_S) * SAMPLE_PERIOD_S
+    energy = mean_power * max(sampled_duration, SAMPLE_PERIOD_S) * (1.0 + bias)
+    return MeterReading(
+        energy_j=energy,
+        mean_power_w=energy / max(run.wall_time_s, SAMPLE_PERIOD_S),
+        duration_s=run.wall_time_s,
+    )

@@ -1,0 +1,54 @@
+"""Deterministic random-stream management.
+
+Every stochastic component of the simulator (OS jitter, barrier skew, meter
+noise, power-characterization error) draws from a :class:`numpy.random.
+Generator` seeded through this module, so a full validation campaign is
+reproducible bit-for-bit from a single root seed.
+
+Streams are derived by *name* with :func:`numpy.random.SeedSequence.spawn`
+semantics: ``derive(root, "xeon", "SP", "n=4,c=8,f=1.8e9", "run=0")`` always
+yields the same generator regardless of the order other streams were created
+in.  This avoids the classic pitfall of a shared global generator where adding
+one extra draw in an unrelated module perturbs every downstream measurement.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+import numpy as np
+
+DEFAULT_ROOT_SEED = 20150525  # IPDPS 2015 conference date
+
+
+def _token_entropy(token: str) -> int:
+    """Map an arbitrary string token to a stable 32-bit entropy word."""
+    return zlib.crc32(token.encode("utf-8"))
+
+
+def seed_sequence(root_seed: int, *tokens: str) -> np.random.SeedSequence:
+    """Build a :class:`numpy.random.SeedSequence` for a named stream.
+
+    Parameters
+    ----------
+    root_seed:
+        Campaign-level root seed.
+    tokens:
+        Hierarchical stream name, e.g. ``("xeon", "SP", "baseline", "c=4")``.
+    """
+    return np.random.SeedSequence(
+        entropy=root_seed, spawn_key=tuple(_token_entropy(t) for t in tokens)
+    )
+
+
+def derive(root_seed: int, *tokens: str) -> np.random.Generator:
+    """Return a generator for the named stream under ``root_seed``."""
+    return np.random.default_rng(seed_sequence(root_seed, *tokens))
+
+
+def derive_many(
+    root_seed: int, tokens: Iterable[str], *prefix: str
+) -> dict[str, np.random.Generator]:
+    """Return one independent generator per token, all under ``prefix``."""
+    return {t: derive(root_seed, *prefix, t) for t in tokens}

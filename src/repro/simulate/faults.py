@@ -1,0 +1,83 @@
+"""Fault injection: degraded-hardware scenarios for the testbed.
+
+Real clusters degrade quietly — a node thermally throttles, a DIMM drops
+to a slower speed, a flaky switch port retransmits.  The model then
+*disagrees* with measurement by far more than its validation error, which
+turns it into a health check (see :mod:`repro.analysis.anomaly`).  This
+module provides the injection side:
+
+* :class:`FaultModel` — a straggler node whose execution (compute and
+  memory alike, as thermal throttling does) runs slower by a factor;
+* :func:`degraded_memory` / :func:`degraded_network` — spec-level
+  degradations (a cluster whose DRAM or links run below nameplate),
+  applied by rebuilding the `ClusterSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machines.spec import ClusterSpec, NetworkSpec
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Run-time fault configuration.
+
+    ``straggler_node`` picks the victim (ignored if the run uses fewer
+    nodes); ``straggler_factor`` multiplies its compute and memory time —
+    1.0 means healthy, 1.5 models a node throttled to ~2/3 speed.
+    """
+
+    straggler_node: int | None = None
+    straggler_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor below 1 would be a speedup")
+        if self.straggler_node is not None and self.straggler_node < 0:
+            raise ValueError("straggler_node must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True if any fault is configured."""
+        return self.straggler_node is not None and self.straggler_factor > 1.0
+
+    @classmethod
+    def healthy(cls) -> "FaultModel":
+        """No faults."""
+        return cls()
+
+
+def degraded_memory(spec: ClusterSpec, factor: float) -> ClusterSpec:
+    """A cluster whose DRAM runs at ``factor`` of nameplate bandwidth.
+
+    Models a memory subsystem fallback (single-channel operation, slow
+    DIMM training).  ``factor`` in (0, 1].
+    """
+    if not 0 < factor <= 1:
+        raise ValueError("memory degradation factor must be in (0, 1]")
+    node = replace(spec.node, memory=spec.node.memory.scaled(factor))
+    return replace(spec, node=node, name=f"{spec.name}-mem{factor:g}")
+
+
+def degraded_network(spec: ClusterSpec, factor: float) -> ClusterSpec:
+    """A cluster whose links deliver ``factor`` of nameplate throughput.
+
+    Models duplex mismatches / retransmission storms as a bandwidth
+    derating of every NIC (the switch fabric keeps its rate — the port
+    serves what the link delivers).
+    """
+    if not 0 < factor <= 1:
+        raise ValueError("network degradation factor must be in (0, 1]")
+    nic = spec.node.nic
+    new_nic = NetworkSpec(
+        link_bytes_per_s=nic.link_bytes_per_s * factor,
+        per_message_overhead_s=nic.per_message_overhead_s,
+        protocol_efficiency=nic.protocol_efficiency,
+        cpu_cost_per_message_s=nic.cpu_cost_per_message_s,
+        cpu_cost_per_byte_s=nic.cpu_cost_per_byte_s,
+        mtu_bytes=nic.mtu_bytes,
+    )
+    node = replace(spec.node, nic=new_nic)
+    return replace(spec, node=node, name=f"{spec.name}-net{factor:g}")

@@ -1,0 +1,188 @@
+"""Inter-node communication: NIC serialization + output-queued switch.
+
+The communication phase of each iteration (paper Listing 1: the MPI_Send /
+MPI_Recv block after the OpenMP region) is resolved structurally:
+
+* each logical process posts its ``η_iter`` messages during the tail of its
+  compute burst (non-blocking sends progressed by the MPI runtime — the
+  computation/communication *overlap* the model's Eq. 6 captures with
+  ``max((1-U)·T_CPU, η·ν/B)``);
+* a process's NIC serializes its own messages (per-message protocol
+  overhead + bytes at the link's effective MPI-over-TCP bandwidth, the
+  Fig. 3 plateau);
+* the switch is a modern non-blocking fabric: contention happens at the
+  *output ports*.  Each message carries a destination (round-robin over
+  the peers — halo neighborhoods and all-to-all transposes both spread
+  traffic this way), and every destination port is a FIFO server resolved
+  with an exact Lindley pass per iteration.  This is the paper's Eq. 5
+  queue: messages from multiple senders converging on one receiver wait
+  behind each other;
+* the iteration ends with a cluster-wide barrier once every process's
+  sends and receives have completed (bulk-synchronous exchange).
+
+CPU-side protocol cost (per-message and per-byte) is charged to the
+sending process and returned separately so the runtime can add it to busy
+time — it is the reason measured CPU utilization ``U`` exceeds the pure-
+compute share.
+
+Everything vectorizes with iterations as independent rows; NIC queues are
+resolved as a batched Lindley over ``(S*n, M)`` and each output port over
+``(S, K_port)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.spec import ClusterSpec, Configuration
+from repro.simulate.noise import NoiseModel
+from repro.simulate.queueing import lindley_waits
+from repro.workloads.base import HybridProgram
+
+#: Fraction of the compute burst during which sends are posted (the tail).
+#: The MPI block follows the OpenMP region (Listing 1), so only a small
+#: tail of computation overlaps with message progression.
+POST_WINDOW = 0.1
+
+#: Coefficient of variation of individual message sizes around ν.
+SIZE_CV = 0.30
+
+
+@dataclass(frozen=True)
+class NetworkOutcome:
+    """Communication results per (iteration, process).
+
+    ``complete_s`` — absolute time (within the iteration, relative to the
+    iteration start) at which each process's communication — sends accepted
+    and inbound messages received — finished;
+    ``net_time_s`` — non-overlapped network time per process (wait beyond
+    its own compute end);
+    ``cpu_cost_s`` — CPU time burned in the protocol stack per process;
+    ``port_wait_s`` / ``wire_time_s`` — queueing vs service diagnostics
+    (attributed to the receiving process);
+    ``messages`` / ``bytes_sent`` — per-process message-log totals for the
+    mpiP-style profiler.
+    """
+
+    complete_s: np.ndarray
+    net_time_s: np.ndarray
+    cpu_cost_s: np.ndarray
+    port_wait_s: np.ndarray
+    wire_time_s: np.ndarray
+    messages: np.ndarray
+    bytes_sent: np.ndarray
+
+
+def _message_counts(program: HybridProgram, nodes: int) -> int:
+    """Integer messages per process per iteration (>=1 when communicating)."""
+    eta = program.messages_per_process(nodes)
+    return max(1, int(round(eta))) if nodes > 1 else 0
+
+
+def _destinations(nodes: int, msgs: int) -> np.ndarray:
+    """Destination matrix (n, M): round-robin over the other nodes.
+
+    Models both halo neighborhoods and all-to-all transposes: traffic is
+    spread evenly across peers, never self-addressed.
+    """
+    senders = np.arange(nodes)[:, None]
+    k = np.arange(msgs)[None, :]
+    return (senders + 1 + (k % (nodes - 1))) % nodes
+
+
+def resolve_network(
+    program: HybridProgram,
+    class_name: str,
+    cluster: ClusterSpec,
+    config: Configuration,
+    compute_end_s: np.ndarray,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> NetworkOutcome:
+    """Resolve the communication phase for every (iteration, process).
+
+    ``compute_end_s`` has shape ``(S, n)``: per-process compute completion
+    (including memory stalls) relative to the iteration start.
+    """
+    s_iters, n = compute_end_s.shape
+    nic = cluster.node.nic
+    switch = cluster.switch
+
+    msgs = _message_counts(program, n)
+    if msgs == 0:
+        zeros = np.zeros((s_iters, n))
+        return NetworkOutcome(
+            complete_s=compute_end_s.copy(),
+            net_time_s=zeros,
+            cpu_cost_s=zeros.copy(),
+            port_wait_s=zeros.copy(),
+            wire_time_s=zeros.copy(),
+            messages=zeros.copy(),
+            bytes_sent=zeros.copy(),
+        )
+
+    nu = program.bytes_per_message(class_name, n)
+    sizes = nu * rng.lognormal(
+        mean=-0.5 * np.log1p(SIZE_CV**2),
+        sigma=np.sqrt(np.log1p(SIZE_CV**2)),
+        size=(s_iters, n, msgs),
+    )
+
+    # --- posting times: sends issued during the tail of the compute burst
+    span = compute_end_s[:, :, None]
+    offsets = np.sort(
+        rng.uniform(1.0 - POST_WINDOW, 1.0, size=(s_iters, n, msgs)), axis=2
+    )
+    posts = span * offsets
+
+    # --- NIC egress serialization (per-sender FIFO) ----------------------
+    nic_service = nic.per_message_overhead_s + sizes / nic.effective_bandwidth
+    posts_flat = posts.reshape(s_iters * n, msgs)
+    nic_service_flat = nic_service.reshape(s_iters * n, msgs)
+    nic_waits = lindley_waits(posts_flat, nic_service_flat)
+    egress = (posts_flat + nic_waits + nic_service_flat).reshape(s_iters, n, msgs)
+    send_complete = egress.max(axis=2)  # (S, n): last send accepted
+
+    # --- output-port queueing at the switch ------------------------------
+    dests = _destinations(n, msgs)  # (n, M)
+    port_service = switch.forwarding_latency_s + sizes / switch.port_bytes_per_s
+
+    receive_complete = np.zeros((s_iters, n))
+    port_wait = np.zeros((s_iters, n))
+    wire_time = np.zeros((s_iters, n))
+    for q in range(n):
+        mask = dests == q  # (n, M) senders' messages to q
+        if not mask.any():
+            continue
+        arr_q = egress[:, mask]  # (S, Kq)
+        svc_q = port_service[:, mask]
+        order = np.argsort(arr_q, axis=1, kind="stable")
+        sorted_arr = np.take_along_axis(arr_q, order, axis=1)
+        sorted_svc = np.take_along_axis(svc_q, order, axis=1)
+        waits = lindley_waits(sorted_arr, sorted_svc)
+        completions = sorted_arr + waits + sorted_svc
+        receive_complete[:, q] = completions.max(axis=1)
+        port_wait[:, q] = waits.sum(axis=1)
+        wire_time[:, q] = sorted_svc.sum(axis=1)
+
+    complete = np.maximum(
+        np.maximum(send_complete, receive_complete), compute_end_s
+    )
+
+    cpu_cost = (
+        msgs * nic.cpu_cost_per_message_s
+        + sizes.sum(axis=2) * nic.cpu_cost_per_byte_s
+    )
+
+    net_time = complete - compute_end_s
+    return NetworkOutcome(
+        complete_s=complete,
+        net_time_s=net_time,
+        cpu_cost_s=cpu_cost,
+        port_wait_s=port_wait,
+        wire_time_s=wire_time,
+        messages=np.full((s_iters, n), float(msgs)),
+        bytes_sent=sizes.sum(axis=2),
+    )

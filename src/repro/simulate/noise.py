@@ -1,0 +1,80 @@
+"""Run-to-run irregularity model (paper §IV-C error source #1).
+
+The paper attributes its largest validation error to "irregularities during
+different executions of the same program from the operating system
+overheads", quantified as up to 10% spread between runs.  The simulator
+reproduces that spread with three effects:
+
+* **phase jitter** — every compute/communication phase duration is scaled by
+  a lognormal factor (OS preemptions, cache/TLB pollution, interrupt
+  delivery);
+* **barrier skew** — threads do not leave a barrier simultaneously;
+  per-iteration additive skew on the slowest participant;
+* **background daemons** — occasional longer preemptions that steal whole
+  scheduling quanta from one node.
+
+All draws come from a named :mod:`repro.rng` stream, so a run is
+reproducible given ``(root_seed, run_index)``, while distinct run indices
+give the independent repetitions that validation campaigns average over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Parameters of the irregularity model.
+
+    ``phase_jitter_sigma`` is the sigma of the lognormal phase multiplier
+    (0.025 yields the paper's <=10% run-to-run spread at the run level);
+    ``barrier_skew_s`` the mean additive skew per barrier; ``daemon_rate_hz``
+    and ``daemon_quantum_s`` the Poisson rate and cost of background-task
+    preemptions.  ``enabled=False`` turns the simulator deterministic, which
+    unit tests use.
+    """
+
+    phase_jitter_sigma: float = 0.025
+    barrier_skew_s: float = 120e-6
+    daemon_rate_hz: float = 0.5
+    daemon_quantum_s: float = 4e-3
+    enabled: bool = True
+
+    def phase_multipliers(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Lognormal multiplicative jitter for phase durations."""
+        if not self.enabled:
+            return np.ones(shape)
+        return rng.lognormal(mean=0.0, sigma=self.phase_jitter_sigma, size=shape)
+
+    def barrier_skews(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Additive per-barrier skew (exponential, mean ``barrier_skew_s``)."""
+        if not self.enabled:
+            return np.zeros(shape)
+        return rng.exponential(self.barrier_skew_s, size=shape)
+
+    def daemon_time(
+        self, rng: np.random.Generator, span_s: np.ndarray
+    ) -> np.ndarray:
+        """OS background-task time stolen from spans of the given lengths.
+
+        For each span, the number of preemptions is Poisson with rate
+        ``daemon_rate_hz`` and each costs ``daemon_quantum_s`` (with
+        exponential spread).
+        """
+        span_s = np.asarray(span_s, dtype=np.float64)
+        if not self.enabled:
+            return np.zeros_like(span_s)
+        counts = rng.poisson(np.maximum(self.daemon_rate_hz * span_s, 0.0))
+        return counts * rng.exponential(self.daemon_quantum_s, size=span_s.shape)
+
+    @classmethod
+    def disabled(cls) -> "NoiseModel":
+        """A noise-free model (deterministic simulator for unit tests)."""
+        return cls(enabled=False)

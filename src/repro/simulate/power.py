@@ -1,0 +1,71 @@
+"""Energy accounting: integrate the node power model over phase times.
+
+The simulator knows exactly how long every core spent in each power state
+(active, memory-stalled, idle-waiting) and how long the DRAM and NIC were
+busy, so energy is an exact integral of the *true* :class:`~repro.machines.
+power.NodePowerModel` — unlike the analytical model, which must work from
+characterized (perturbed) power tables.  Core active/stall powers are
+incremental over the node idle floor; the floor itself is charged for the
+full wall time (paper Eq. 12's ``P_sys,idle * T``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines.spec import ClusterSpec, Configuration
+from repro.simulate.results import ComponentEnergy
+
+
+def integrate_energy(
+    cluster: ClusterSpec,
+    config: Configuration,
+    wall_time_s: float,
+    active_time_per_thread: np.ndarray,
+    stall_time_per_thread: np.ndarray,
+    net_time_per_process: np.ndarray,
+    mem_busy_per_node: np.ndarray,
+    stall_frequency_hz: float | None = None,
+) -> ComponentEnergy:
+    """Integrate true node power over the run's state occupancy.
+
+    Parameters
+    ----------
+    active_time_per_thread / stall_time_per_thread:
+        Shape ``(n, c)`` — total seconds each core spent executing work
+        cycles / stalled on memory.
+    net_time_per_process:
+        Shape ``(n,)`` — total non-overlapped network time per node.
+    mem_busy_per_node:
+        Shape ``(n,)`` — total seconds the DRAM subsystem serviced requests.
+    stall_frequency_hz:
+        Phase-aware DVFS: cores stalled on memory are clocked at this
+        frequency, so stall power is priced at it.
+    """
+    power = cluster.node.power
+    f = config.frequency_hz
+    f_stall = stall_frequency_hz if stall_frequency_hz is not None else f
+    n, c = config.nodes, config.cores
+
+    p_act = power.core_active_w(f)
+    p_stall = power.core_stall_w(f_stall)
+
+    cpu_active = float(active_time_per_thread.sum()) * p_act
+    cpu_stall = float(stall_time_per_thread.sum()) * p_stall
+
+    # shared uncore: powered while any core on the node is busy; busy span
+    # per node approximated by the busiest core's occupied time.
+    node_busy = (active_time_per_thread + stall_time_per_thread).max(axis=1)
+    cpu_active += float(node_busy.sum()) * power.uncore_w(c)
+
+    mem = float(mem_busy_per_node.sum()) * power.mem_active_w
+    net = float(net_time_per_process.sum()) * power.net_active_w
+    idle = power.sys_idle_w * wall_time_s * n
+
+    return ComponentEnergy(
+        cpu_active_j=cpu_active,
+        cpu_stall_j=cpu_stall,
+        mem_j=mem,
+        net_j=net,
+        idle_j=idle,
+    )

@@ -1,0 +1,130 @@
+"""Vectorized single-server queue resolution (Lindley recursion).
+
+Both shared resources the paper models — the per-node memory controller and
+the cluster's Ethernet switch — are contended single servers.  The simulator
+resolves their waiting times *per request* with the Lindley recursion
+
+    W[0] = 0;  W[k] = max(0, W[k-1] + S[k-1] - A[k])
+
+where ``S`` are service times and ``A`` inter-arrival gaps.  Solved naively
+this is a Python-speed sequential loop; we use the prefix-form closed
+solution instead:
+
+    W[k] = C[k] - min(C[0..k]),   C[k] = cumsum(S[k-1] - A[k])
+
+which is two :func:`numpy.cumsum`-class scans, fully vectorized, and — since
+consecutive program iterations are separated by barriers that drain the
+queues — batches across iterations as independent rows of a 2D array.
+
+The guide's advice ("vectorize for loops", "beware of cache effects") is
+what makes a ~900-run validation campaign take seconds instead of hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lindley_waits(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Waiting times at a FIFO single server, one row per independent batch.
+
+    Parameters
+    ----------
+    arrivals:
+        Arrival times, shape ``(R,)`` or ``(B, R)``.  Each row must be
+        sorted ascending (requests are served in arrival order).
+    services:
+        Service times aligned with ``arrivals``.
+
+    Returns
+    -------
+    Waiting times (time between arrival and start of service), same shape.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    services = np.asarray(services, dtype=np.float64)
+    if arrivals.shape != services.shape:
+        raise ValueError("arrivals and services must have identical shapes")
+    if arrivals.size == 0:
+        return np.zeros_like(arrivals)
+    squeeze = arrivals.ndim == 1
+    if squeeze:
+        arrivals = arrivals[None, :]
+        services = services[None, :]
+    if arrivals.ndim != 2:
+        raise ValueError("arrivals must be 1-D or 2-D")
+    if np.any(np.diff(arrivals, axis=1) < -1e-12):
+        raise ValueError("each arrival row must be sorted ascending")
+
+    # X[k] = S[k-1] - A_gap[k]; first request never waits.
+    gaps = np.diff(arrivals, axis=1)
+    x = services[:, :-1] - gaps
+    c = np.cumsum(x, axis=1)
+    # W[k] = C[k] - min(0, running_min(C)[k])  for k >= 1
+    running_min = np.minimum.accumulate(np.minimum(c, 0.0), axis=1)
+    waits = np.zeros_like(arrivals)
+    waits[:, 1:] = c - running_min
+    # guard fp noise: waits are non-negative by construction
+    np.maximum(waits, 0.0, out=waits)
+    return waits[0] if squeeze else waits
+
+
+def lindley_waits_loop(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Reference O(R) scalar-loop Lindley recursion (for property tests)."""
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    services = np.asarray(services, dtype=np.float64)
+    waits = np.zeros_like(arrivals)
+    for k in range(1, arrivals.size):
+        depart_prev = arrivals[k - 1] + waits[k - 1] + services[k - 1]
+        waits[k] = max(0.0, depart_prev - arrivals[k])
+    return waits
+
+
+def merge_request_streams(
+    arrivals: np.ndarray, services: np.ndarray, owners: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-owner request streams into one FIFO arrival order.
+
+    Used to interleave the memory-request batches of ``c`` threads (or the
+    messages of ``n`` processes) before resolving the shared queue.
+
+    Parameters
+    ----------
+    arrivals, services, owners:
+        Flat, same-length arrays; ``owners`` tags each request with the
+        issuing thread/process index.
+
+    Returns
+    -------
+    ``(sorted_arrivals, sorted_services, sorted_owners, order)`` where
+    ``order`` is the permutation applied (so results can be scattered back).
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    order = np.argsort(arrivals, kind="stable")
+    return arrivals[order], np.asarray(services, dtype=np.float64)[order], np.asarray(
+        owners
+    )[order], order
+
+
+def per_owner_totals(
+    values: np.ndarray, owners: np.ndarray, n_owners: int
+) -> np.ndarray:
+    """Sum ``values`` by owner index (e.g. per-thread total queue wait)."""
+    return np.bincount(
+        np.asarray(owners, dtype=np.intp), weights=values, minlength=n_owners
+    )
+
+
+def mg1_mean_wait(arrival_rate: float, mean_service: float, second_moment: float) -> float:
+    """Pollaczek-Khinchine M/G/1 mean waiting time (paper Eq. 5).
+
+    ``T_w = λ·E[y²] / (2·(1-ρ))`` with ``ρ = λ·E[y]``.  This is the
+    *analytical* counterpart the model uses; it lives here so property tests
+    can check the simulator's empirical waits converge to it under Poisson
+    arrivals.  Returns ``inf`` for a saturated queue (ρ >= 1).
+    """
+    if arrival_rate < 0 or mean_service < 0:
+        raise ValueError("rates and service times must be non-negative")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return float("inf")
+    return arrival_rate * second_moment / (2.0 * (1.0 - rho))

@@ -1,0 +1,144 @@
+"""Result records produced by the simulator (the "testbed outputs").
+
+A :class:`RunResult` is everything the measurement layer can observe about
+one execution: wall time (the ``time`` command), per-component energy (the
+WattsUp meter sees only the total), hardware-counter totals, the message
+log (mpiP's raw input), and a phase-time breakdown used for UCR-style
+diagnostics and for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.spec import Configuration
+
+
+@dataclass(frozen=True)
+class CounterTotals:
+    """Hardware performance counter totals for one run.
+
+    Cycle quantities are *per-core averages* over the active cores (the
+    form the paper's Eqs. 2-7 consume); ``instructions`` is the cluster-wide
+    total.  ``utilization`` is busy time over ``T * n * c``.
+    """
+
+    instructions: float
+    work_cycles: float
+    nonmem_stall_cycles: float
+    mem_stall_cycles: float
+    utilization: float
+
+    @property
+    def useful_cycles(self) -> float:
+        """``w + b`` — the paper's Eq. 3 useful cycles."""
+        return self.work_cycles + self.nonmem_stall_cycles
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """mpiP-style aggregate message log for one run."""
+
+    total_messages: float
+    total_bytes: float
+
+    @property
+    def mean_message_bytes(self) -> float:
+        """``ν`` — mean bytes per message."""
+        return self.total_bytes / self.total_messages if self.total_messages else 0.0
+
+
+@dataclass(frozen=True)
+class ComponentEnergy:
+    """True per-component energy (J) for the whole cluster run.
+
+    The physical meter only sees ``total``; the breakdown exists so tests
+    and diagnostics can check accounting invariants.
+    """
+
+    cpu_active_j: float
+    cpu_stall_j: float
+    mem_j: float
+    net_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total wall energy in joules."""
+        return (
+            self.cpu_active_j
+            + self.cpu_stall_j
+            + self.mem_j
+            + self.net_j
+            + self.idle_j
+        )
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Per-core-average phase times (s) — the simulator's ground truth
+    decomposition mirroring the paper's Eq. 1 terms."""
+
+    t_cpu_s: float
+    t_mem_s: float
+    t_net_s: float
+    t_other_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all phase components."""
+        return self.t_cpu_s + self.t_mem_s + self.t_net_s + self.t_other_s
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """Per-iteration phase timeline of one run (optional, trace mode).
+
+    Arrays are indexed by iteration; per-iteration values are cluster-wide:
+    ``compute_s``/``memory_s`` are per-core means over that iteration,
+    ``network_s`` the per-process mean, ``iteration_s`` the wall duration
+    (barrier to barrier).  The profile view in
+    ``examples/phase_profile.py`` renders this as a phase timeline, the
+    role HPCToolkit-style profilers play on the paper's testbed.
+    """
+
+    compute_s: "object"
+    memory_s: "object"
+    network_s: "object"
+    iteration_s: "object"
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.compute_s),
+            len(self.memory_s),
+            len(self.network_s),
+            len(self.iteration_s),
+        }
+        if len(lengths) != 1:
+            raise ValueError("trace arrays must be equally long")
+
+    @property
+    def iterations(self) -> int:
+        """Number of traced iterations."""
+        return len(self.iteration_s)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Complete observable outcome of one simulated execution."""
+
+    program: str
+    class_name: str
+    cluster: str
+    config: Configuration
+    wall_time_s: float
+    energy: ComponentEnergy
+    counters: CounterTotals
+    messages: MessageStats
+    phases: PhaseBreakdown
+    trace: IterationTrace | None = None
+
+    @property
+    def ucr(self) -> float:
+        """Ground-truth useful computation ratio of this run (Eq. 13)."""
+        return self.phases.t_cpu_s / self.wall_time_s

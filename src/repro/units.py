@@ -1,0 +1,72 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses a single set of base units so that model equations
+(paper Section III) can be written without conversion factors:
+
+* time        — seconds [s]
+* frequency   — hertz [Hz] (machine specs expose GHz for readability and
+                convert through :func:`ghz`)
+* power       — watts [W]
+* energy      — joules [J] (reports use kJ where the paper does)
+* data volume — bytes [B]
+* bandwidth   — bytes/second [B/s] (network specs are quoted in bits/s as is
+                conventional for links and converted through :func:`mbps` /
+                :func:`gbps`)
+
+Keeping conversions in one module means a grep for ``1e9`` or ``/ 8`` in the
+rest of the code base indicates a bug.
+"""
+
+from __future__ import annotations
+
+GHZ = 1e9
+MHZ = 1e6
+KHZ = 1e3
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+
+def ghz(value: float) -> float:
+    """Convert a clock frequency in GHz to Hz."""
+    return value * GHZ
+
+
+def to_ghz(hz: float) -> float:
+    """Convert a clock frequency in Hz to GHz."""
+    return hz / GHZ
+
+
+def mbps(value: float) -> float:
+    """Convert a link bandwidth in megabits/s to bytes/s."""
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert a link bandwidth in gigabits/s to bytes/s."""
+    return value * 1e9 / 8.0
+
+
+def to_mbps(bytes_per_s: float) -> float:
+    """Convert a bandwidth in bytes/s to megabits/s."""
+    return bytes_per_s * 8.0 / 1e6
+
+
+def joules_to_kj(j: float) -> float:
+    """Convert energy in joules to kilojoules (the paper's reporting unit)."""
+    return j / 1e3
+
+
+def kj(value: float) -> float:
+    """Convert energy in kilojoules to joules."""
+    return value * 1e3
+
+
+def seconds_to_minutes(s: float) -> float:
+    """Convert seconds to minutes (Figure 11 reports minutes on ARM)."""
+    return s / 60.0

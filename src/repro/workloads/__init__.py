@@ -1,0 +1,53 @@
+"""Workload models of the paper's five hybrid MPI+OpenMP programs.
+
+The paper's model never executes application *code*; it consumes the
+programs' resource-demand signatures (instructions, memory traffic,
+message counts and volumes, and their scaling laws).  This package encodes
+those signatures for the five validation programs:
+
+* ``BT``, ``SP``, ``LU`` — NAS Parallel Benchmarks multi-zone 3D
+  Navier-Stokes solvers (Fortran),
+* ``CP`` — Car-Parrinello molecular dynamics from Quantum Espresso (Fortran),
+* ``LB`` — OpenLB lattice Boltzmann lid-driven cavity (C++),
+
+plus a :func:`synthetic_program` generator used by tests and ablation
+benchmarks.
+"""
+
+from repro.workloads.base import (
+    CommunicationModel,
+    HybridProgram,
+    InputClass,
+)
+from repro.workloads.npb import bt_program, lu_program, sp_program
+from repro.workloads.quantum import cp_program
+from repro.workloads.lbm import lb_program
+from repro.workloads.synthetic import synthetic_program
+from repro.workloads.phases import (
+    Phase,
+    blend_mixes,
+    compose,
+    phase_frequency_plan,
+    phase_placements,
+)
+from repro.workloads.registry import all_programs, get_program, list_programs
+
+__all__ = [
+    "CommunicationModel",
+    "HybridProgram",
+    "InputClass",
+    "bt_program",
+    "sp_program",
+    "lu_program",
+    "cp_program",
+    "lb_program",
+    "synthetic_program",
+    "Phase",
+    "blend_mixes",
+    "compose",
+    "phase_frequency_plan",
+    "phase_placements",
+    "all_programs",
+    "get_program",
+    "list_programs",
+]

@@ -1,0 +1,307 @@
+"""Abstract hybrid-program model (paper Fig. 1 and Listing 1).
+
+A hybrid parallel program is ``S`` iterations of an OpenMP compute phase
+(``τ = c`` threads per process sharing node memory) followed by an MPI
+communication phase (``l = n`` logical processes exchanging messages through
+the switch).  :class:`HybridProgram` captures everything both the simulator
+and the analytical model need to know about such a program:
+
+* per-iteration *compute* demand — abstract (ISA-neutral) instructions,
+  DRAM traffic at a reference cache hierarchy, working-set size, and the
+  instruction mix that drives per-ISA cycle translation;
+* per-iteration *communication* demand — a :class:`CommunicationModel`
+  giving message count and volume per process as power laws in the node
+  count (halo exchanges keep counts constant, all-to-all transposes grow
+  them linearly);
+* *behavioural artefacts* the analytical model deliberately does not see —
+  serial fractions, thread/process imbalance, and synchronization
+  instructions that grow with total parallelism (the paper's §IV-C explains
+  these are its main validation error sources; LB is the canonical example).
+
+Input sizes are named classes in NPB style.  The paper's Eq. 4 scales
+baseline measurements by the iteration ratio ``S/S_s``; real input classes
+scale per-iteration work too, so :meth:`HybridProgram.scale_factor`
+generalizes the ratio to *total work*, which is what an instruction counter
+actually measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.machines.spec import InstructionMix
+
+#: Node count at which CommunicationModel reference values are quoted.
+REFERENCE_NODES = 2
+
+
+@dataclass(frozen=True)
+class InputClass:
+    """One named input size of a program.
+
+    Attributes
+    ----------
+    name:
+        NPB-style class letter (``"W"``, ``"A"``, ``"B"``, ``"C"``).
+    iterations:
+        ``S`` — outer time-step/iteration count at this class.
+    size_factor:
+        Per-iteration problem-size multiplier relative to the program's
+        reference class (work, memory traffic and communication volume all
+        scale with it).
+    """
+
+    name: str
+    iterations: int
+    size_factor: float
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("input class needs at least one iteration")
+        if self.size_factor <= 0:
+            raise ValueError("size_factor must be positive")
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Power-law communication signature of a hybrid program.
+
+    Reference values are quoted per logical process per iteration at
+    ``n = REFERENCE_NODES`` for the program's reference class.  For ``n``
+    processes:
+
+    * messages/process/iteration = ``msgs_ref * (n / 2) ** msg_count_exponent``
+    * volume/process/iteration   = ``bytes_ref * size_factor * (2 / n) ** decomposition_exponent``
+
+    Halo-exchange codes (BT/SP/LU/LB) have ``msg_count_exponent = 0`` and a
+    surface-to-volume ``decomposition_exponent``; transpose-based codes (CP)
+    have ``msg_count_exponent = 1`` with volume split across all peers.
+    A single-node run communicates nothing.
+    """
+
+    msgs_ref: float
+    bytes_ref: float
+    msg_count_exponent: float
+    decomposition_exponent: float
+
+    def __post_init__(self) -> None:
+        if self.msgs_ref <= 0 or self.bytes_ref <= 0:
+            raise ValueError("reference message count and volume must be positive")
+
+    def messages_per_process(self, nodes: int) -> float:
+        """Messages each process sends per iteration on ``nodes`` nodes."""
+        if nodes <= 1:
+            return 0.0
+        return self.msgs_ref * (nodes / REFERENCE_NODES) ** self.msg_count_exponent
+
+    def volume_per_process(self, nodes: int, size_factor: float = 1.0) -> float:
+        """Bytes each process sends per iteration on ``nodes`` nodes."""
+        if nodes <= 1:
+            return 0.0
+        return (
+            self.bytes_ref
+            * size_factor
+            * (REFERENCE_NODES / nodes) ** self.decomposition_exponent
+        )
+
+    def bytes_per_message(self, nodes: int, size_factor: float = 1.0) -> float:
+        """Mean message size ``ν`` on ``nodes`` nodes."""
+        if nodes <= 1:
+            return 0.0
+        return self.volume_per_process(nodes, size_factor) / self.messages_per_process(
+            nodes
+        )
+
+
+@dataclass(frozen=True)
+class HybridProgram:
+    """Resource-demand signature of one hybrid MPI+OpenMP program.
+
+    Attributes
+    ----------
+    name, suite, language, domain:
+        Identification (paper Table 2 columns).
+    mix:
+        Dynamic instruction mix of the compute phase.
+    classes:
+        Named input sizes.
+    reference_class:
+        The class whose per-iteration demands the absolute numbers below are
+        quoted at (also the paper's baseline-measurement input ``P_s``).
+    instructions_per_iteration:
+        Abstract whole-problem instructions per iteration at the reference
+        class (excluding synchronization overhead).
+    dram_bytes_per_iteration:
+        DRAM traffic per iteration at the reference class, assuming a cache
+        hierarchy large enough to capture all reuse (machines amplify this
+        via :meth:`repro.machines.spec.MemorySpec.miss_amplification`).
+    working_set_bytes:
+        Resident working set at the reference class.
+    comm:
+        Communication signature.
+    sequential_fraction:
+        Amdahl fraction of per-iteration work executed by one thread.
+    thread_imbalance / process_imbalance:
+        Coefficients of variation of per-thread / per-process work.
+    sync_instruction_coeff / sync_instruction_exponent:
+        Extra per-iteration instructions for synchronization,
+        ``coeff * instructions_per_iteration * (n*c) ** exponent / (n*c)``
+        per thread — superlinear growth with total parallelism models the
+        paper's LB observation ("more instructions on higher number of nodes
+        at higher number of cores").
+    """
+
+    name: str
+    suite: str
+    language: str
+    domain: str
+    mix: InstructionMix
+    classes: Mapping[str, InputClass]
+    reference_class: str
+    instructions_per_iteration: float
+    dram_bytes_per_iteration: float
+    working_set_bytes: float
+    comm: CommunicationModel
+    sequential_fraction: float = 0.01
+    thread_imbalance: float = 0.03
+    process_imbalance: float = 0.03
+    sync_instruction_coeff: float = 0.0
+    sync_instruction_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reference_class not in self.classes:
+            raise ValueError(
+                f"reference class {self.reference_class!r} not in classes "
+                f"{sorted(self.classes)}"
+            )
+        if self.instructions_per_iteration <= 0:
+            raise ValueError("instructions_per_iteration must be positive")
+        if not 0 <= self.sequential_fraction < 1:
+            raise ValueError("sequential_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # input-class queries
+    # ------------------------------------------------------------------
+    def input_class(self, name: str) -> InputClass:
+        """Look up a named input class."""
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no input class {name!r}; "
+                f"available: {sorted(self.classes)}"
+            ) from None
+
+    def iterations(self, class_name: str) -> int:
+        """``S`` — iteration count at the given class."""
+        return self.input_class(class_name).iterations
+
+    def scale_factor(self, class_name: str, baseline_class: str | None = None) -> float:
+        """Total-work ratio of ``class_name`` over the baseline class.
+
+        This generalizes the paper's ``S/S_s`` (Eq. 4): the ratio of total
+        instructions, which equals the iteration ratio when per-iteration
+        size is unchanged and folds in ``size_factor`` otherwise.
+        """
+        base = self.input_class(baseline_class or self.reference_class)
+        target = self.input_class(class_name)
+        return (target.iterations * target.size_factor) / (
+            base.iterations * base.size_factor
+        )
+
+    # ------------------------------------------------------------------
+    # compute-phase demand
+    # ------------------------------------------------------------------
+    def instructions(self, class_name: str) -> float:
+        """Abstract instructions per iteration at the class (whole problem)."""
+        return self.instructions_per_iteration * self.input_class(class_name).size_factor
+
+    def sync_instructions(self, class_name: str, nodes: int, cores: int) -> float:
+        """Extra synchronization instructions per iteration (whole problem).
+
+        Grows superlinearly with total thread count when
+        ``sync_instruction_exponent > 1`` — pure overhead that burns energy
+        without advancing the computation (paper §IV-C, LB example).
+        """
+        threads = nodes * cores
+        if threads <= 1 or self.sync_instruction_coeff == 0.0:
+            return 0.0
+        return (
+            self.sync_instruction_coeff
+            * self.instructions(class_name)
+            * threads**self.sync_instruction_exponent
+            / threads
+        )
+
+    def dram_bytes(self, class_name: str) -> float:
+        """Reference-hierarchy DRAM bytes per iteration at the class."""
+        return self.dram_bytes_per_iteration * self.input_class(class_name).size_factor
+
+    def working_set(self, class_name: str) -> float:
+        """Working-set bytes at the class."""
+        return self.working_set_bytes * self.input_class(class_name).size_factor
+
+    # ------------------------------------------------------------------
+    # communication-phase demand
+    # ------------------------------------------------------------------
+    def messages_per_process(self, nodes: int) -> float:
+        """``η``-style count: messages per process per iteration."""
+        return self.comm.messages_per_process(nodes)
+
+    def comm_volume_per_process(self, class_name: str, nodes: int) -> float:
+        """Bytes per process per iteration at the class."""
+        return self.comm.volume_per_process(
+            nodes, self.input_class(class_name).size_factor
+        )
+
+    def bytes_per_message(self, class_name: str, nodes: int) -> float:
+        """``ν`` — mean message size at the class."""
+        return self.comm.bytes_per_message(
+            nodes, self.input_class(class_name).size_factor
+        )
+
+    # ------------------------------------------------------------------
+    # variants
+    # ------------------------------------------------------------------
+    def with_classes(self, **classes: InputClass) -> "HybridProgram":
+        """A copy with extra/overridden input classes."""
+        merged = dict(self.classes)
+        merged.update(classes)
+        return replace(self, classes=merged)
+
+    def restructured(
+        self,
+        sync_coeff_factor: float = 1.0,
+        imbalance_factor: float = 1.0,
+    ) -> "HybridProgram":
+        """A developer-tuned variant (paper §V-B application fine-tuning).
+
+        Restructuring iterations to better match l and τ reduces
+        synchronization overhead and imbalance; this returns a copy with
+        those artefacts scaled.
+        """
+        return replace(
+            self,
+            sync_instruction_coeff=self.sync_instruction_coeff * sync_coeff_factor,
+            thread_imbalance=self.thread_imbalance * imbalance_factor,
+            process_imbalance=self.process_imbalance * imbalance_factor,
+        )
+
+
+def npb_classes(
+    base_iterations: int, growth: float = 1.0
+) -> dict[str, InputClass]:
+    """Standard four-class ladder used by the NPB-style programs.
+
+    Class W is the baseline-measurement input (size 1); A/B/C grow
+    per-iteration size by 2/3/4x with iteration counts scaled by ``growth``.
+    Class C is thus "four times larger than the baseline measurement program
+    size" exactly as the paper states for the Fig. 7 scale-out experiment.
+    """
+    return {
+        "W": InputClass("W", iterations=base_iterations, size_factor=1.0),
+        "A": InputClass("A", iterations=int(base_iterations * growth), size_factor=2.0),
+        "B": InputClass("B", iterations=int(base_iterations * growth), size_factor=3.0),
+        "C": InputClass("C", iterations=int(base_iterations * growth), size_factor=4.0),
+    }

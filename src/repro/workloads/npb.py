@@ -1,0 +1,120 @@
+"""NAS Parallel Benchmark multi-zone programs: BT, SP, LU.
+
+The three NPB-MZ programs solve discretized 3D Navier-Stokes equations with
+different implicit solvers (paper §IV-B):
+
+* **BT** — Block Tri-diagonal solver: the most compute-dense of the three
+  (large 5x5 block solves), moderate halo traffic.
+* **SP** — Scalar Penta-diagonal solver: lighter per-point work over more
+  iterations, slightly more communication-bound.
+* **LU** — Lower-Upper symmetric Gauss-Seidel: wavefront ("pencil") sweeps
+  that exchange many small messages; its communication volume scales
+  linearly with input size, which is why the paper uses it for the Fig. 7
+  class-C scale-out experiment.
+
+All three exchange halos with a fixed neighbor set, so messages/process/
+iteration is independent of the node count while per-process volume shrinks
+with the usual 3D surface-to-volume exponent 2/3.
+
+Absolute per-iteration demands are calibrated so class-W serial runs land in
+the paper's reported time/energy magnitudes (hundreds of seconds on one Xeon
+core — DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machines.spec import InstructionMix
+from repro.units import MIB
+from repro.workloads.base import CommunicationModel, HybridProgram, npb_classes
+
+
+@lru_cache(maxsize=None)
+def bt_program() -> HybridProgram:
+    """Block Tri-diagonal solver (NPB3.3-MZ BT)."""
+    return HybridProgram(
+        name="BT",
+        suite="NAS Multi-zone Parallel Benchmark (NPB3.3-MZ)",
+        language="Fortran",
+        domain="3D Navier-Stokes Equation Solver",
+        mix=InstructionMix(flops=0.55, mem=0.28, branch=0.07, other=0.10),
+        classes=npb_classes(base_iterations=200),
+        reference_class="W",
+        instructions_per_iteration=2.8e9,
+        dram_bytes_per_iteration=2.0e8,
+        working_set_bytes=45 * MIB,
+        comm=CommunicationModel(
+            msgs_ref=12.0,
+            bytes_ref=3.0e6,
+            msg_count_exponent=0.0,
+            decomposition_exponent=2.0 / 3.0,
+        ),
+        sequential_fraction=0.002,
+        thread_imbalance=0.02,
+        process_imbalance=0.015,
+        sync_instruction_coeff=0.0015,
+        sync_instruction_exponent=1.15,
+    )
+
+
+@lru_cache(maxsize=None)
+def sp_program() -> HybridProgram:
+    """Scalar Penta-diagonal solver (NPB3.3-MZ SP)."""
+    return HybridProgram(
+        name="SP",
+        suite="NAS Multi-zone Parallel Benchmark (NPB3.3-MZ)",
+        language="Fortran",
+        domain="3D Navier-Stokes Equation Solver",
+        mix=InstructionMix(flops=0.50, mem=0.30, branch=0.08, other=0.12),
+        classes=npb_classes(base_iterations=400),
+        reference_class="W",
+        instructions_per_iteration=1.4e9,
+        dram_bytes_per_iteration=4.5e8,
+        working_set_bytes=60 * MIB,
+        comm=CommunicationModel(
+            msgs_ref=16.0,
+            bytes_ref=2.4e6,
+            msg_count_exponent=0.0,
+            decomposition_exponent=2.0 / 3.0,
+        ),
+        sequential_fraction=0.003,
+        thread_imbalance=0.02,
+        process_imbalance=0.015,
+        sync_instruction_coeff=0.002,
+        sync_instruction_exponent=1.15,
+    )
+
+
+@lru_cache(maxsize=None)
+def lu_program() -> HybridProgram:
+    """Lower-Upper symmetric Gauss-Seidel solver (NPB3.3-MZ LU).
+
+    The wavefront sweeps emit many small messages (``msgs_ref`` 60 at
+    ~20 kB each) and the pencil decomposition makes per-process volume scale
+    linearly with input size — the property the paper relies on for the
+    class-C scale-out validation (Fig. 7).
+    """
+    return HybridProgram(
+        name="LU",
+        suite="NAS Multi-zone Parallel Benchmark (NPB3.3-MZ)",
+        language="Fortran",
+        domain="3D Navier-Stokes Equation Solver",
+        mix=InstructionMix(flops=0.48, mem=0.32, branch=0.10, other=0.10),
+        classes=npb_classes(base_iterations=250),
+        reference_class="W",
+        instructions_per_iteration=1.9e9,
+        dram_bytes_per_iteration=1.6e8,
+        working_set_bytes=40 * MIB,
+        comm=CommunicationModel(
+            msgs_ref=60.0,
+            bytes_ref=1.2e6,
+            msg_count_exponent=0.0,
+            decomposition_exponent=2.0 / 3.0,
+        ),
+        sequential_fraction=0.004,
+        thread_imbalance=0.025,
+        process_imbalance=0.02,
+        sync_instruction_coeff=0.002,
+        sync_instruction_exponent=1.1,
+    )

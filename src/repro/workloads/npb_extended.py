@@ -1,0 +1,147 @@
+"""Extended workload suite: FT, CG and MG (beyond the paper's five).
+
+The paper validates on BT/SP/LU + CP + LB.  These three NPB siblings
+stress corners of the model that the original five leave untouched, and
+are kept in a *separate* registry so the paper-reproduction benches stay
+exactly five-program:
+
+* **FT** — 3D FFT: the most communication-extreme signature (all-to-all
+  transposes moving the whole dataset every iteration) with few, very
+  large messages.  The stress test for the Eq. 5/6 network terms.
+* **CG** — conjugate gradient: sparse matrix-vector products with
+  irregular, latency-bound memory access (low MLP utility) and frequent
+  small reductions — the stress test for the latency-exposure side of the
+  memory model.
+* **MG** — multigrid: a hierarchy of grid levels whose coarse levels are
+  communication-dominated and fine levels memory-dominated; message sizes
+  span orders of magnitude, exercising ν far from its mean.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machines.spec import InstructionMix
+from repro.units import MIB
+from repro.workloads.base import CommunicationModel, HybridProgram, InputClass
+
+
+def _classes(iterations: int) -> dict[str, InputClass]:
+    return {
+        "W": InputClass("W", iterations=iterations, size_factor=1.0),
+        "A": InputClass("A", iterations=iterations, size_factor=2.0),
+        "B": InputClass("B", iterations=iterations, size_factor=3.0),
+        "C": InputClass("C", iterations=iterations, size_factor=4.0),
+    }
+
+
+@lru_cache(maxsize=None)
+def ft_program() -> HybridProgram:
+    """3D FFT (NPB FT flavour): all-to-all dominated."""
+    return HybridProgram(
+        name="FT",
+        suite="NPB (extended suite)",
+        language="Fortran",
+        domain="3D Fast Fourier Transform",
+        mix=InstructionMix(flops=0.58, mem=0.28, branch=0.04, other=0.10),
+        classes=_classes(iterations=60),
+        reference_class="W",
+        instructions_per_iteration=1.1e10,
+        dram_bytes_per_iteration=1.6e9,
+        working_set_bytes=160 * MIB,
+        comm=CommunicationModel(
+            # whole-dataset transpose every iteration: huge volume, counts
+            # grow with n (all-to-all)
+            msgs_ref=8.0,
+            bytes_ref=4.0e7,
+            msg_count_exponent=1.0,
+            decomposition_exponent=1.0,
+        ),
+        sequential_fraction=0.002,
+        thread_imbalance=0.02,
+        process_imbalance=0.02,
+        sync_instruction_coeff=0.002,
+        sync_instruction_exponent=1.2,
+    )
+
+
+@lru_cache(maxsize=None)
+def cg_program() -> HybridProgram:
+    """Conjugate gradient (NPB CG flavour): latency-bound sparse code."""
+    return HybridProgram(
+        name="CG",
+        suite="NPB (extended suite)",
+        language="Fortran",
+        domain="Sparse Linear Algebra",
+        mix=InstructionMix(flops=0.30, mem=0.50, branch=0.10, other=0.10),
+        classes=_classes(iterations=250),
+        reference_class="W",
+        instructions_per_iteration=1.6e9,
+        # indirect accesses defeat prefetch and spatial reuse: very high
+        # traffic per instruction
+        dram_bytes_per_iteration=5.5e8,
+        working_set_bytes=120 * MIB,
+        comm=CommunicationModel(
+            # frequent small reductions and halo rows
+            msgs_ref=40.0,
+            bytes_ref=6.0e5,
+            msg_count_exponent=0.0,
+            decomposition_exponent=0.5,
+        ),
+        sequential_fraction=0.004,
+        thread_imbalance=0.03,
+        process_imbalance=0.02,
+        sync_instruction_coeff=0.003,
+        sync_instruction_exponent=1.2,
+    )
+
+
+@lru_cache(maxsize=None)
+def mg_program() -> HybridProgram:
+    """Multigrid V-cycle (NPB MG flavour): mixed-regime levels."""
+    return HybridProgram(
+        name="MG",
+        suite="NPB (extended suite)",
+        language="Fortran",
+        domain="Multigrid Solver",
+        mix=InstructionMix(flops=0.42, mem=0.40, branch=0.06, other=0.12),
+        classes=_classes(iterations=120),
+        reference_class="W",
+        instructions_per_iteration=4.5e9,
+        dram_bytes_per_iteration=9.0e8,
+        working_set_bytes=140 * MIB,
+        comm=CommunicationModel(
+            # every level exchanges halos: many messages spanning sizes
+            msgs_ref=48.0,
+            bytes_ref=3.0e6,
+            msg_count_exponent=0.0,
+            decomposition_exponent=2.0 / 3.0,
+        ),
+        sequential_fraction=0.006,
+        thread_imbalance=0.03,
+        process_imbalance=0.025,
+        # coarse levels under-utilize threads: mild sync growth
+        sync_instruction_coeff=0.004,
+        sync_instruction_exponent=1.25,
+    )
+
+
+#: The extended suite, kept separate from the paper's five-program registry.
+EXTENDED_PROGRAMS = ("FT", "CG", "MG")
+
+
+def get_extended_program(name: str) -> HybridProgram:
+    """Look up an extended-suite program by name."""
+    factories = {"FT": ft_program, "CG": cg_program, "MG": mg_program}
+    try:
+        return factories[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown extended program {name!r}; available: "
+            f"{sorted(factories)}"
+        ) from None
+
+
+def all_extended_programs() -> list[HybridProgram]:
+    """All extended-suite programs."""
+    return [get_extended_program(name) for name in EXTENDED_PROGRAMS]

@@ -1,0 +1,250 @@
+"""Phase-level workload composition and planning.
+
+Real hybrid programs are sequences of kernels with very different
+characters — LBM alternates a compute-dense *collide* with a
+memory-streaming *stream*; CP alternates FFTs, dense algebra and
+projector updates.  The paper's model (and ours) consumes the *aggregate*
+signature; this module provides the bridge:
+
+* :func:`compose` builds a :class:`~repro.workloads.base.HybridProgram`
+  from named :class:`Phase` kernels — instruction-weighted mix blending
+  and summed demands, so the aggregate is exactly what a counter-based
+  characterization of the phased execution would measure;
+* :func:`phase_placements` places each phase on a machine's roofline
+  individually, exposing the binding kernel that the aggregate AI hides;
+* :func:`phase_frequency_plan` picks a per-phase DVFS point from the
+  energy roofline — memory-bound phases run at low frequency for near-free
+  (their time roof doesn't move), the compute phases keep fmax.  This is
+  the *compute-phase* counterpart of the stall-phase advisor in
+  :mod:`repro.core.dvfs`, and the class of schedule the per-phase DVFS
+  literature (paper §II-A) implements at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.roofline import node_energy_roofline, node_roofline
+from repro.machines.spec import ClusterSpec, InstructionMix
+from repro.workloads.base import CommunicationModel, HybridProgram, InputClass
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One kernel of a phased program (per iteration, whole problem)."""
+
+    name: str
+    instructions: float
+    dram_bytes: float
+    mix: InstructionMix
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError(f"phase {self.name!r} needs positive instructions")
+        if self.dram_bytes < 0:
+            raise ValueError(f"phase {self.name!r} has negative DRAM traffic")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Abstract instructions per DRAM byte (at the reference
+        hierarchy)."""
+        return self.instructions / self.dram_bytes if self.dram_bytes else float("inf")
+
+
+def blend_mixes(phases: Sequence[Phase]) -> InstructionMix:
+    """Instruction-weighted blend of the phases' mixes."""
+    total = sum(p.instructions for p in phases)
+    return InstructionMix(
+        flops=sum(p.mix.flops * p.instructions for p in phases) / total,
+        mem=sum(p.mix.mem * p.instructions for p in phases) / total,
+        branch=sum(p.mix.branch * p.instructions for p in phases) / total,
+        other=sum(p.mix.other * p.instructions for p in phases) / total,
+    )
+
+
+def compose(
+    name: str,
+    phases: Sequence[Phase],
+    classes: Mapping[str, InputClass],
+    reference_class: str,
+    comm: CommunicationModel,
+    working_set_bytes: float,
+    **artefacts: float,
+) -> HybridProgram:
+    """Compose phases into an aggregate :class:`HybridProgram`.
+
+    ``artefacts`` forwards the behavioural knobs (sequential_fraction,
+    imbalances, sync coefficients) to the program.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    names = [p.name for p in phases]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate phase names: {names}")
+    return HybridProgram(
+        name=name,
+        suite="phased",
+        language="n/a",
+        domain="phased composition",
+        mix=blend_mixes(phases),
+        classes=dict(classes),
+        reference_class=reference_class,
+        instructions_per_iteration=sum(p.instructions for p in phases),
+        dram_bytes_per_iteration=sum(p.dram_bytes for p in phases),
+        working_set_bytes=working_set_bytes,
+        comm=comm,
+        **artefacts,
+    )
+
+
+@dataclass(frozen=True)
+class PhasePlacement:
+    """One phase's roofline placement on a machine."""
+
+    phase: Phase
+    effective_ai: float
+    bound: str
+    min_time_share_s: float
+
+
+def phase_placements(
+    cluster: ClusterSpec,
+    phases: Sequence[Phase],
+    cores: int | None = None,
+    frequency_hz: float | None = None,
+    working_set_bytes: float | None = None,
+) -> list[PhasePlacement]:
+    """Roofline placement per phase (the binding-kernel view).
+
+    ``working_set_bytes`` drives the machine's miss amplification; if not
+    given, the phases are assumed cache-resident beyond their declared
+    traffic (amplification 1).
+    """
+    c = cores if cores is not None else cluster.node.max_cores
+    f = frequency_hz if frequency_hz is not None else cluster.node.core.fmax
+    roof = node_roofline(cluster, c, f)
+    amplification = (
+        cluster.node.memory.miss_amplification(working_set_bytes)
+        if working_set_bytes
+        else 1.0
+    )
+    placements = []
+    for phase in phases:
+        dram = phase.dram_bytes * amplification
+        ai = phase.instructions / dram if dram else float("inf")
+        placements.append(
+            PhasePlacement(
+                phase=phase,
+                effective_ai=ai,
+                bound=roof.bound(ai) if dram else "compute",
+                min_time_share_s=phase.instructions / float(roof.attainable(ai)),
+            )
+        )
+    return placements
+
+
+@dataclass(frozen=True)
+class PhaseFrequencyPlan:
+    """A per-phase DVFS schedule with its bound-level effect."""
+
+    frequencies_hz: dict[str, float]
+    time_bound_s: float
+    energy_bound_j: float
+    static_time_bound_s: float
+    static_energy_bound_j: float
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Bound-level energy saving vs running every phase at fmax."""
+        if self.static_energy_bound_j == 0:
+            return 0.0
+        return 1.0 - self.energy_bound_j / self.static_energy_bound_j
+
+    @property
+    def slowdown_fraction(self) -> float:
+        """Bound-level time cost vs running every phase at fmax."""
+        if self.static_time_bound_s == 0:
+            return 0.0
+        return self.time_bound_s / self.static_time_bound_s - 1.0
+
+
+def phase_frequency_plan(
+    cluster: ClusterSpec,
+    phases: Sequence[Phase],
+    cores: int | None = None,
+    working_set_bytes: float | None = None,
+    max_slowdown: float = 0.05,
+) -> PhaseFrequencyPlan:
+    """Pick each phase's frequency from the energy roofline.
+
+    For every phase, evaluate all DVFS points: the phase's bound-level
+    time is ``instructions / attainable(AI, f)`` and its bound-level
+    energy is the energy-roofline floor.  Choose per phase the minimum-
+    energy frequency whose *total-plan* slowdown stays within
+    ``max_slowdown`` of the all-fmax plan (greedy: phases are relaxed in
+    order of best energy-saving per unit slowdown).
+    """
+    c = cores if cores is not None else cluster.node.max_cores
+    freqs = cluster.frequencies_hz
+    fmax = cluster.node.core.fmax
+    amplification = (
+        cluster.node.memory.miss_amplification(working_set_bytes)
+        if working_set_bytes
+        else 1.0
+    )
+
+    def bound(phase: Phase, f: float) -> tuple[float, float]:
+        roof = node_roofline(cluster, c, f)
+        eroof = node_energy_roofline(cluster, c, f)
+        dram = phase.dram_bytes * amplification
+        ai = phase.instructions / dram if dram else float("inf")
+        rate = float(roof.attainable(ai)) if dram else roof.compute_peak
+        t = phase.instructions / rate
+        e = eroof.floor_j_per_instr(ai if dram else roof.balance_ai * 10) * phase.instructions
+        return t, e
+
+    static = {p.name: bound(p, fmax) for p in phases}
+    static_time = sum(t for t, _ in static.values())
+    static_energy = sum(e for _, e in static.values())
+    budget = static_time * (1.0 + max_slowdown)
+
+    chosen = {p.name: fmax for p in phases}
+    current = dict(static)
+    # greedy: repeatedly take the single phase/frequency move with the best
+    # energy saving per added second, while the budget holds
+    improved = True
+    while improved:
+        improved = False
+        best_move = None
+        best_ratio = 0.0
+        total_time = sum(t for t, _ in current.values())
+        for p in phases:
+            for f in freqs:
+                if f >= chosen[p.name]:
+                    continue
+                t_new, e_new = bound(p, f)
+                t_old, e_old = current[p.name]
+                de = e_old - e_new
+                dt = t_new - t_old
+                if de <= 0:
+                    continue
+                if total_time + dt > budget:
+                    continue
+                ratio = de / max(dt, 1e-12) if dt > 0 else float("inf")
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_move = (p, f, (t_new, e_new))
+        if best_move is not None:
+            p, f, te = best_move
+            chosen[p.name] = f
+            current[p.name] = te
+            improved = True
+
+    return PhaseFrequencyPlan(
+        frequencies_hz=chosen,
+        time_bound_s=sum(t for t, _ in current.values()),
+        energy_bound_j=sum(e for _, e in current.values()),
+        static_time_bound_s=static_time,
+        static_energy_bound_j=static_energy,
+    )

@@ -1,0 +1,57 @@
+"""Car-Parrinello molecular dynamics (Quantum Espresso CP) workload model.
+
+CP simulates H2O molecules with plane-wave DFT (paper §IV-B).  Each MD step
+is dominated by 3D FFTs, whose distributed transposes are *all-to-all*
+exchanges: every process messages every other process, so the per-process
+message count grows linearly with the node count while per-message volume
+shrinks quadratically — the communication signature that makes CP's UCR
+collapse steeply with scale (paper Fig. 10/11: "steep drop in the UCR values
+with increasing number of logical processes and threads").
+
+CP also carries the largest process/thread imbalance of the five programs
+(band/plane distribution is uneven for small molecules), which the
+analytical model deliberately does not capture.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machines.spec import InstructionMix
+from repro.units import MIB
+from repro.workloads.base import CommunicationModel, HybridProgram, InputClass
+
+
+@lru_cache(maxsize=None)
+def cp_program() -> HybridProgram:
+    """Car-Parrinello MD of H2O (Quantum Espresso v5.1 ``cp.x``)."""
+    return HybridProgram(
+        name="CP",
+        suite="Quantum Espresso (v5.1)",
+        language="Fortran",
+        domain="Electronic-structure Calculations",
+        mix=InstructionMix(flops=0.55, mem=0.31, branch=0.05, other=0.09),
+        classes={
+            # MD steps; size factors scale the plane-wave cutoff / grid.
+            "W": InputClass("W", iterations=50, size_factor=1.0),
+            "A": InputClass("A", iterations=50, size_factor=2.0),
+            "B": InputClass("B", iterations=50, size_factor=3.0),
+            "C": InputClass("C", iterations=50, size_factor=4.0),
+        },
+        reference_class="W",
+        instructions_per_iteration=1.2e10,
+        dram_bytes_per_iteration=1.0e9,
+        working_set_bytes=120 * MIB,
+        comm=CommunicationModel(
+            msgs_ref=24.0,
+            bytes_ref=6.0e6,
+            # All-to-all: messages/process grows with n, volume/process ~ 1/n.
+            msg_count_exponent=1.0,
+            decomposition_exponent=1.0,
+        ),
+        sequential_fraction=0.004,
+        thread_imbalance=0.035,
+        process_imbalance=0.03,
+        sync_instruction_coeff=0.004,
+        sync_instruction_exponent=1.35,
+    )

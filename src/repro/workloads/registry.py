@@ -1,0 +1,41 @@
+"""Registry of the paper's five validation programs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import HybridProgram
+from repro.workloads.lbm import lb_program
+from repro.workloads.npb import bt_program, lu_program, sp_program
+from repro.workloads.quantum import cp_program
+
+_FACTORIES: dict[str, Callable[[], HybridProgram]] = {
+    "LU": lu_program,
+    "SP": sp_program,
+    "BT": bt_program,
+    "CP": cp_program,
+    "LB": lb_program,
+}
+
+#: Paper Table 2 presentation order.
+PAPER_ORDER = ("LU", "SP", "BT", "CP", "LB")
+
+
+def list_programs() -> list[str]:
+    """Names of the five validation programs in paper order."""
+    return list(PAPER_ORDER)
+
+
+def get_program(name: str) -> HybridProgram:
+    """Look up a validation program by name (case-insensitive)."""
+    try:
+        return _FACTORIES[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; available: {list_programs()}"
+        ) from None
+
+
+def all_programs() -> list[HybridProgram]:
+    """All five validation programs in paper order."""
+    return [get_program(name) for name in PAPER_ORDER]

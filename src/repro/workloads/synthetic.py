@@ -1,0 +1,82 @@
+"""Synthetic hybrid-program generator for tests and ablation studies.
+
+:func:`synthetic_program` builds a :class:`~repro.workloads.base.
+HybridProgram` from a handful of high-level knobs (compute intensity,
+communication intensity, pattern) so that tests and ablation benchmarks can
+sweep program characteristics continuously instead of being limited to the
+five paper programs.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import InstructionMix
+from repro.units import MIB
+from repro.workloads.base import CommunicationModel, HybridProgram, InputClass
+
+
+def synthetic_program(
+    name: str = "SYN",
+    iterations: int = 100,
+    instructions_per_iteration: float = 1.0e9,
+    arithmetic_intensity: float = 8.0,
+    comm_fraction: float = 0.05,
+    messages_per_iteration: float = 16.0,
+    pattern: str = "halo",
+    working_set_mib: float = 32.0,
+    sequential_fraction: float = 0.01,
+    thread_imbalance: float = 0.03,
+    process_imbalance: float = 0.03,
+    sync_coeff: float = 0.0,
+    sync_exponent: float = 1.0,
+) -> HybridProgram:
+    """Build a synthetic hybrid program.
+
+    Parameters
+    ----------
+    arithmetic_intensity:
+        Abstract instructions per DRAM byte; low values make the program
+        memory-bound.
+    comm_fraction:
+        Communicated bytes per iteration as a fraction of DRAM bytes per
+        iteration (at the 2-node reference point).
+    pattern:
+        ``"halo"`` (constant neighbor count, surface 2/3 decomposition) or
+        ``"alltoall"`` (message count grows with n, volume/process ~ 1/n).
+    """
+    if pattern not in ("halo", "alltoall"):
+        raise ValueError(f"unknown communication pattern {pattern!r}")
+    if arithmetic_intensity <= 0:
+        raise ValueError("arithmetic_intensity must be positive")
+    if comm_fraction < 0:
+        raise ValueError("comm_fraction must be non-negative")
+
+    dram_bytes = instructions_per_iteration / arithmetic_intensity
+    comm_bytes = max(1.0, dram_bytes * comm_fraction)
+    comm = CommunicationModel(
+        msgs_ref=messages_per_iteration,
+        bytes_ref=comm_bytes,
+        msg_count_exponent=0.0 if pattern == "halo" else 1.0,
+        decomposition_exponent=2.0 / 3.0 if pattern == "halo" else 1.0,
+    )
+    return HybridProgram(
+        name=name,
+        suite="synthetic",
+        language="n/a",
+        domain="synthetic",
+        mix=InstructionMix(flops=0.45, mem=0.35, branch=0.08, other=0.12),
+        classes={
+            "W": InputClass("W", iterations=iterations, size_factor=1.0),
+            "A": InputClass("A", iterations=iterations, size_factor=2.0),
+            "C": InputClass("C", iterations=iterations, size_factor=4.0),
+        },
+        reference_class="W",
+        instructions_per_iteration=instructions_per_iteration,
+        dram_bytes_per_iteration=dram_bytes,
+        working_set_bytes=working_set_mib * MIB,
+        comm=comm,
+        sequential_fraction=sequential_fraction,
+        thread_imbalance=thread_imbalance,
+        process_imbalance=process_imbalance,
+        sync_instruction_coeff=sync_coeff,
+        sync_instruction_exponent=sync_exponent,
+    )

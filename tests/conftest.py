@@ -1,0 +1,61 @@
+"""Shared fixtures: simulated clusters and characterized models.
+
+Characterization is the expensive step (a full single-node (c, f) sweep),
+so models are cached per (cluster, program) at session scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import HybridProgramModel
+from repro.machines.arm import arm_cluster
+from repro.machines.spec import Configuration
+from repro.machines.xeon import xeon_cluster
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.registry import get_program
+
+
+@pytest.fixture(scope="session")
+def xeon_sim() -> SimulatedCluster:
+    """Simulated 8-node Xeon cluster."""
+    return SimulatedCluster(xeon_cluster())
+
+
+@pytest.fixture(scope="session")
+def arm_sim() -> SimulatedCluster:
+    """Simulated 8-node ARM cluster."""
+    return SimulatedCluster(arm_cluster())
+
+
+@pytest.fixture(scope="session")
+def model_cache():
+    """Session cache of characterized models keyed by (cluster, program)."""
+    cache: dict[tuple[str, str], HybridProgramModel] = {}
+
+    def get(sim: SimulatedCluster, program_name: str) -> HybridProgramModel:
+        key = (sim.spec.name, program_name)
+        if key not in cache:
+            cache[key] = HybridProgramModel.from_measurements(
+                sim, get_program(program_name)
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def xeon_sp_model(xeon_sim, model_cache) -> HybridProgramModel:
+    """Characterized SP-on-Xeon model (the paper's flagship example)."""
+    return model_cache(xeon_sim, "SP")
+
+
+@pytest.fixture(scope="session")
+def arm_cp_model(arm_sim, model_cache) -> HybridProgramModel:
+    """Characterized CP-on-ARM model (Fig. 9's subject)."""
+    return model_cache(arm_sim, "CP")
+
+
+def config(n: int, c: int, f_ghz: float) -> Configuration:
+    """Terse configuration constructor for tests."""
+    return Configuration(nodes=n, cores=c, frequency_hz=f_ghz * 1e9)

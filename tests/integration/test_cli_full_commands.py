@@ -1,0 +1,58 @@
+"""Full-pipeline CLI commands (slower: each runs a characterization)."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_validate_command(capsys):
+    assert main(
+        ["validate", "--cluster", "xeon", "--program", "SP", "--repetitions", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Validation: SP on xeon" in out
+    # all 96 validation configurations present
+    assert out.count("(8,8,") == 3  # three frequencies at (8,8)
+    assert "time:" in out and "energy:" in out
+    # summary quotes a sub-15% mean
+    import re
+
+    means = [
+        float(m)
+        for m in re.findall(r"\|err\| mean=([0-9.]+)%", out)
+    ]
+    assert means and all(m < 15.0 for m in means)
+
+
+def test_ucr_command(capsys):
+    assert main(["ucr", "--cluster", "xeon", "--program", "LB"]) == 0
+    out = capsys.readouterr().out
+    assert "UCR: LB on xeon" in out
+    assert "(1,1,1.2)" in out
+
+
+def test_pareto_extrapolate_command(capsys):
+    assert main(
+        ["pareto", "--cluster", "xeon", "--program", "SP", "--extrapolate"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "216 configurations" in out
+    assert "(256,8," in out  # the extrapolated fast end made the frontier
+
+
+def test_pareto_infeasible_queries(capsys):
+    assert main(
+        [
+            "pareto",
+            "--cluster",
+            "xeon",
+            "--program",
+            "SP",
+            "--deadline",
+            "0.001",
+            "--budget",
+            "0.001",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.count("infeasible") == 2

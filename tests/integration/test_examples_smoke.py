@@ -1,0 +1,46 @@
+"""Examples stay runnable (fast subset; the slow ones are exercised by the
+benches that share their code paths)."""
+
+import runpy
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ucr_tuning.py",
+    "phase_profile.py",
+    "phased_workload.py",
+    "dvfs_advisor.py",
+    "cluster_health.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_all_examples_present():
+    """The README's example table and the directory stay in sync."""
+    expected = {
+        "quickstart.py",
+        "pareto_explorer.py",
+        "ucr_tuning.py",
+        "custom_machine.py",
+        "validation_study.py",
+        "dvfs_advisor.py",
+        "phase_profile.py",
+        "cluster_shootout.py",
+        "scaling_study.py",
+        "phased_workload.py",
+        "cluster_health.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found

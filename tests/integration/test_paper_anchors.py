@@ -1,0 +1,74 @@
+"""Quantitative anchor values from the paper's text.
+
+These pin the calibration: specific UCR values the paper quotes, the §V-B
+what-if deltas, and the Fig. 3 network plateau.  Tolerances are loose —
+this is a shape-and-magnitude reproduction, not a bit-exact one.
+"""
+
+import pytest
+
+from repro.core.whatif import WhatIf
+from repro.measure.netpipe import run_netpipe
+from repro.machines.arm import arm_cluster
+from tests.conftest import config
+
+
+class TestUCRAnchors:
+    def test_sp_xeon_serial_fmin(self, xeon_sp_model):
+        """Fig. 8: UCR = 0.91 at (1,1,1.2)."""
+        assert xeon_sp_model.predict(config(1, 1, 1.2)).ucr == pytest.approx(
+            0.91, abs=0.05
+        )
+
+    def test_sp_xeon_single_node_full(self, xeon_sp_model):
+        """Fig. 8: UCR = 0.67 at (1,8,1.8)."""
+        assert xeon_sp_model.predict(config(1, 8, 1.8)).ucr == pytest.approx(
+            0.67, abs=0.06
+        )
+
+    def test_bt_xeon_upper_bound(self, xeon_sim, model_cache):
+        """§V-B: 'UCR for Xeon to be much higher (0.96 for BT program)'."""
+        model = model_cache(xeon_sim, "BT")
+        assert model.predict(config(1, 1, 1.2)).ucr == pytest.approx(0.96, abs=0.03)
+
+    def test_bt_arm_upper_bound(self, arm_sim, model_cache):
+        """§V-B: 'than UCR for ARM (0.54 for BT program)'."""
+        model = model_cache(arm_sim, "BT")
+        assert model.predict(config(1, 1, 0.2)).ucr == pytest.approx(0.54, abs=0.06)
+
+    def test_cp_arm_serial_fmin(self, arm_cp_model):
+        """Fig. 9: UCR = 0.48 at (1,1,0.2)."""
+        assert arm_cp_model.predict(config(1, 1, 0.2)).ucr == pytest.approx(
+            0.48, abs=0.06
+        )
+
+    def test_cp_arm_mid_configs(self, arm_cp_model):
+        """Fig. 9 annotations: (1,2,0.8) ~ 0.42, (3,2,0.8) ~ 0.35."""
+        assert arm_cp_model.predict(config(1, 2, 0.8)).ucr == pytest.approx(
+            0.42, abs=0.08
+        )
+        assert arm_cp_model.predict(config(3, 2, 0.8)).ucr == pytest.approx(
+            0.35, abs=0.08
+        )
+
+
+class TestWhatIfAnchor:
+    def test_membw_doubling_on_sp_xeon(self, xeon_sp_model):
+        """§V-B: doubling memory bandwidth lifts SP on Xeon (1,8,1.8) from
+        UCR 0.67 to 0.81, saving ~7 s and ~590 J."""
+        cfg = config(1, 8, 1.8)
+        base = xeon_sp_model.predict(cfg)
+        tuned = WhatIf(xeon_sp_model).memory_bandwidth(2.0).predict(cfg)
+        assert tuned.ucr == pytest.approx(0.81, abs=0.05)
+        dt = base.time_s - tuned.time_s
+        de = base.energy_j - tuned.energy_j
+        assert dt == pytest.approx(7.0, abs=3.0)
+        assert de == pytest.approx(590.0, rel=0.5)
+
+
+class TestNetworkAnchor:
+    def test_arm_link_plateaus_at_90mbps(self):
+        """Fig. 3: 'maximum achievable throughput on a 100 Mbps Ethernet
+        link is only 90 Mbps due to MPI overheads'."""
+        pipe = run_netpipe(arm_cluster())
+        assert pipe.peak_throughput_mbps == pytest.approx(90.0, abs=3.0)

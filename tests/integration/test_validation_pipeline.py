@@ -1,0 +1,90 @@
+"""End-to-end validation pipeline: Table 2-style accuracy bounds.
+
+The full Table 2 campaign (5 programs × 2 clusters × 96/80 configs × reps)
+lives in the benchmark harness; here a reduced sweep checks the paper's
+headline accuracy claim — 'model accuracy is within reasonable bounds of
+less than 15%' — holds along every axis of the space.
+"""
+
+import pytest
+
+from repro.analysis.validation import validate_program
+from repro.core.configspace import ConfigSpace
+from repro.workloads.lbm import lb_program
+from repro.workloads.npb import lu_program, sp_program
+from tests.conftest import config
+
+
+@pytest.fixture(scope="module")
+def sp_campaign(xeon_sim, xeon_sp_model):
+    space = ConfigSpace(
+        node_counts=(1, 2, 4, 8),
+        core_counts=(1, 4, 8),
+        frequencies_hz=(1.2e9, 1.8e9),
+    )
+    return validate_program(
+        xeon_sim, sp_program(), space=space, repetitions=2, model=xeon_sp_model
+    )
+
+
+def test_mean_errors_below_paper_bound(sp_campaign):
+    assert sp_campaign.time_errors.mean_abs < 15.0
+    assert sp_campaign.energy_errors.mean_abs < 15.0
+
+
+def test_no_catastrophic_outliers(sp_campaign):
+    assert sp_campaign.time_errors.max_abs < 35.0
+    assert sp_campaign.energy_errors.max_abs < 35.0
+
+
+def test_predictions_track_measured_trends(sp_campaign):
+    """Predicted values follow measured trends across configurations
+    (paper: 'predicted values ... follow the trends of the measured
+    values')."""
+    import numpy as np
+
+    meas = np.array([r.measured_time_s for r in sp_campaign.records])
+    pred = np.array([r.predicted_time_s for r in sp_campaign.records])
+    corr = np.corrcoef(np.log(meas), np.log(pred))[0, 1]
+    assert corr > 0.98
+
+
+def test_arm_campaign_within_bounds(arm_sim, model_cache):
+    space = ConfigSpace(
+        node_counts=(1, 4, 8), core_counts=(1, 4), frequencies_hz=(0.2e9, 1.4e9)
+    )
+    campaign = validate_program(
+        arm_sim,
+        lb_program(),
+        space=space,
+        repetitions=2,
+        model=model_cache(arm_sim, "LB"),
+    )
+    assert campaign.time_errors.mean_abs < 15.0
+    assert campaign.energy_errors.mean_abs < 15.0
+
+
+class TestScaleOut:
+    """Fig. 7: the model predicts class C (4x baseline) from class-W
+    baselines."""
+
+    def test_lu_class_c_accuracy(self, xeon_sim, model_cache):
+        model = model_cache(xeon_sim, "LU")
+        space = ConfigSpace(
+            node_counts=(1, 2, 4, 8), core_counts=(1, 8), frequencies_hz=(1.8e9,)
+        )
+        campaign = validate_program(
+            xeon_sim,
+            lu_program(),
+            space=space,
+            class_name="C",
+            repetitions=1,
+            model=model,
+        )
+        assert campaign.time_errors.mean_abs < 15.0
+        assert campaign.energy_errors.mean_abs < 15.0
+
+    def test_class_c_is_roughly_four_times_class_w(self, xeon_sim):
+        w = xeon_sim.run(lu_program(), config(1, 8, 1.8), class_name="W")
+        c = xeon_sim.run(lu_program(), config(1, 8, 1.8), class_name="C")
+        assert c.wall_time_s / w.wall_time_s == pytest.approx(4.0, rel=0.25)

@@ -1,0 +1,88 @@
+"""Property tests: the energy model's algebraic structure (Eqs. 8-12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy_model import predict_energy
+from repro.core.time_model import TimeBreakdown
+from repro.machines.power import PowerTable
+
+_GRID = [(c, f) for c in (1, 2, 4, 8) for f in (1.0e9, 2.0e9)]
+
+time_st = st.floats(0.0, 1e4, allow_nan=False, allow_infinity=False)
+power_st = st.floats(0.1, 100.0, allow_nan=False)
+
+
+def make_table(p_act, p_stall, p_mem, p_net, p_idle):
+    return PowerTable(
+        core_active_w={k: p_act for k in _GRID},
+        core_stall_w={k: p_stall for k in _GRID},
+        mem_w=p_mem,
+        net_w=p_net,
+        sys_idle_w=p_idle,
+    )
+
+
+def make_time(t_cpu, t_mem, t_net_s, t_net_w):
+    return TimeBreakdown(
+        t_cpu_s=t_cpu,
+        t_mem_s=t_mem,
+        t_net_service_s=t_net_s,
+        t_net_wait_s=t_net_w,
+        utilization_baseline=0.9,
+        rho_network=0.0,
+    )
+
+
+@given(time_st, time_st, time_st, time_st, power_st, power_st, power_st, power_st, power_st)
+@settings(max_examples=150)
+def test_linearity_in_nodes(t1, t2, t3, t4, pa, ps, pm, pn, pi):
+    table = make_table(pa, ps, pm, pn, pi)
+    time = make_time(t1, t2, t3, t4)
+    e1 = predict_energy(table, time, 1, 2, 1.0e9)
+    e8 = predict_energy(table, time, 8, 2, 1.0e9)
+    assert e8.total_j == pytest.approx(8 * e1.total_j, rel=1e-9, abs=1e-9)
+
+
+@given(time_st, time_st, power_st, power_st, power_st)
+@settings(max_examples=100)
+def test_linearity_in_time_scaling(t_cpu, t_mem, pa, ps, pi):
+    table = make_table(pa, ps, 1.0, 1.0, pi)
+    base = predict_energy(table, make_time(t_cpu, t_mem, 0, 0), 1, 4, 1.0e9)
+    doubled = predict_energy(
+        table, make_time(2 * t_cpu, 2 * t_mem, 0, 0), 1, 4, 1.0e9
+    )
+    assert doubled.total_j == pytest.approx(2 * base.total_j, rel=1e-9, abs=1e-9)
+
+
+@given(time_st, time_st, time_st, time_st, power_st, power_st, power_st, power_st, power_st)
+@settings(max_examples=150)
+def test_components_nonnegative_and_sum(t1, t2, t3, t4, pa, ps, pm, pn, pi):
+    table = make_table(pa, ps, pm, pn, pi)
+    e = predict_energy(table, make_time(t1, t2, t3, t4), 2, 4, 2.0e9)
+    assert e.cpu_j >= 0 and e.mem_j >= 0 and e.net_j >= 0 and e.idle_j >= 0
+    assert e.total_j == pytest.approx(
+        e.cpu_j + e.mem_j + e.net_j + e.idle_j, rel=1e-12, abs=1e-9
+    )
+
+
+@given(time_st, time_st, power_st, power_st, power_st)
+@settings(max_examples=100)
+def test_monotone_in_power_parameters(t_cpu, t_mem, pa, ps, pi):
+    lean = make_table(pa, ps, 1.0, 1.0, pi)
+    rich = make_table(pa * 2, ps * 2, 2.0, 2.0, pi * 2)
+    time = make_time(t_cpu, t_mem, 1.0, 1.0)
+    assert (
+        predict_energy(rich, time, 2, 2, 1.0e9).total_j
+        >= predict_energy(lean, time, 2, 2, 1.0e9).total_j
+    )
+
+
+@given(time_st, time_st, time_st, time_st, power_st)
+@settings(max_examples=100)
+def test_idle_energy_tracks_total_time(t1, t2, t3, t4, pi):
+    table = make_table(1.0, 1.0, 1.0, 1.0, pi)
+    time = make_time(t1, t2, t3, t4)
+    e = predict_energy(table, time, 3, 2, 1.0e9)
+    assert e.idle_j == pytest.approx(pi * time.total_s * 3, rel=1e-9, abs=1e-9)

@@ -1,0 +1,56 @@
+"""Property tests: energy metrics and Pareto interaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import pareto_mask
+
+positive = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def te_cloud(draw, min_size=2, max_size=64):
+    n = draw(st.integers(min_size, max_size))
+    times = np.array([draw(positive) for _ in range(n)])
+    energies = np.array([draw(positive) for _ in range(n)])
+    return times, energies
+
+
+@given(te_cloud(), st.integers(1, 3))
+@settings(max_examples=100)
+def test_edp_optimum_is_pareto_member(cloud, weight):
+    """min E*T^w always lies on the time-energy Pareto frontier."""
+    times, energies = cloud
+    scores = energies * times**weight
+    best = int(np.argmin(scores))
+    mask = pareto_mask(times, energies)
+    # the optimum either is kept, or ties exactly with a kept duplicate
+    if not mask[best]:
+        kept = np.where(mask)[0]
+        assert any(
+            times[k] == times[best] and energies[k] == energies[best]
+            for k in kept
+        )
+
+
+@given(te_cloud())
+@settings(max_examples=100)
+def test_heavier_delay_weight_never_slower(cloud):
+    times, energies = cloud
+    t1 = times[int(np.argmin(energies * times))]
+    t2 = times[int(np.argmin(energies * times**2))]
+    assert t2 <= t1 + 1e-12
+
+
+@given(te_cloud())
+@settings(max_examples=100)
+def test_edp_scale_invariance(cloud):
+    """Rescaling either axis rescales EDP but not the argmin."""
+    times, energies = cloud
+    base = int(np.argmin(energies * times))
+    scaled = int(np.argmin((energies * 3.7) * (times * 0.2)))
+    assert energies[base] * times[base] == pytest.approx(
+        energies[scaled] * times[scaled]
+    )

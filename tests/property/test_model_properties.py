@@ -1,0 +1,84 @@
+"""Property-based tests of the analytical model's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.time_model import predict_time
+from repro.core.energy_model import predict_energy
+from tests.unit.test_core_time_model import make_inputs
+
+nodes_st = st.sampled_from([1, 2, 4, 8, 16, 64])
+cores_st = st.sampled_from([1, 2, 4, 8])
+freq_st = st.sampled_from([1.0e9, 2.0e9])
+scale_st = st.floats(0.1, 16.0, allow_nan=False)
+
+
+@given(nodes_st, cores_st, freq_st, scale_st)
+@settings(max_examples=150, deadline=None)
+def test_time_breakdown_always_valid(n, c, f, scale):
+    inputs = make_inputs()
+    t = predict_time(inputs, n, c, f, scale, 100)
+    assert t.total_s > 0
+    assert t.t_cpu_s > 0
+    assert t.t_mem_s >= 0
+    assert t.t_net_service_s >= 0
+    assert t.t_net_wait_s >= 0
+    assert 0 < t.ucr <= 1
+    assert 0 <= t.rho_network < 1
+
+
+@given(nodes_st, cores_st, freq_st)
+@settings(max_examples=100, deadline=None)
+def test_scale_monotone_in_work(n, c, f):
+    inputs = make_inputs()
+    small = predict_time(inputs, n, c, f, 1.0, 100)
+    large = predict_time(inputs, n, c, f, 2.0, 100)
+    assert large.total_s > small.total_s
+
+
+@given(nodes_st, cores_st, freq_st, scale_st)
+@settings(max_examples=100, deadline=None)
+def test_energy_components_positive(n, c, f, scale):
+    inputs = make_inputs()
+    t = predict_time(inputs, n, c, f, scale, 100)
+    e = predict_energy(inputs.power, t, n, c, f)
+    assert e.total_j > 0
+    assert e.idle_j > 0
+    assert e.cpu_j > 0
+    assert e.total_j == pytest.approx(e.cpu_j + e.mem_j + e.net_j + e.idle_j)
+
+
+@given(nodes_st, cores_st, scale_st)
+@settings(max_examples=100, deadline=None)
+def test_higher_frequency_never_slower_when_comm_light(n, c, scale):
+    """With frequency-invariant baseline cycle tables and light
+    communication, raising f cannot slow the prediction down.  (Under
+    heavy network load the speedup compresses the run and raises the
+    offered message rate, so the queueing term can legitimately eat the
+    gain — hence the light-traffic restriction.)"""
+    inputs = make_inputs(volume_ref=1e3, eta_ref=1.0)
+    slow = predict_time(inputs, n, c, 1.0e9, scale, 100)
+    fast = predict_time(inputs, n, c, 2.0e9, scale, 100)
+    assert fast.total_s <= slow.total_s * (1 + 1e-9)
+
+
+@given(cores_st, freq_st, scale_st)
+@settings(max_examples=100, deadline=None)
+def test_single_node_time_is_cycle_arithmetic(c, f, scale):
+    """For n = 1 the model is exactly Eqs. 2-7 — check against direct
+    arithmetic."""
+    inputs = make_inputs()
+    art = inputs.artefacts(c, f)
+    t = predict_time(inputs, 1, c, f, scale, 100)
+    expected = (art.useful_cycles + art.mem_stall_cycles) * scale / f
+    assert t.total_s == pytest.approx(expected)
+
+
+@given(nodes_st, cores_st, freq_st, scale_st)
+@settings(max_examples=100, deadline=None)
+def test_deterministic(n, c, f, scale):
+    inputs = make_inputs()
+    a = predict_time(inputs, n, c, f, scale, 100)
+    b = predict_time(inputs, n, c, f, scale, 100)
+    assert a.total_s == b.total_s

@@ -1,0 +1,83 @@
+"""Property-based tests of Pareto frontier extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pareto import pareto_mask
+
+positive = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def point_cloud(min_size=1, max_size=128):
+    return st.integers(min_size, max_size).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.float64, n, elements=positive),
+            hnp.arrays(np.float64, n, elements=positive),
+        )
+    )
+
+
+def is_dominated(i, times, energies):
+    return bool(
+        np.any(
+            (times <= times[i])
+            & (energies <= energies[i])
+            & ((times < times[i]) | (energies < energies[i]))
+        )
+    )
+
+
+@given(point_cloud())
+@settings(max_examples=150)
+def test_kept_points_are_non_dominated(cloud):
+    times, energies = cloud
+    mask = pareto_mask(times, energies)
+    assert mask.any()  # at least one survivor
+    for i in np.where(mask)[0]:
+        assert not is_dominated(i, times, energies)
+
+
+@given(point_cloud())
+@settings(max_examples=150)
+def test_excluded_points_are_dominated_or_duplicates(cloud):
+    times, energies = cloud
+    mask = pareto_mask(times, energies)
+    kept = set(zip(times[mask], energies[mask]))
+    for i in np.where(~mask)[0]:
+        dominated = is_dominated(i, times, energies)
+        duplicate = (times[i], energies[i]) in kept
+        assert dominated or duplicate
+
+
+@given(point_cloud(min_size=2))
+@settings(max_examples=100)
+def test_permutation_invariance(cloud):
+    times, energies = cloud
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(times.size)
+    base = set(zip(times[pareto_mask(times, energies)], energies[pareto_mask(times, energies)]))
+    shuffled_mask = pareto_mask(times[perm], energies[perm])
+    shuffled = set(zip(times[perm][shuffled_mask], energies[perm][shuffled_mask]))
+    assert base == shuffled
+
+
+@given(point_cloud())
+def test_global_minima_always_kept(cloud):
+    times, energies = cloud
+    mask = pareto_mask(times, energies)
+    # the min-energy point always survives; a min-time point survives
+    assert energies[mask].min() == energies.min()
+    assert times[mask].min() == times.min()
+
+
+@given(point_cloud(), positive, positive)
+def test_scale_invariance(cloud, kt, ke):
+    """Rescaling the axes does not change frontier membership."""
+    times, energies = cloud
+    base = pareto_mask(times, energies)
+    scaled = pareto_mask(times * kt, energies * ke)
+    assert np.array_equal(base, scaled)

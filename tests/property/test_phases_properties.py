@@ -1,0 +1,90 @@
+"""Property tests: phase composition invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.spec import InstructionMix
+from repro.workloads.base import CommunicationModel, InputClass
+from repro.workloads.phases import Phase, blend_mixes, compose
+
+instr_st = st.floats(1e6, 1e10, allow_nan=False)
+bytes_st = st.floats(0.0, 1e9, allow_nan=False)
+
+
+@st.composite
+def mixes(draw):
+    parts = [draw(st.floats(0.01, 1.0)) for _ in range(4)]
+    total = sum(parts)
+    f, m, b, o = (p / total for p in parts)
+    # absorb rounding into 'other'
+    return InstructionMix(flops=f, mem=m, branch=b, other=1.0 - f - m - b)
+
+
+@st.composite
+def phase_lists(draw, max_phases=5):
+    n = draw(st.integers(1, max_phases))
+    return [
+        Phase(
+            name=f"p{i}",
+            instructions=draw(instr_st),
+            dram_bytes=draw(bytes_st),
+            mix=draw(mixes()),
+        )
+        for i in range(n)
+    ]
+
+
+@given(phase_lists())
+@settings(max_examples=100)
+def test_blend_is_valid_mix(phases):
+    mix = blend_mixes(phases)
+    assert mix.flops + mix.mem + mix.branch + mix.other == pytest.approx(1.0)
+    for v in (mix.flops, mix.mem, mix.branch, mix.other):
+        assert 0.0 <= v <= 1.0
+
+
+@given(phase_lists())
+@settings(max_examples=100)
+def test_blend_within_convex_hull(phases):
+    """The blended mix never leaves the phases' min/max envelope."""
+    mix = blend_mixes(phases)
+    for attr in ("flops", "mem", "branch", "other"):
+        values = [getattr(p.mix, attr) for p in phases]
+        assert min(values) - 1e-12 <= getattr(mix, attr) <= max(values) + 1e-12
+
+
+@given(phase_lists())
+@settings(max_examples=100)
+def test_compose_conserves_totals(phases):
+    prog = compose(
+        "X",
+        phases,
+        classes={"W": InputClass("W", iterations=10, size_factor=1.0)},
+        reference_class="W",
+        comm=CommunicationModel(4.0, 1e5, 0.0, 1.0),
+        working_set_bytes=1e7,
+    )
+    assert prog.instructions_per_iteration == pytest.approx(
+        sum(p.instructions for p in phases)
+    )
+    assert prog.dram_bytes_per_iteration == pytest.approx(
+        sum(p.dram_bytes for p in phases)
+    )
+
+
+@given(phase_lists(max_phases=3))
+@settings(max_examples=50)
+def test_compose_order_invariant(phases):
+    kwargs = dict(
+        classes={"W": InputClass("W", iterations=10, size_factor=1.0)},
+        reference_class="W",
+        comm=CommunicationModel(4.0, 1e5, 0.0, 1.0),
+        working_set_bytes=1e7,
+    )
+    a = compose("X", phases, **kwargs)
+    b = compose("X", list(reversed(phases)), **kwargs)
+    assert a.mix.flops == pytest.approx(b.mix.flops)
+    assert a.instructions_per_iteration == pytest.approx(
+        b.instructions_per_iteration
+    )

@@ -1,0 +1,103 @@
+"""Property-based tests of the Lindley queueing machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.simulate.queueing import lindley_waits, lindley_waits_loop, mg1_mean_wait
+
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def request_batch(min_size=1, max_size=64):
+    """Random (sorted arrivals, services) pair."""
+    return st.integers(min_size, max_size).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.float64, n, elements=finite),
+            hnp.arrays(
+                np.float64,
+                n,
+                elements=st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+            ),
+        )
+    )
+
+
+@given(request_batch())
+@settings(max_examples=200)
+def test_vectorized_matches_scalar_reference(batch):
+    arrivals, services = batch
+    arrivals = np.sort(arrivals)
+    assert np.allclose(
+        lindley_waits(arrivals, services),
+        lindley_waits_loop(arrivals, services),
+        rtol=1e-9,
+        atol=1e-6,
+    )
+
+
+@given(request_batch())
+def test_waits_nonnegative(batch):
+    arrivals, services = batch
+    waits = lindley_waits(np.sort(arrivals), services)
+    assert np.all(waits >= 0.0)
+
+
+@given(request_batch(), st.floats(0.1, 100.0, allow_nan=False))
+def test_time_scaling_invariance(batch, k):
+    """Scaling all times by k scales all waits by k."""
+    arrivals, services = batch
+    arrivals = np.sort(arrivals)
+    base = lindley_waits(arrivals, services)
+    scaled = lindley_waits(arrivals * k, services * k)
+    assert np.allclose(scaled, base * k, rtol=1e-6, atol=1e-6)
+
+
+@given(request_batch(), st.floats(0.0, 1e5, allow_nan=False))
+def test_arrival_shift_invariance(batch, shift):
+    """Shifting every arrival by a constant leaves waits unchanged."""
+    arrivals, services = batch
+    arrivals = np.sort(arrivals)
+    base = lindley_waits(arrivals, services)
+    shifted = lindley_waits(arrivals + shift, services)
+    assert np.allclose(shifted, base, rtol=1e-9, atol=1e-6)
+
+
+@given(request_batch())
+def test_longer_service_never_reduces_waits(batch):
+    """Monotonicity: inflating any service time cannot reduce any wait."""
+    arrivals, services = batch
+    arrivals = np.sort(arrivals)
+    base = lindley_waits(arrivals, services)
+    inflated = lindley_waits(arrivals, services * 1.5 + 0.1)
+    assert np.all(inflated >= base - 1e-9)
+
+
+@given(request_batch())
+def test_first_request_never_waits(batch):
+    arrivals, services = batch
+    waits = lindley_waits(np.sort(arrivals), services)
+    assert waits[0] == 0.0
+
+
+@given(
+    st.floats(0.01, 0.99, allow_nan=False),
+    st.floats(1e-6, 10.0, allow_nan=False),
+)
+def test_mg1_wait_positive_below_saturation(rho, y):
+    lam = rho / y
+    w = mg1_mean_wait(lam, y, 2 * y * y)
+    assert np.isfinite(w)
+    assert w >= 0.0
+
+
+@given(st.floats(1e-6, 10.0, allow_nan=False))
+def test_mg1_wait_increases_with_load(y):
+    lam_low = 0.2 / y
+    lam_high = 0.8 / y
+    assert mg1_mean_wait(lam_high, y, 2 * y * y) > mg1_mean_wait(
+        lam_low, y, 2 * y * y
+    )

@@ -1,0 +1,72 @@
+"""Property tests: pruned search == exhaustive search, always."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.core.optimizer import min_energy_within_deadline, min_time_within_budget
+from repro.core.search import (
+    search_min_energy_within_deadline,
+    search_min_time_within_budget,
+)
+
+_SPACE = ConfigSpace(
+    node_counts=(1, 2, 4, 8, 16, 32, 64),
+    core_counts=(1, 2, 4, 8),
+    frequencies_hz=(1.2e9, 1.5e9, 1.8e9),
+)
+
+_suppress = [HealthCheck.function_scoped_fixture]
+
+
+@pytest.fixture(scope="module")
+def evaluation(xeon_sp_model):
+    return evaluate_space(xeon_sp_model, _SPACE)
+
+
+@given(fraction=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None, suppress_health_check=_suppress)
+def test_deadline_search_equivalence(fraction, xeon_sp_model, evaluation):
+    times = evaluation.times_s
+    deadline = float(
+        times.min() * 0.5 + fraction * (times.max() * 1.2 - times.min() * 0.5)
+    )
+    expected = min_energy_within_deadline(evaluation, deadline)
+    found, stats = search_min_energy_within_deadline(
+        xeon_sp_model, _SPACE, deadline
+    )
+    if expected is None:
+        assert found is None
+    else:
+        assert found is not None
+        assert found.config == expected.config
+    assert stats.evaluated <= stats.total
+
+
+@given(fraction=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None, suppress_health_check=_suppress)
+def test_budget_search_equivalence(fraction, xeon_sp_model, evaluation):
+    energies = evaluation.energies_j
+    budget = float(
+        energies.min() * 0.5
+        + fraction * (energies.max() * 1.2 - energies.min() * 0.5)
+    )
+    expected = min_time_within_budget(evaluation, budget)
+    found, stats = search_min_time_within_budget(xeon_sp_model, _SPACE, budget)
+    if expected is None:
+        assert found is None
+    else:
+        assert found is not None
+        assert found.config == expected.config
+    assert stats.evaluated <= stats.total
+
+
+@given(fraction=st.floats(0.05, 1.0))
+@settings(max_examples=20, deadline=None, suppress_health_check=_suppress)
+def test_search_winner_is_feasible(fraction, xeon_sp_model, evaluation):
+    deadline = float(np.quantile(evaluation.times_s, fraction))
+    found, _ = search_min_energy_within_deadline(xeon_sp_model, _SPACE, deadline)
+    if found is not None:
+        assert found.time_s <= deadline

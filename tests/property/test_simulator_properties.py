@@ -1,0 +1,61 @@
+"""Property-based tests of simulator-level invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.spec import Configuration
+from repro.machines.xeon import xeon_cluster
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.synthetic import synthetic_program
+
+# one shared simulator; hypothesis varies the configuration
+_SIM = SimulatedCluster(xeon_cluster())
+_PROG = synthetic_program(iterations=20, instructions_per_iteration=2e8)
+
+config_st = st.builds(
+    Configuration,
+    nodes=st.sampled_from([1, 2, 4, 8]),
+    cores=st.sampled_from([1, 2, 4, 8]),
+    frequency_hz=st.sampled_from([1.2e9, 1.5e9, 1.8e9]),
+)
+
+
+@given(config_st)
+@settings(max_examples=40, deadline=None)
+def test_run_invariants(cfg):
+    r = _SIM.run(_PROG, cfg)
+    # accounting identities
+    assert r.wall_time_s > 0
+    assert r.phases.total_s == pytest.approx(r.wall_time_s, rel=1e-6)
+    assert 0 < r.ucr < 1
+    assert 0 < r.counters.utilization <= 1
+    e = r.energy
+    assert e.total_j == pytest.approx(
+        e.cpu_active_j + e.cpu_stall_j + e.mem_j + e.net_j + e.idle_j
+    )
+    # physical power envelope
+    idle_floor = _SIM.spec.node.power.sys_idle_w * r.wall_time_s * cfg.nodes
+    peak = _SIM.spec.node.power.node_peak_w(cfg.cores, cfg.frequency_hz)
+    assert idle_floor <= e.total_j <= peak * r.wall_time_s * cfg.nodes * 1.1
+
+
+@given(config_st, st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_runs_reproducible(cfg, run_index):
+    a = _SIM.run(_PROG, cfg, run_index=run_index)
+    b = _SIM.run(_PROG, cfg, run_index=run_index)
+    assert a.wall_time_s == b.wall_time_s
+    assert a.energy.total_j == b.energy.total_j
+    assert a.counters.instructions == b.counters.instructions
+
+
+@given(config_st)
+@settings(max_examples=30, deadline=None)
+def test_messages_only_with_multiple_nodes(cfg):
+    r = _SIM.run(_PROG, cfg)
+    if cfg.nodes == 1:
+        assert r.messages.total_messages == 0
+    else:
+        assert r.messages.total_messages > 0
+        assert r.messages.mean_message_bytes > 0

@@ -1,0 +1,62 @@
+"""Property-based tests of workload demand laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import CommunicationModel
+from repro.workloads.synthetic import synthetic_program
+
+msgs_st = st.floats(1.0, 1e3, allow_nan=False)
+bytes_st = st.floats(1.0, 1e9, allow_nan=False)
+exp_st = st.floats(0.0, 2.0, allow_nan=False)
+nodes_st = st.integers(2, 256)
+
+
+@given(msgs_st, bytes_st, exp_st, exp_st, nodes_st)
+def test_nu_eta_volume_identity(msgs, vol, e1, e2, n):
+    comm = CommunicationModel(msgs, vol, e1, e2)
+    assert comm.bytes_per_message(n) * comm.messages_per_process(n) == pytest.approx(
+        comm.volume_per_process(n)
+    )
+
+
+@given(msgs_st, bytes_st, exp_st, nodes_st)
+def test_volume_decreases_with_nodes(msgs, vol, decomp, n):
+    comm = CommunicationModel(msgs, vol, 0.0, max(decomp, 0.01))
+    assert comm.volume_per_process(n + 1) <= comm.volume_per_process(n) + 1e-9
+
+
+@given(msgs_st, bytes_st, nodes_st)
+def test_reference_point_identity(msgs, vol, n):
+    comm = CommunicationModel(msgs, vol, 1.0, 1.0)
+    assert comm.messages_per_process(2) == pytest.approx(msgs)
+    assert comm.volume_per_process(2) == pytest.approx(vol)
+
+
+@given(
+    st.floats(0.5, 64.0, allow_nan=False),
+    st.floats(0.0, 0.5, allow_nan=False),
+    st.sampled_from(["halo", "alltoall"]),
+)
+@settings(max_examples=100)
+def test_synthetic_program_always_valid(intensity, comm_fraction, pattern):
+    prog = synthetic_program(
+        arithmetic_intensity=intensity,
+        comm_fraction=comm_fraction,
+        pattern=pattern,
+    )
+    assert prog.instructions("W") > 0
+    assert prog.dram_bytes("W") > 0
+    assert prog.comm.bytes_ref >= 1.0
+    # scale factors multiply work consistently
+    assert prog.scale_factor("C") == pytest.approx(4.0)
+
+
+@given(st.integers(1, 64), st.integers(1, 16))
+def test_sync_instructions_nonnegative_and_monotone(n, c):
+    prog = synthetic_program(sync_coeff=0.01, sync_exponent=1.4)
+    here = prog.sync_instructions("W", n, c)
+    more = prog.sync_instructions("W", n * 2, c)
+    assert here >= 0.0
+    assert more >= here - 1e-9

@@ -1,0 +1,115 @@
+"""Error statistics, validation records and reporting."""
+
+import pytest
+
+from repro.analysis.errors import percent_error, summarize_errors
+from repro.analysis.report import ascii_table, format_series
+from repro.analysis.figures import ascii_chart, log_ticks
+from repro.analysis.validation import ValidationRecord, validate_program
+from repro.core.configspace import ConfigSpace
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+class TestErrors:
+    def test_percent_error_signed(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_percent_error_rejects_zero_measured(self):
+        with pytest.raises(ValueError):
+            percent_error(1.0, 0.0)
+
+    def test_summary_statistics(self):
+        s = summarize_errors([10.0, -10.0, 20.0, -20.0])
+        assert s.mean_abs == pytest.approx(15.0)
+        assert s.mean_signed == pytest.approx(0.0)
+        assert s.max_abs == pytest.approx(20.0)
+        assert s.count == 4
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+
+class TestValidationRecord:
+    def test_error_properties(self):
+        r = ValidationRecord(
+            program="SP",
+            cluster="xeon",
+            class_name="W",
+            config=config(2, 4, 1.5),
+            measured_time_s=100.0,
+            measured_energy_j=1000.0,
+            predicted_time_s=95.0,
+            predicted_energy_j=1100.0,
+        )
+        assert r.time_error_percent == pytest.approx(-5.0)
+        assert r.energy_error_percent == pytest.approx(10.0)
+
+
+class TestValidateProgram:
+    @pytest.fixture(scope="class")
+    def campaign(self, xeon_sim, xeon_sp_model):
+        space = ConfigSpace((1, 2), (1, 8), (1.8e9,))
+        return validate_program(
+            xeon_sim, sp_program(), space=space, repetitions=1, model=xeon_sp_model
+        )
+
+    def test_one_record_per_configuration(self, campaign):
+        assert len(campaign.records) == 4
+
+    def test_summaries_computed(self, campaign):
+        assert campaign.time_errors.count == 4
+        assert campaign.energy_errors.count == 4
+        assert campaign.time_errors.mean_abs < 25.0
+
+    def test_select_filters(self, campaign):
+        subset = campaign.select(nodes=[2])
+        assert all(r.config.nodes == 2 for r in subset)
+        subset = campaign.select(cores=[8], frequency_hz=[1.8e9])
+        assert all(r.config.cores == 8 for r in subset)
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["name", "value"], [["a", 1.5], ["bb", 20]], "title")
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+        assert "| a" in out and "bb" in out
+
+    def test_ascii_table_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
+
+    def test_format_series(self):
+        out = format_series("latency", [1, 2], [0.5, 0.25], unit="s")
+        assert "# latency [s]" in out
+        assert "0.5" in out
+
+
+class TestAsciiChart:
+    def test_renders_with_bounds(self):
+        out = ascii_chart([1, 10, 100], [1.0, 2.0, 3.0], logx=True, title="t")
+        assert "t" in out
+        assert "o" in out
+
+    def test_marks_override(self):
+        out = ascii_chart([1, 2], [1.0, 2.0], marks=["*", "."])
+        assert "*" in out and "." in out
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], [])
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], [1, 2], logx=True)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [1, 2], marks=["*"])
+
+    def test_log_ticks(self):
+        assert log_ticks(1.0, 100.0) == [1.0, 10.0, 100.0]
+        with pytest.raises(ValueError):
+            log_ticks(0.0, 1.0)

@@ -1,0 +1,84 @@
+"""Cross-cluster comparison."""
+
+import pytest
+
+from repro.analysis.compare import ClusterComparison
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+
+
+@pytest.fixture(scope="module")
+def comparison(xeon_sim, arm_sim, model_cache):
+    evaluations = {
+        "xeon": evaluate_space(
+            model_cache(xeon_sim, "LB"), ConfigSpace.physical(xeon_cluster())
+        ),
+        "arm": evaluate_space(
+            model_cache(arm_sim, "LB"), ConfigSpace.physical(arm_cluster())
+        ),
+    }
+    return ClusterComparison(evaluations)
+
+
+def test_requires_two_clusters(comparison):
+    with pytest.raises(ValueError):
+        ClusterComparison({"xeon": comparison.evaluations["xeon"]})
+
+
+def test_combined_frontier_sorted_and_non_dominated(comparison):
+    frontier = comparison.combined_frontier()
+    assert len(frontier) >= 2
+    times = [p.time_s for p in frontier]
+    energies = [p.energy_j for p in frontier]
+    assert times == sorted(times)
+    assert energies == sorted(energies, reverse=True)
+
+
+def test_frontier_share_counts_match(comparison):
+    share = comparison.frontier_share()
+    assert set(share) == {"xeon", "arm"}
+    assert sum(share.values()) == len(comparison.combined_frontier())
+
+
+def test_deadline_winner_feasible_and_optimal(comparison):
+    frontier = comparison.combined_frontier()
+    deadline = frontier[len(frontier) // 2].time_s + 1e-9
+    winner = comparison.winner_for_deadline(deadline)
+    assert winner is not None
+    assert winner.time_s <= deadline
+    for name, ev in comparison.evaluations.items():
+        for p in ev.predictions:
+            if p.time_s <= deadline:
+                assert winner.energy_j <= p.energy_j
+
+
+def test_budget_winner_feasible(comparison):
+    frontier = comparison.combined_frontier()
+    budget = frontier[0].energy_j * 1.5
+    winner = comparison.winner_for_budget(budget)
+    assert winner is not None
+    assert winner.energy_j <= budget
+
+
+def test_infeasible_queries_return_none(comparison):
+    assert comparison.winner_for_deadline(1e-9) is None
+    assert comparison.winner_for_budget(1e-9) is None
+
+
+def test_crossover_consistent_with_share(comparison):
+    crossover = comparison.crossover_deadline()
+    share = comparison.frontier_share()
+    owners_on_frontier = sum(1 for v in share.values() if v > 0)
+    if owners_on_frontier == 1:
+        assert crossover is None
+    else:
+        assert crossover is not None
+        assert crossover > comparison.combined_frontier()[0].time_s
+
+
+def test_xeon_owns_the_fast_end(comparison):
+    """The Xeon nodes are categorically faster: the tightest deadlines are
+    only feasible there."""
+    fastest = comparison.combined_frontier()[0]
+    assert fastest.cluster == "xeon"

@@ -1,0 +1,94 @@
+"""Campaign regression tracking."""
+
+import pytest
+
+from repro.analysis.regression import compare_campaigns
+from repro.analysis.validation import ValidationCampaign, ValidationRecord
+from tests.conftest import config
+
+
+def make_campaign(errors_by_cfg, program="SP", cluster="xeon"):
+    records = []
+    for (n, c, f), err in errors_by_cfg.items():
+        measured = 100.0
+        records.append(
+            ValidationRecord(
+                program=program,
+                cluster=cluster,
+                class_name="W",
+                config=config(n, c, f),
+                measured_time_s=measured,
+                measured_energy_j=1000.0,
+                predicted_time_s=measured * (1 + err / 100.0),
+                predicted_energy_j=1000.0 * (1 + err / 100.0),
+            )
+        )
+    return ValidationCampaign(program=program, cluster=cluster, records=tuple(records))
+
+
+BASE = {(1, 1, 1.2): 2.0, (2, 4, 1.5): -3.0, (4, 8, 1.8): 4.0}
+
+
+def test_identical_campaigns_pass():
+    a = make_campaign(BASE)
+    verdict = compare_campaigns(a, make_campaign(BASE))
+    assert not verdict.regressed
+    assert verdict.mean_delta == pytest.approx(0.0)
+
+
+def test_improvement_passes():
+    better = {k: v * 0.5 for k, v in BASE.items()}
+    verdict = compare_campaigns(make_campaign(BASE), make_campaign(better))
+    assert not verdict.regressed
+    assert verdict.mean_delta < 0
+
+
+def test_mean_regression_flagged():
+    worse = {k: v * 3.0 for k, v in BASE.items()}
+    verdict = compare_campaigns(make_campaign(BASE), make_campaign(worse))
+    assert verdict.regressed
+    assert verdict.mean_delta > 1.0
+
+
+def test_single_point_regression_flagged():
+    worse = dict(BASE)
+    worse[(4, 8, 1.8)] = 12.0  # one config blows up
+    verdict = compare_campaigns(make_campaign(BASE), make_campaign(worse))
+    assert verdict.regressed
+    assert verdict.worst_config == "(4,8,1.8)"
+
+
+def test_energy_quantity():
+    worse = {k: v * 3.0 for k, v in BASE.items()}
+    verdict = compare_campaigns(
+        make_campaign(BASE), make_campaign(worse), quantity="energy"
+    )
+    assert verdict.regressed
+
+
+def test_rejects_mismatched_targets():
+    with pytest.raises(ValueError, match="different program"):
+        compare_campaigns(
+            make_campaign(BASE), make_campaign(BASE, program="BT")
+        )
+
+
+def test_rejects_disjoint_configs():
+    other = {(8, 8, 1.8): 1.0}
+    with pytest.raises(ValueError, match="share no configurations"):
+        compare_campaigns(make_campaign(BASE), make_campaign(other))
+
+
+def test_rejects_bad_quantity():
+    with pytest.raises(ValueError):
+        compare_campaigns(make_campaign(BASE), make_campaign(BASE), quantity="power")
+
+
+def test_roundtrip_through_io(tmp_path):
+    """The CI workflow: save baseline, reload, compare."""
+    from repro.io import load_campaign, save_campaign
+
+    path = tmp_path / "baseline.json"
+    save_campaign(make_campaign(BASE), path)
+    verdict = compare_campaigns(load_campaign(path), make_campaign(BASE))
+    assert not verdict.regressed

@@ -1,0 +1,73 @@
+"""Tornado sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import INPUT_GROUPS, render_tornado, tornado
+from tests.conftest import config
+
+
+@pytest.fixture(scope="module")
+def results(xeon_sp_model):
+    return tornado(xeon_sp_model, config(4, 8, 1.8), delta=0.10)
+
+
+def test_covers_all_input_groups(results):
+    assert len(results) == len(INPUT_GROUPS)
+    assert {r.parameter for r in results} == set(INPUT_GROUPS)
+
+
+def test_sorted_by_energy_swing(results):
+    swings = [r.energy_swing for r in results]
+    assert swings == sorted(swings, reverse=True)
+
+
+def test_swings_nonnegative_and_bounded(results):
+    for r in results:
+        assert 0.0 <= r.time_swing < 1.0
+        assert 0.0 <= r.energy_swing < 1.0
+        assert r.time_low_s <= r.base_time_s * 1.25
+        assert r.time_high_s >= r.base_time_s * 0.8
+
+
+def test_dominant_driver_matches_regime(results, xeon_sp_model):
+    """The tornado identifies the binding resource: at the multi-node
+    configuration the communication inputs lead, at the single-node one
+    the work cycles do."""
+    by_time = sorted(results, key=lambda r: r.time_swing, reverse=True)
+    assert by_time[0].parameter in ("network bandwidth (B)", "comm volume")
+
+    single = tornado(xeon_sp_model, config(1, 8, 1.8))
+    by_time_single = sorted(single, key=lambda r: r.time_swing, reverse=True)
+    assert by_time_single[0].parameter == "work cycles (w_s)"
+
+
+def test_power_inputs_affect_energy_only(results):
+    for r in results:
+        if "power" in r.parameter.lower() or r.parameter.startswith(("active", "stall", "idle")):
+            assert r.time_swing == pytest.approx(0.0, abs=1e-12)
+
+
+def test_single_node_config_ignores_network_inputs(xeon_sp_model):
+    res = tornado(xeon_sp_model, config(1, 8, 1.8))
+    by_name = {r.parameter: r for r in res}
+    assert by_name["network bandwidth (B)"].time_swing == pytest.approx(0.0)
+    assert by_name["comm volume"].time_swing == pytest.approx(0.0)
+
+
+def test_rejects_bad_delta(xeon_sp_model):
+    with pytest.raises(ValueError):
+        tornado(xeon_sp_model, config(1, 1, 1.2), delta=0.0)
+    with pytest.raises(ValueError):
+        tornado(xeon_sp_model, config(1, 1, 1.2), delta=1.5)
+
+
+def test_render(results):
+    out = render_tornado(results)
+    assert "tornado" in out
+    assert "#" in out
+    assert "work cycles" in out
+
+
+def test_render_rejects_empty():
+    with pytest.raises(ValueError):
+        render_tornado([])

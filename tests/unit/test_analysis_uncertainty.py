@@ -1,0 +1,89 @@
+"""Monte-Carlo uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    DEFAULT_SIGMAS,
+    propagate_uncertainty,
+)
+from repro.measure.timecmd import measure_wall_time
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+@pytest.fixture(scope="module")
+def dist(xeon_sp_model):
+    return propagate_uncertainty(xeon_sp_model, config(4, 8, 1.8), samples=150)
+
+
+def test_samples_positive_and_spread(dist):
+    assert np.all(dist.times_s > 0)
+    assert np.all(dist.energies_j > 0)
+    assert dist.time_cv > 0.005
+    assert dist.energy_cv > 0.005
+
+
+def test_intervals_nested_and_ordered(dist):
+    lo50, hi50 = dist.time_interval(0.5)
+    lo90, hi90 = dist.time_interval(0.9)
+    assert lo90 <= lo50 <= hi50 <= hi90
+
+
+def test_point_prediction_inside_interval(xeon_sp_model, dist):
+    """The unperturbed prediction sits inside the 90% band."""
+    point = xeon_sp_model.predict(config(4, 8, 1.8))
+    lo, hi = dist.time_interval(0.9)
+    assert lo <= point.time_s <= hi
+    elo, ehi = dist.energy_interval(0.9)
+    assert elo <= point.energy_j <= ehi
+
+
+def test_deterministic_given_seed(xeon_sp_model):
+    a = propagate_uncertainty(xeon_sp_model, config(2, 4, 1.5), samples=20)
+    b = propagate_uncertainty(xeon_sp_model, config(2, 4, 1.5), samples=20)
+    assert np.array_equal(a.times_s, b.times_s)
+
+
+def test_wider_sigmas_wider_intervals(xeon_sp_model):
+    cfg = config(2, 4, 1.5)
+    narrow = propagate_uncertainty(xeon_sp_model, cfg, samples=100)
+    wide = propagate_uncertainty(
+        xeon_sp_model,
+        cfg,
+        samples=100,
+        sigmas={name: 3 * s for name, s in DEFAULT_SIGMAS.items()},
+    )
+    assert wide.time_cv > narrow.time_cv
+
+
+def test_rejects_bad_arguments(xeon_sp_model):
+    with pytest.raises(ValueError):
+        propagate_uncertainty(xeon_sp_model, config(1, 1, 1.2), samples=1)
+    with pytest.raises(ValueError, match="unknown input groups"):
+        propagate_uncertainty(
+            xeon_sp_model, config(1, 1, 1.2), sigmas={"bogus": 0.1}
+        )
+
+
+def test_input_uncertainty_underestimates_total_error(xeon_sim, xeon_sp_model):
+    """Input uncertainty alone produces a band of a few percent; the
+    structural model-vs-system bias can exceed it.  Both facts are
+    checked: measurements stay within a structural margin of the median,
+    but not necessarily inside the narrow input-only interval — the
+    documented reason predictions should carry both error sources."""
+    cfg = config(2, 8, 1.8)
+    dist = propagate_uncertainty(xeon_sp_model, cfg, samples=150)
+    median = dist.time_quantile(0.5)
+    lo, hi = dist.time_interval(0.95)
+    # the input-driven band is narrow...
+    assert (hi - lo) / median < 0.15
+    measured = [
+        measure_wall_time(r)
+        for r in xeon_sim.run_many(sp_program(), cfg, repetitions=6)
+    ]
+    # ...and every measurement sits within the structural error budget
+    # (the paper's 15% bound) of the predictive median, even when the
+    # narrow band misses it
+    for m in measured:
+        assert abs(m - median) / median < 0.15

@@ -1,0 +1,35 @@
+"""CLI batch planning and trace commands."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_trace_command(capsys):
+    assert main(
+        ["trace", "--cluster", "xeon", "--program", "LB", "--config", "2,4,1.5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "mean iteration" in out
+    assert "wall power" in out
+    assert "UCR" in out
+
+
+def test_batch_command(capsys):
+    assert main(
+        ["batch", "--cluster", "xeon", "--job", "SP:90", "--job", "BT:300"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Batch plan on xeon" in out
+    assert "feasible: True" in out
+    assert "SP#0" in out and "BT#1" in out
+
+
+def test_batch_rejects_malformed_job(capsys):
+    with pytest.raises(SystemExit, match="bad --job"):
+        main(["batch", "--cluster", "xeon", "--job", "SP=90"])
+
+
+def test_batch_infeasible_deadline(capsys):
+    with pytest.raises(SystemExit, match="cannot meet"):
+        main(["batch", "--cluster", "xeon", "--job", "SP:0.5"])

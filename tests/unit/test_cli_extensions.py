@@ -1,0 +1,63 @@
+"""CLI subcommands added by the extension modules."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_advise_command(capsys):
+    assert main(
+        [
+            "advise",
+            "--cluster",
+            "arm",
+            "--program",
+            "CP",
+            "--config",
+            "4,4,1.4",
+            "--max-slowdown",
+            "0.15",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "static:" in out
+    assert "stall DVFS" in out
+    assert ("saves" in out) or ("energy-optimal" in out)
+
+
+def test_advise_at_fmin_recommends_static(capsys):
+    assert main(
+        ["advise", "--cluster", "arm", "--program", "CP", "--config", "1,1,0.2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "energy-optimal" in out
+
+
+def test_roofline_command(capsys):
+    assert main(["roofline", "--cluster", "arm", "--program", "LB"]) == 0
+    out = capsys.readouterr().out
+    assert "balance point" in out
+    assert "memory-bound" in out
+    assert "T >=" in out
+
+
+def test_roofline_compute_peak_units(capsys):
+    assert main(["roofline", "--cluster", "xeon", "--program", "BT"]) == 0
+    out = capsys.readouterr().out
+    assert "instr/s" in out
+
+
+def test_compare_command(capsys):
+    assert main(
+        ["compare", "--program", "SP", "--deadline", "60", "--budget", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Combined Pareto frontier" in out
+    assert "frontier share" in out
+    assert "deadline 60" in out
+    assert "budget 8" in out
+
+
+def test_compare_rejects_unknown_program():
+    with pytest.raises(SystemExit):
+        main(["compare", "--program", "FFT"])

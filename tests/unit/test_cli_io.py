@@ -1,0 +1,73 @@
+"""CLI characterize/--inputs persistence flow."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_characterize_then_predict_from_file(tmp_path, capsys):
+    inputs_path = tmp_path / "inputs.json"
+    assert main(
+        [
+            "characterize",
+            "--cluster",
+            "xeon",
+            "--program",
+            "SP",
+            "--output",
+            str(inputs_path),
+            "--repetitions",
+            "1",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "characterized SP on xeon" in out
+    assert inputs_path.exists()
+
+    assert main(
+        [
+            "predict",
+            "--cluster",
+            "xeon",
+            "--program",
+            "SP",
+            "--config",
+            "2,4,1.5",
+            "--inputs",
+            str(inputs_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "T_CPU" in out and "UCR" in out
+
+
+def test_predict_rejects_mismatched_inputs(tmp_path, capsys):
+    inputs_path = tmp_path / "inputs.json"
+    main(
+        [
+            "characterize",
+            "--cluster",
+            "xeon",
+            "--program",
+            "SP",
+            "--output",
+            str(inputs_path),
+            "--repetitions",
+            "1",
+        ]
+    )
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="saved inputs"):
+        main(
+            [
+                "predict",
+                "--cluster",
+                "xeon",
+                "--program",
+                "BT",
+                "--config",
+                "1,1,1.2",
+                "--inputs",
+                str(inputs_path),
+            ]
+        )

@@ -1,0 +1,52 @@
+"""Configuration-space enumeration and evaluation."""
+
+import pytest
+
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from tests.conftest import config
+
+
+class TestConfigSpace:
+    def test_paper_space_sizes(self):
+        """216 Xeon (Fig. 8) and 400 ARM (Fig. 9) configurations."""
+        assert len(ConfigSpace.xeon_pareto(xeon_cluster())) == 216
+        assert len(ConfigSpace.arm_pareto(arm_cluster())) == 400
+
+    def test_validation_spaces(self):
+        assert len(ConfigSpace.validation(xeon_cluster())) == 96
+        assert len(ConfigSpace.validation(arm_cluster())) == 80
+
+    def test_physical_space(self):
+        space = ConfigSpace.physical(xeon_cluster())
+        assert len(space) == 8 * 8 * 3
+        configs = list(space)
+        assert len(configs) == len(space)
+        assert all(c.nodes <= 8 for c in configs)
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(node_counts=(), core_counts=(1,), frequencies_hz=(1e9,))
+
+    def test_iteration_order_is_cartesian(self):
+        space = ConfigSpace((1, 2), (1,), (1e9, 2e9))
+        labels = [c.label() for c in space]
+        assert labels == ["(1,1,1)", "(1,1,2)", "(2,1,1)", "(2,1,2)"]
+
+
+class TestEvaluateSpace:
+    def test_arrays_aligned(self, xeon_sp_model):
+        space = ConfigSpace((1, 2), (1, 8), (1.2e9, 1.8e9))
+        ev = evaluate_space(xeon_sp_model, space)
+        assert len(ev) == 8
+        assert ev.times_s.shape == (8,)
+        assert ev.energies_j.shape == (8,)
+        assert ev.ucrs.shape == (8,)
+        assert len(ev.labels) == 8
+        assert all(t > 0 for t in ev.times_s)
+
+    def test_accepts_explicit_config_list(self, xeon_sp_model):
+        ev = evaluate_space(xeon_sp_model, [config(1, 1, 1.2), config(2, 4, 1.5)])
+        assert len(ev) == 2
+        assert ev.labels == ["(1,1,1.2)", "(2,4,1.5)"]

@@ -1,0 +1,120 @@
+"""Phase-aware DVFS analysis."""
+
+import pytest
+
+from repro.core.dvfs import (
+    advise_stall_dvfs,
+    decompose_stalls,
+    predict_with_stall_dvfs,
+    stall_power_curve,
+)
+from tests.conftest import config
+
+
+class TestDecomposition:
+    def test_components_nonnegative(self, arm_cp_model):
+        for c in (1, 2, 4):
+            split = decompose_stalls(arm_cp_model, c)
+            assert split.cache_cycles >= 0
+            assert split.dram_seconds >= 0
+
+    def test_reconstruction_tracks_measurements(self, arm_cp_model):
+        """The fit reproduces m(c, f) at the low frequencies it was fitted
+        on."""
+        split = decompose_stalls(arm_cp_model, 4)
+        for f in (0.2e9, 0.5e9):
+            measured = arm_cp_model.inputs.artefacts(4, f).mem_stall_cycles
+            assert split.stall_cycles_at(f) == pytest.approx(measured, rel=0.15)
+
+    def test_arm_has_large_cache_component(self, arm_cp_model):
+        """The Cortex-A9's pipeline-coupled stalls dominate: the cache
+        component must be a substantial share of m at fmin."""
+        split = decompose_stalls(arm_cp_model, 1)
+        m_fmin = arm_cp_model.inputs.artefacts(1, 0.2e9).mem_stall_cycles
+        assert split.cache_cycles > 0.5 * m_fmin
+
+    def test_unknown_core_count_raises(self, arm_cp_model):
+        with pytest.raises(ValueError):
+            decompose_stalls(arm_cp_model, 64)
+
+
+class TestStallPowerCurve:
+    def test_monotone_increasing(self, arm_cp_model):
+        curve = stall_power_curve(arm_cp_model, 4)
+        values = [curve(f) for f in (0.2e9, 0.8e9, 1.4e9)]
+        assert values[0] < values[2]
+
+    def test_positive_everywhere(self, arm_cp_model):
+        curve = stall_power_curve(arm_cp_model, 2)
+        assert all(curve(f) > 0 for f in (0.2e9, 0.5e9, 1.1e9, 1.4e9))
+
+
+class TestPredictWithStallDvfs:
+    def test_identity_at_run_frequency(self, arm_cp_model):
+        """f_s = f must reproduce the static prediction exactly."""
+        cfg = config(2, 4, 1.4)
+        static = arm_cp_model.predict(cfg)
+        same = predict_with_stall_dvfs(arm_cp_model, cfg, 1.4e9)
+        assert same.time_s == pytest.approx(static.time_s)
+        assert same.energy_j == pytest.approx(static.energy_j)
+
+    def test_throttling_slows_down(self, arm_cp_model):
+        cfg = config(2, 4, 1.4)
+        static = arm_cp_model.predict(cfg)
+        throttled = predict_with_stall_dvfs(arm_cp_model, cfg, 0.8e9)
+        assert throttled.time_s > static.time_s
+
+    def test_deeper_throttle_slower(self, arm_cp_model):
+        cfg = config(2, 4, 1.4)
+        mild = predict_with_stall_dvfs(arm_cp_model, cfg, 1.1e9)
+        deep = predict_with_stall_dvfs(arm_cp_model, cfg, 0.5e9)
+        assert deep.time_s > mild.time_s
+
+    def test_pessimistic_variant_is_worse(self, arm_cp_model):
+        cfg = config(2, 4, 1.4)
+        nominal = predict_with_stall_dvfs(arm_cp_model, cfg, 0.8e9)
+        pessimistic = predict_with_stall_dvfs(
+            arm_cp_model, cfg, 0.8e9, delta_scale=2.0
+        )
+        assert pessimistic.time_s > nominal.time_s
+        assert pessimistic.energy_j > nominal.energy_j
+
+
+class TestAdvice:
+    def test_never_worse_than_static_under_model(self, arm_cp_model):
+        for cfg in (config(1, 4, 1.4), config(4, 2, 1.4), config(1, 1, 0.2)):
+            advice = advise_stall_dvfs(arm_cp_model, cfg, max_slowdown=0.10)
+            assert advice.best.energy_j <= advice.static.energy_j + 1e-9
+            assert advice.best.time_s <= advice.static.time_s * 1.10 + 1e-9
+
+    def test_memory_bound_config_gets_throttled(self, arm_cp_model):
+        """CP at (n,4,1.4) on ARM is memory-bound: the advisor throttles."""
+        advice = advise_stall_dvfs(arm_cp_model, config(4, 4, 1.4), max_slowdown=0.15)
+        assert advice.best.stall_frequency_hz < 1.4e9
+        assert advice.worthwhile
+
+    def test_at_fmin_nothing_to_throttle(self, arm_cp_model):
+        advice = advise_stall_dvfs(arm_cp_model, config(1, 1, 0.2))
+        assert advice.best.stall_frequency_hz == pytest.approx(0.2e9)
+        assert advice.energy_saving_j == pytest.approx(0.0)
+
+    def test_rejects_negative_slowdown(self, arm_cp_model):
+        with pytest.raises(ValueError):
+            advise_stall_dvfs(arm_cp_model, config(1, 4, 1.4), max_slowdown=-0.1)
+
+    def test_testbed_confirms_advice_direction(self, arm_sim, arm_cp_model):
+        """The simulator (which throttles natively) confirms a recommended
+        saving on a clearly memory-bound configuration."""
+        from repro.workloads.quantum import cp_program
+
+        cfg = config(4, 4, 1.4)
+        advice = advise_stall_dvfs(arm_cp_model, cfg, max_slowdown=0.15)
+        if advice.best.stall_frequency_hz < cfg.frequency_hz:
+            static = arm_sim.run(cp_program(), cfg, run_index=0)
+            throttled = arm_sim.run(
+                cp_program(),
+                cfg,
+                run_index=0,
+                stall_frequency_hz=advice.best.stall_frequency_hz,
+            )
+            assert throttled.energy.total_j < static.energy.total_j

@@ -1,0 +1,77 @@
+"""Energy model (Eqs. 8-12)."""
+
+import pytest
+
+from repro.core.energy_model import predict_energy
+from repro.core.time_model import TimeBreakdown
+from repro.machines.power import PowerTable
+
+
+@pytest.fixture
+def power() -> PowerTable:
+    grid = [(c, f) for c in (1, 2, 4) for f in (1e9, 2e9)]
+    return PowerTable(
+        core_active_w={k: 10.0 for k in grid},
+        core_stall_w={k: 6.0 for k in grid},
+        mem_w=5.0,
+        net_w=3.0,
+        sys_idle_w=40.0,
+    )
+
+
+def breakdown(t_cpu=10.0, t_mem=2.0, t_net_s=1.0, t_net_w=1.0) -> TimeBreakdown:
+    return TimeBreakdown(
+        t_cpu_s=t_cpu,
+        t_mem_s=t_mem,
+        t_net_service_s=t_net_s,
+        t_net_wait_s=t_net_w,
+        utilization_baseline=0.9,
+        rho_network=0.1,
+    )
+
+
+def test_eq9_cpu_energy(power):
+    e = predict_energy(power, breakdown(), nodes=1, cores=2, frequency_hz=1e9)
+    assert e.cpu_j == pytest.approx((10.0 * 10.0 + 6.0 * 2.0) * 2)
+
+
+def test_eq10_memory_energy(power):
+    e = predict_energy(power, breakdown(), 1, 1, 1e9)
+    assert e.mem_j == pytest.approx(5.0 * 2.0)
+
+
+def test_eq11_network_energy(power):
+    e = predict_energy(power, breakdown(), 1, 1, 1e9)
+    assert e.net_j == pytest.approx(3.0 * 2.0)
+
+
+def test_eq12_idle_energy_covers_total_time(power):
+    t = breakdown()
+    e = predict_energy(power, t, 1, 1, 1e9)
+    assert e.idle_j == pytest.approx(40.0 * t.total_s)
+
+
+def test_eq8_scales_with_nodes(power):
+    e1 = predict_energy(power, breakdown(), 1, 2, 1e9)
+    e4 = predict_energy(power, breakdown(), 4, 2, 1e9)
+    assert e4.total_j == pytest.approx(4 * e1.total_j)
+
+
+def test_total_is_component_sum(power):
+    e = predict_energy(power, breakdown(), 2, 2, 1e9)
+    assert e.total_j == pytest.approx(e.cpu_j + e.mem_j + e.net_j + e.idle_j)
+    assert e.total_kj == pytest.approx(e.total_j / 1e3)
+
+
+def test_uses_cf_specific_power_entries():
+    grid = {(1, 1e9): 5.0, (1, 2e9): 12.0}
+    table = PowerTable(
+        core_active_w=grid,
+        core_stall_w={k: 1.0 for k in grid},
+        mem_w=1.0,
+        net_w=1.0,
+        sys_idle_w=1.0,
+    )
+    low = predict_energy(table, breakdown(t_mem=0.0, t_net_s=0.0, t_net_w=0.0), 1, 1, 1e9)
+    high = predict_energy(table, breakdown(t_mem=0.0, t_net_s=0.0, t_net_w=0.0), 1, 1, 2e9)
+    assert high.cpu_j > low.cpu_j

@@ -1,0 +1,94 @@
+"""Characterization: ModelInputs assembly and comm-law fitting."""
+
+import pytest
+
+from repro.core.inputs import characterize, fit_comm_model
+from repro.core.params import BaselineArtefacts, CommCharacteristics
+from repro.measure.baseline import CommProfile
+from repro.measure.mpip import MpiPReport
+from repro.workloads.npb import sp_program
+from repro.workloads.quantum import cp_program
+
+
+def synthetic_profile(eta_exp: float, vol_exp: float) -> CommProfile:
+    """Exact power-law mpiP reports at n=2 and n=4."""
+    reports = []
+    for n in (2, 4):
+        eta = 10.0 * (n / 2.0) ** eta_exp
+        vol = 1e6 * (2.0 / n) ** vol_exp
+        reports.append(
+            MpiPReport(
+                nodes=n,
+                iterations=100,
+                total_messages=eta * n * 100,
+                total_bytes=vol * n * 100,
+            )
+        )
+    return CommProfile(program="X", class_name="W", reports=tuple(reports))
+
+
+class TestFitCommModel:
+    def test_recovers_halo_exponents(self):
+        comm = fit_comm_model(synthetic_profile(0.0, 2.0 / 3.0))
+        assert comm.eta_exponent == pytest.approx(0.0, abs=1e-9)
+        assert comm.volume_exponent == pytest.approx(2.0 / 3.0, abs=1e-9)
+        assert comm.eta_ref == pytest.approx(10.0)
+        assert comm.volume_ref == pytest.approx(1e6)
+
+    def test_recovers_alltoall_exponents(self):
+        comm = fit_comm_model(synthetic_profile(1.0, 1.0))
+        assert comm.eta_exponent == pytest.approx(1.0, abs=1e-9)
+        assert comm.volume_exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_silent_program(self):
+        silent = CommProfile(
+            program="X",
+            class_name="W",
+            reports=(
+                MpiPReport(2, 100, 0, 0),
+                MpiPReport(4, 100, 0, 0),
+            ),
+        )
+        with pytest.raises(ValueError, match="no communication"):
+            fit_comm_model(silent)
+
+    def test_extrapolation_consistency(self):
+        comm = fit_comm_model(synthetic_profile(0.0, 2.0 / 3.0))
+        # predicted ν at n=16 follows the law
+        assert comm.nu(16) == pytest.approx(
+            comm.volume(16) / comm.eta(16)
+        )
+        assert comm.eta(1) == 0.0 and comm.volume(1) == 0.0
+
+
+class TestCharacterize:
+    def test_full_campaign_assembles_inputs(self, xeon_sim):
+        inputs = characterize(xeon_sim, sp_program(), repetitions=1)
+        assert inputs.program == "SP"
+        assert inputs.cluster == "xeon"
+        assert inputs.baseline_iterations == sp_program().iterations("W")
+        # all (c, f) points present
+        spec = xeon_sim.spec
+        assert len(inputs.baseline) == len(spec.node.core_counts) * len(
+            spec.frequencies_hz
+        )
+        # netpipe-derived throughput below line rate
+        assert inputs.network.bandwidth_bytes_per_s < spec.node.nic.link_bytes_per_s
+
+    def test_fitted_comm_matches_program_laws(self, xeon_sim):
+        """The mpiP fit recovers SP's halo signature and CP's all-to-all."""
+        sp_inputs = characterize(xeon_sim, sp_program(), repetitions=1)
+        assert sp_inputs.comm.eta_exponent == pytest.approx(0.0, abs=0.05)
+        assert sp_inputs.comm.volume_exponent == pytest.approx(2.0 / 3.0, abs=0.1)
+        cp_inputs = characterize(xeon_sim, cp_program(), repetitions=1)
+        assert cp_inputs.comm.eta_exponent == pytest.approx(1.0, abs=0.1)
+
+    def test_artefact_lookup(self, xeon_sp_model):
+        inputs = xeon_sp_model.inputs
+        art = inputs.artefacts(4, 1.5e9)
+        assert isinstance(art, BaselineArtefacts)
+        assert art.useful_cycles == pytest.approx(
+            art.work_cycles + art.nonmem_stall_cycles
+        )
+        with pytest.raises(KeyError):
+            inputs.artefacts(64, 1.5e9)

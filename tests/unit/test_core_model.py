@@ -1,0 +1,59 @@
+"""HybridProgramModel facade."""
+
+import pytest
+
+from repro.core.model import HybridProgramModel
+from tests.conftest import config
+
+
+def test_predict_returns_consistent_prediction(xeon_sp_model):
+    pred = xeon_sp_model.predict(config(2, 4, 1.5))
+    assert pred.time_s == pred.time.total_s
+    assert pred.energy_j == pred.energy.total_j
+    assert pred.ucr == pytest.approx(pred.time.t_cpu_s / pred.time.total_s)
+    assert pred.class_name == "W"
+
+
+def test_predict_other_class_scales(xeon_sp_model):
+    w = xeon_sp_model.predict(config(2, 4, 1.5), "W")
+    c = xeon_sp_model.predict(config(2, 4, 1.5), "C")
+    assert c.time_s > 2.0 * w.time_s
+
+
+def test_predictions_deterministic(xeon_sp_model):
+    a = xeon_sp_model.predict(config(4, 8, 1.8))
+    b = xeon_sp_model.predict(config(4, 8, 1.8))
+    assert a.time_s == b.time_s
+    assert a.energy_j == b.energy_j
+
+
+def test_extrapolates_beyond_physical_nodes(xeon_sp_model):
+    """The model predicts n=256 (Fig. 8) from 8-node measurements."""
+    pred = xeon_sp_model.predict(config(256, 8, 1.8))
+    assert pred.time_s > 0
+    assert pred.energy_j > 0
+
+
+def test_with_inputs_substitutes(xeon_sp_model):
+    from dataclasses import replace
+
+    boosted = replace(
+        xeon_sp_model.inputs,
+        network=replace(
+            xeon_sp_model.inputs.network,
+            bandwidth_bytes_per_s=xeon_sp_model.inputs.network.bandwidth_bytes_per_s * 10,
+        ),
+    )
+    variant = xeon_sp_model.with_inputs(boosted)
+    base = xeon_sp_model.predict(config(8, 8, 1.8))
+    fast = variant.predict(config(8, 8, 1.8))
+    assert fast.time_s < base.time_s
+    # original model untouched
+    assert xeon_sp_model.predict(config(8, 8, 1.8)).time_s == base.time_s
+
+
+def test_from_measurements_builds_working_model(arm_sim, model_cache):
+    model = model_cache(arm_sim, "LB")
+    pred = model.predict(config(4, 2, 0.8))
+    assert 0 < pred.ucr < 1
+    assert pred.time_s > 0

@@ -1,0 +1,96 @@
+"""Roofline bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.roofline import (
+    node_energy_roofline,
+    node_roofline,
+    place_workload,
+)
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from repro.workloads.lbm import lb_program
+from repro.workloads.npb import bt_program
+from repro.workloads.registry import all_programs
+
+
+class TestTimeRoofline:
+    def test_compute_peak_scales_with_cores_and_frequency(self):
+        spec = xeon_cluster()
+        r1 = node_roofline(spec, 1, 1.2e9)
+        r2 = node_roofline(spec, 8, 1.2e9)
+        r3 = node_roofline(spec, 1, 1.8e9)
+        assert r2.compute_peak == pytest.approx(8 * r1.compute_peak)
+        assert r3.compute_peak == pytest.approx(1.5 * r1.compute_peak)
+
+    def test_attainable_is_min_of_roofs(self):
+        spec = xeon_cluster()
+        roof = node_roofline(spec, 8, 1.8e9)
+        low_ai = roof.balance_ai / 10
+        high_ai = roof.balance_ai * 10
+        assert roof.attainable(low_ai) == pytest.approx(
+            low_ai * roof.memory_bandwidth
+        )
+        assert roof.attainable(high_ai) == pytest.approx(roof.compute_peak)
+        assert roof.bound(low_ai) == "memory"
+        assert roof.bound(high_ai) == "compute"
+
+    def test_attainable_vectorizes(self):
+        roof = node_roofline(xeon_cluster(), 4, 1.5e9)
+        ais = np.logspace(-2, 2, 32)
+        values = roof.attainable(ais)
+        assert values.shape == ais.shape
+        assert np.all(np.diff(values) >= 0)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            node_roofline(xeon_cluster(), 0, 1.8e9)
+        with pytest.raises(ValueError):
+            node_roofline(xeon_cluster(), 9, 1.8e9)
+
+
+class TestEnergyRoofline:
+    def test_floor_decreases_with_intensity(self):
+        eroof = node_energy_roofline(xeon_cluster(), 8, 1.8e9)
+        low = eroof.floor_j_per_instr(0.1)
+        high = eroof.floor_j_per_instr(100.0)
+        assert high < low
+
+    def test_floor_positive(self):
+        eroof = node_energy_roofline(arm_cluster(), 4, 1.4e9)
+        assert eroof.floor_j_per_instr(1.0) > 0
+
+
+class TestPlacement:
+    def test_memory_streaming_program_is_memory_bound(self):
+        placement = place_workload(arm_cluster(), lb_program())
+        assert placement.bound == "memory"
+
+    def test_compute_dense_program_less_memory_bound(self):
+        lb = place_workload(xeon_cluster(), lb_program())
+        bt = place_workload(xeon_cluster(), bt_program())
+        assert bt.ai > lb.ai
+
+    def test_small_cache_lowers_effective_ai(self):
+        """The ARM node's 1 MB LLC amplifies DRAM traffic, pushing every
+        program toward the memory wall."""
+        for program in all_programs():
+            assert (
+                place_workload(arm_cluster(), program).ai
+                < place_workload(xeon_cluster(), program).ai
+            )
+
+    def test_bounds_are_bounds(self, xeon_sim, model_cache):
+        """Roofline minima must lower-bound model predictions."""
+        from repro.machines.spec import Configuration
+
+        for name in ("SP", "LB"):
+            model = model_cache(xeon_sim, name)
+            spec = xeon_sim.spec
+            placement = place_workload(spec, model.program)
+            pred = model.predict(
+                Configuration(1, spec.node.max_cores, spec.node.core.fmax)
+            )
+            assert placement.min_time_s <= pred.time_s * 1.001
+            assert placement.min_energy_j <= pred.energy_j * 1.001

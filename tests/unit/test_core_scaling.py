@@ -1,0 +1,121 @@
+"""Scalability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import (
+    ScalingPoint,
+    energy_optimal_parallelism,
+    fit_amdahl,
+    karp_flatt,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def strong(xeon_sp_model):
+    return strong_scaling(
+        xeon_sp_model, node_counts=(1, 2, 4, 8), cores=8, frequency_hz=1.8e9
+    )
+
+
+class TestStrongScaling:
+    def test_baseline_point(self, strong):
+        assert strong[0].nodes == 1
+        assert strong[0].speedup == pytest.approx(1.0)
+        assert strong[0].efficiency == pytest.approx(1.0)
+
+    def test_speedup_monotone_while_scaling(self, strong):
+        speedups = [p.speedup for p in strong]
+        assert speedups == sorted(speedups)
+
+    def test_efficiency_degrades(self, strong):
+        effs = [p.efficiency for p in strong]
+        assert effs[-1] < effs[0]
+        assert all(0 < e <= 1.001 for e in effs)
+
+    def test_rejects_empty(self, xeon_sp_model):
+        with pytest.raises(ValueError):
+            strong_scaling(xeon_sp_model, (), 8, 1.8e9)
+
+
+class TestWeakScaling:
+    def test_near_flat_time_for_scalable_program(self, xeon_sp_model):
+        points = weak_scaling(
+            xeon_sp_model, node_counts=(1, 2, 4, 8), cores=8, frequency_hz=1.8e9
+        )
+        times = [p.time_s for p in points]
+        # weak scaling holds to within the communication overheads
+        assert times[-1] < 2.5 * times[0]
+        assert points[0].efficiency == pytest.approx(1.0)
+
+    def test_total_work_grows(self, xeon_sp_model):
+        points = weak_scaling(
+            xeon_sp_model, node_counts=(1, 4), cores=8, frequency_hz=1.8e9
+        )
+        # 4 nodes process 4x the work: energy per run grows
+        assert points[1].energy_j > points[0].energy_j
+
+
+class TestAmdahl:
+    def synthetic(self, serial_fraction, counts=(1, 2, 4, 8, 16)):
+        return [
+            ScalingPoint(
+                nodes=n,
+                time_s=serial_fraction + (1 - serial_fraction) / n,
+                energy_j=1.0,
+                speedup=1.0 / (serial_fraction + (1 - serial_fraction) / n),
+                efficiency=1.0,
+            )
+            for n in counts
+        ]
+
+    def test_recovers_known_serial_fraction(self):
+        for s in (0.0, 0.05, 0.2, 0.5):
+            assert fit_amdahl(self.synthetic(s)) == pytest.approx(s, abs=1e-9)
+
+    def test_clipped_to_unit_interval(self, strong):
+        s = fit_amdahl(strong)
+        assert 0.0 <= s <= 1.0
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_amdahl(self.synthetic(0.1, counts=(1,)))
+
+
+class TestKarpFlatt:
+    def test_flat_for_pure_amdahl(self):
+        amdahl = TestAmdahl().synthetic(0.1)
+        values = karp_flatt(amdahl)
+        assert np.allclose(values, 0.1, atol=1e-9)
+
+    def test_signature_distinguishes_comm_patterns(
+        self, strong, xeon_sim, model_cache
+    ):
+        """Karp-Flatt separates the communication patterns: SP's halo
+        volume shrinks with n (surface decomposition), so its apparent
+        serial fraction *falls* past the n=1->2 startup; CP's all-to-all
+        overhead grows with n, so from n=2 onward its curve *rises*."""
+        sp_values = karp_flatt(strong)
+        assert sp_values[-1] < sp_values[0]
+
+        cp_model = model_cache(xeon_sim, "CP")
+        cp_points = strong_scaling(
+            cp_model, node_counts=(2, 4, 8, 16, 32), cores=8, frequency_hz=1.8e9
+        )
+        cp_values = karp_flatt(cp_points)
+        assert cp_values[-1] > cp_values[0]
+
+    def test_skips_single_node(self, strong):
+        assert len(karp_flatt(strong)) == len(strong) - 1
+
+
+class TestEnergyOptimal:
+    def test_returns_minimum(self, strong):
+        best = energy_optimal_parallelism(strong)
+        assert best.energy_j == min(p.energy_j for p in strong)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            energy_optimal_parallelism([])

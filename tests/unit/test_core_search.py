@@ -1,0 +1,92 @@
+"""Pruned configuration-space search: equivalence + pruning effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.core.optimizer import min_energy_within_deadline, min_time_within_budget
+from repro.core.search import (
+    search_min_energy_within_deadline,
+    search_min_time_within_budget,
+)
+from repro.machines.xeon import xeon_cluster
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigSpace.xeon_pareto(xeon_cluster())
+
+
+@pytest.fixture(scope="module")
+def exhaustive(xeon_sp_model, space):
+    return evaluate_space(xeon_sp_model, space)
+
+
+class TestDeadlineSearch:
+    def test_matches_exhaustive_across_deadlines(self, xeon_sp_model, space, exhaustive):
+        times = np.sort(exhaustive.times_s)
+        for deadline in (times[0] * 1.01, float(np.median(times)), times[-1]):
+            expected = min_energy_within_deadline(exhaustive, float(deadline))
+            found, _ = search_min_energy_within_deadline(
+                xeon_sp_model, space, float(deadline)
+            )
+            assert expected is not None and found is not None
+            assert found.config == expected.config
+            assert found.energy_j == pytest.approx(expected.energy_j)
+
+    def test_infeasible_deadline(self, xeon_sp_model, space):
+        found, stats = search_min_energy_within_deadline(
+            xeon_sp_model, space, 1e-6
+        )
+        assert found is None
+        assert stats.evaluated == 0
+        assert stats.pruned == stats.total
+
+    def test_prunes_substantially(self, xeon_sp_model, space, exhaustive):
+        deadline = float(np.median(exhaustive.times_s))
+        _, stats = search_min_energy_within_deadline(
+            xeon_sp_model, space, deadline
+        )
+        assert stats.total == len(space)
+        assert stats.evaluated_fraction < 0.5
+
+    def test_rejects_bad_deadline(self, xeon_sp_model, space):
+        with pytest.raises(ValueError):
+            search_min_energy_within_deadline(xeon_sp_model, space, 0.0)
+
+
+class TestBudgetSearch:
+    def test_matches_exhaustive_across_budgets(self, xeon_sp_model, space, exhaustive):
+        energies = np.sort(exhaustive.energies_j)
+        for budget in (energies[0] * 1.01, float(np.median(energies)), energies[-1]):
+            expected = min_time_within_budget(exhaustive, float(budget))
+            found, _ = search_min_time_within_budget(
+                xeon_sp_model, space, float(budget)
+            )
+            assert expected is not None and found is not None
+            assert found.config == expected.config
+            assert found.time_s == pytest.approx(expected.time_s)
+
+    def test_infeasible_budget(self, xeon_sp_model, space):
+        found, stats = search_min_time_within_budget(xeon_sp_model, space, 1e-6)
+        assert found is None
+        assert stats.evaluated == 0
+
+    def test_prunes_substantially(self, xeon_sp_model, space, exhaustive):
+        budget = float(np.median(exhaustive.energies_j))
+        _, stats = search_min_time_within_budget(xeon_sp_model, space, budget)
+        assert stats.evaluated_fraction < 0.6
+
+    def test_rejects_bad_budget(self, xeon_sp_model, space):
+        with pytest.raises(ValueError):
+            search_min_time_within_budget(xeon_sp_model, space, -1.0)
+
+
+class TestStats:
+    def test_accounting_consistent(self, xeon_sp_model, space, exhaustive):
+        deadline = float(np.median(exhaustive.times_s))
+        _, stats = search_min_energy_within_deadline(
+            xeon_sp_model, space, deadline
+        )
+        assert stats.pruned + stats.evaluated == stats.total
+        assert 0.0 <= stats.evaluated_fraction <= 1.0

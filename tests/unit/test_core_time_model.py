@@ -1,0 +1,157 @@
+"""Execution-time model (Eqs. 1-7)."""
+
+import pytest
+
+from repro.core.params import (
+    BaselineArtefacts,
+    CommCharacteristics,
+    ModelInputs,
+    NetworkCharacteristics,
+)
+from repro.core.time_model import predict_time
+from repro.machines.power import PowerTable
+
+
+def make_inputs(
+    work=1e11,
+    stalls=1e10,
+    mem=5e9,
+    utilization=0.95,
+    eta_ref=10.0,
+    volume_ref=1e6,
+    bandwidth=100e6,
+) -> ModelInputs:
+    baseline = {}
+    for c in (1, 2, 4, 8):
+        for f in (1.0e9, 2.0e9):
+            baseline[(c, f)] = BaselineArtefacts(
+                instructions=1e11,
+                work_cycles=work / c,
+                nonmem_stall_cycles=stalls / c,
+                mem_stall_cycles=mem / c,
+                utilization=utilization,
+            )
+    return ModelInputs(
+        program="TEST",
+        cluster="test",
+        baseline_class="W",
+        baseline_iterations=100,
+        baseline=baseline,
+        comm=CommCharacteristics(
+            eta_ref=eta_ref,
+            volume_ref=volume_ref,
+            eta_exponent=0.0,
+            volume_exponent=2.0 / 3.0,
+        ),
+        network=NetworkCharacteristics(
+            bandwidth_bytes_per_s=bandwidth, latency_floor_s=1e-4
+        ),
+        power=PowerTable(
+            core_active_w={(c, f): 5.0 for c in (1, 2, 4, 8) for f in (1e9, 2e9)},
+            core_stall_w={(c, f): 3.0 for c in (1, 2, 4, 8) for f in (1e9, 2e9)},
+            mem_w=5.0,
+            net_w=3.0,
+            sys_idle_w=40.0,
+        ),
+    )
+
+
+class TestSingleNode:
+    def test_eq2_tcpu(self):
+        inputs = make_inputs()
+        t = predict_time(inputs, nodes=1, cores=1, frequency_hz=1e9, scale=1.0, iterations=100)
+        assert t.t_cpu_s == pytest.approx((1e11 + 1e10) / 1e9)
+
+    def test_eq7_tmem(self):
+        inputs = make_inputs()
+        t = predict_time(inputs, 1, 1, 1e9, 1.0, 100)
+        assert t.t_mem_s == pytest.approx(5e9 / 1e9)
+
+    def test_no_network_terms(self):
+        t = predict_time(make_inputs(), 1, 4, 2e9, 1.0, 100)
+        assert t.t_net_s == 0.0
+        assert t.rho_network == 0.0
+
+    def test_scale_multiplies_linearly(self):
+        inputs = make_inputs()
+        t1 = predict_time(inputs, 1, 2, 1e9, 1.0, 100)
+        t4 = predict_time(inputs, 1, 2, 1e9, 4.0, 100)
+        assert t4.t_cpu_s == pytest.approx(4 * t1.t_cpu_s)
+        assert t4.t_mem_s == pytest.approx(4 * t1.t_mem_s)
+
+    def test_frequency_speeds_up_cpu_term(self):
+        inputs = make_inputs()
+        slow = predict_time(inputs, 1, 2, 1e9, 1.0, 100)
+        fast = predict_time(inputs, 1, 2, 2e9, 1.0, 100)
+        assert fast.t_cpu_s == pytest.approx(slow.t_cpu_s / 2)
+
+
+class TestMultiNode:
+    def test_nodes_divide_cycle_terms(self):
+        inputs = make_inputs(eta_ref=1.0, volume_ref=1.0)  # negligible comm
+        t1 = predict_time(inputs, 1, 2, 1e9, 1.0, 100)
+        t4 = predict_time(inputs, 4, 2, 1e9, 1.0, 100)
+        assert t4.t_cpu_s == pytest.approx(t1.t_cpu_s / 4)
+        assert t4.t_mem_s == pytest.approx(t1.t_mem_s / 4)
+
+    def test_eq6_wire_floor(self):
+        """With a fully utilized CPU, T_s,net is the wire time."""
+        inputs = make_inputs(utilization=1.0)
+        t = predict_time(inputs, 2, 1, 1e9, 1.0, 100)
+        eta_total = 10.0 * 100
+        volume_total = 1e6 * 100
+        wire = eta_total * 1e-4 + volume_total / 100e6
+        assert t.t_net_service_s == pytest.approx(wire)
+
+    def test_eq6_overlap_branch(self):
+        """With low utilization the idle-CPU term dominates Eq. 6's max."""
+        inputs = make_inputs(utilization=0.2, volume_ref=1e3, eta_ref=1.0)
+        t = predict_time(inputs, 2, 1, 1e9, 1.0, 100)
+        assert t.t_net_service_s == pytest.approx(0.8 * t.t_cpu_s)
+
+    def test_wait_bounded_by_drain(self):
+        """T_w,net never exceeds serializing all other nodes' traffic."""
+        inputs = make_inputs(volume_ref=1e8)  # very heavy comm
+        for n in (2, 4, 8):
+            t = predict_time(inputs, n, 1, 1e9, 1.0, 100)
+            eta_total = 10.0 * 100
+            nu = 1e8 * (2 / n) ** (2 / 3) / 10.0
+            drain = (n - 1) * eta_total * nu / 100e6
+            assert t.t_net_wait_s <= drain * (1 + 1e-9)
+
+    def test_rho_reported_in_unit_interval(self):
+        t = predict_time(make_inputs(volume_ref=1e7), 8, 1, 1e9, 1.0, 100)
+        assert 0.0 < t.rho_network < 1.0
+
+    def test_more_nodes_eventually_diminish(self):
+        """Communication limits strong scaling: parallel efficiency
+        T(1)/(n*T(n)) degrades faster for a communication-heavy program."""
+        heavy = make_inputs(volume_ref=5e7)
+        light = make_inputs(volume_ref=1e3, eta_ref=1.0)
+
+        def efficiency(inputs, n):
+            t1 = predict_time(inputs, 1, 8, 2e9, 1.0, 100).total_s
+            tn = predict_time(inputs, n, 8, 2e9, 1.0, 100).total_s
+            return t1 / (n * tn)
+
+        assert efficiency(heavy, 8) < efficiency(heavy, 2)
+        assert efficiency(heavy, 8) < efficiency(light, 8)
+        assert efficiency(light, 8) > 0.8
+
+
+class TestValidationErrors:
+    def test_rejects_bad_arguments(self):
+        inputs = make_inputs()
+        with pytest.raises(ValueError):
+            predict_time(inputs, 0, 1, 1e9, 1.0, 100)
+        with pytest.raises(ValueError):
+            predict_time(inputs, 1, 1, 1e9, 0.0, 100)
+        with pytest.raises(ValueError):
+            predict_time(inputs, 1, 1, 1e9, 1.0, 0)
+
+    def test_breakdown_totals(self):
+        t = predict_time(make_inputs(), 4, 2, 1e9, 1.0, 100)
+        assert t.total_s == pytest.approx(
+            t.t_cpu_s + t.t_mem_s + t.t_net_service_s + t.t_net_wait_s
+        )
+        assert 0 < t.ucr < 1

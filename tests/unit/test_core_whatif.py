@@ -1,0 +1,81 @@
+"""What-if resource-scaling analysis."""
+
+import pytest
+
+from repro.core.whatif import WhatIf
+from tests.conftest import config
+
+
+def test_memory_bandwidth_halves_stall_cycles(xeon_sp_model):
+    doubled = WhatIf(xeon_sp_model).memory_bandwidth(2.0)
+    for key, art in xeon_sp_model.inputs.baseline.items():
+        assert doubled.inputs.baseline[key].mem_stall_cycles == pytest.approx(
+            art.mem_stall_cycles / 2
+        )
+        # other artefacts untouched
+        assert doubled.inputs.baseline[key].work_cycles == art.work_cycles
+
+
+def test_memory_bandwidth_improves_time_energy_ucr(xeon_sp_model):
+    cfg = config(1, 8, 1.8)
+    base = xeon_sp_model.predict(cfg)
+    tuned = WhatIf(xeon_sp_model).memory_bandwidth(2.0).predict(cfg)
+    assert tuned.time_s < base.time_s
+    assert tuned.energy_j < base.energy_j
+    assert tuned.ucr > base.ucr
+
+
+def test_network_bandwidth_speeds_multi_node(xeon_sp_model):
+    cfg = config(8, 8, 1.8)
+    base = xeon_sp_model.predict(cfg)
+    tuned = WhatIf(xeon_sp_model).network_bandwidth(10.0).predict(cfg)
+    assert tuned.time_s < base.time_s
+
+
+def test_network_bandwidth_noop_on_single_node(xeon_sp_model):
+    cfg = config(1, 4, 1.8)
+    base = xeon_sp_model.predict(cfg)
+    tuned = WhatIf(xeon_sp_model).network_bandwidth(10.0).predict(cfg)
+    assert tuned.time_s == pytest.approx(base.time_s)
+
+
+def test_network_latency_scaling(xeon_sp_model):
+    cfg = config(8, 1, 1.8)
+    slow = WhatIf(xeon_sp_model).network_latency(10.0).predict(cfg)
+    fast = WhatIf(xeon_sp_model).network_latency(0.1).predict(cfg)
+    assert fast.time_s <= slow.time_s
+
+
+def test_idle_power_scaling_changes_energy_only(xeon_sp_model):
+    cfg = config(2, 4, 1.5)
+    base = xeon_sp_model.predict(cfg)
+    lean = WhatIf(xeon_sp_model).idle_power(0.5).predict(cfg)
+    assert lean.energy_j < base.energy_j
+    assert lean.time_s == pytest.approx(base.time_s)
+
+
+def test_transformations_compose(xeon_sp_model):
+    cfg = config(8, 8, 1.8)
+    combo = WhatIf(
+        WhatIf(xeon_sp_model).memory_bandwidth(2.0)
+    ).network_bandwidth(2.0).predict(cfg)
+    base = xeon_sp_model.predict(cfg)
+    assert combo.time_s < base.time_s
+
+
+def test_rejects_nonpositive_factors(xeon_sp_model):
+    with pytest.raises(ValueError):
+        WhatIf(xeon_sp_model).memory_bandwidth(0.0)
+    with pytest.raises(ValueError):
+        WhatIf(xeon_sp_model).network_bandwidth(-1.0)
+    with pytest.raises(ValueError):
+        WhatIf(xeon_sp_model).network_latency(0.0)
+    with pytest.raises(ValueError):
+        WhatIf(xeon_sp_model).idle_power(-0.1)
+
+
+def test_original_model_never_mutated(xeon_sp_model):
+    cfg = config(1, 8, 1.8)
+    before = xeon_sp_model.predict(cfg).time_s
+    WhatIf(xeon_sp_model).memory_bandwidth(4.0)
+    assert xeon_sp_model.predict(cfg).time_s == before

@@ -1,0 +1,103 @@
+"""Fault injection and model-based anomaly detection."""
+
+import pytest
+
+from repro.analysis.anomaly import diagnose, health_check
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.faults import FaultModel, degraded_memory, degraded_network
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+class TestFaultModel:
+    def test_healthy_is_inactive(self):
+        assert not FaultModel.healthy().active
+
+    def test_rejects_speedup_factor(self):
+        with pytest.raises(ValueError):
+            FaultModel(straggler_node=0, straggler_factor=0.5)
+
+    def test_straggler_slows_multi_node_run(self, xeon_sim):
+        faulty = SimulatedCluster(
+            xeon_sim.spec,
+            noise=xeon_sim.noise,
+            root_seed=xeon_sim.root_seed,
+            faults=FaultModel(straggler_node=1, straggler_factor=1.5),
+        )
+        cfg = config(4, 4, 1.5)
+        healthy_t = xeon_sim.run(sp_program(), cfg, run_index=0).wall_time_s
+        faulty_t = faulty.run(sp_program(), cfg, run_index=0).wall_time_s
+        # the barrier waits for the throttled node
+        assert faulty_t > 1.2 * healthy_t
+
+    def test_straggler_outside_run_is_harmless(self, xeon_sim):
+        faulty = SimulatedCluster(
+            xeon_sim.spec,
+            noise=xeon_sim.noise,
+            root_seed=xeon_sim.root_seed,
+            faults=FaultModel(straggler_node=6, straggler_factor=2.0),
+        )
+        cfg = config(2, 4, 1.5)  # nodes 0-1 only
+        assert faulty.run(sp_program(), cfg, run_index=0).wall_time_s == (
+            xeon_sim.run(sp_program(), cfg, run_index=0).wall_time_s
+        )
+
+
+class TestDegradedSpecs:
+    def test_degraded_memory_slows_memory_bound_runs(self, xeon_sim):
+        bad = SimulatedCluster(degraded_memory(xeon_sim.spec, 0.4))
+        cfg = config(1, 8, 1.8)
+        healthy_t = xeon_sim.run(sp_program(), cfg).wall_time_s
+        bad_t = bad.run(sp_program(), cfg).wall_time_s
+        assert bad_t > healthy_t
+
+    def test_degraded_network_slows_multi_node_runs_only(self, xeon_sim):
+        bad = SimulatedCluster(degraded_network(xeon_sim.spec, 0.25))
+        single = config(1, 8, 1.8)
+        multi = config(8, 8, 1.8)
+        assert bad.run(sp_program(), single).wall_time_s == pytest.approx(
+            xeon_sim.run(sp_program(), single).wall_time_s, rel=0.02
+        )
+        assert bad.run(sp_program(), multi).wall_time_s > 1.3 * xeon_sim.run(
+            sp_program(), multi
+        ).wall_time_s
+
+    def test_rejects_bad_factors(self, xeon_sim):
+        with pytest.raises(ValueError):
+            degraded_memory(xeon_sim.spec, 0.0)
+        with pytest.raises(ValueError):
+            degraded_network(xeon_sim.spec, 1.5)
+
+
+class TestHealthCheck:
+    SINGLE = [config(1, 8, 1.8)]
+    MULTI = [config(4, 4, 1.5), config(8, 8, 1.8)]
+
+    def test_healthy_cluster_passes(self, xeon_sim, xeon_sp_model):
+        report = health_check(xeon_sp_model, xeon_sim, self.SINGLE + self.MULTI)
+        assert report.healthy
+        assert report.worst.deviation < 0.15
+
+    def test_straggler_flagged_and_localized(self, xeon_sim, xeon_sp_model):
+        faulty = SimulatedCluster(
+            xeon_sim.spec,
+            noise=xeon_sim.noise,
+            root_seed=xeon_sim.root_seed,
+            faults=FaultModel(straggler_node=2, straggler_factor=1.8),
+        )
+        single = health_check(xeon_sp_model, faulty, self.SINGLE)
+        multi = health_check(xeon_sp_model, faulty, self.MULTI)
+        # node 0 runs the single-node canary: clean
+        assert single.healthy
+        assert not multi.healthy
+        assert "node-local" in diagnose(single, multi)
+
+    def test_degraded_memory_hits_all_canaries(self, xeon_sp_model, xeon_sim):
+        bad = SimulatedCluster(degraded_memory(xeon_sim.spec, 0.3))
+        single = health_check(xeon_sp_model, bad, self.SINGLE)
+        multi = health_check(xeon_sp_model, bad, self.MULTI)
+        assert diagnose(single, multi) == "cluster-wide slowdown"
+
+    def test_rejects_bad_threshold(self, xeon_sim, xeon_sp_model):
+        with pytest.raises(ValueError):
+            health_check(xeon_sp_model, xeon_sim, self.SINGLE, threshold=0.0)

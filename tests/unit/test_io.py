@@ -1,0 +1,75 @@
+"""JSON persistence round-trips."""
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.analysis.validation import validate_program
+from repro.core.configspace import ConfigSpace
+from repro.core.model import HybridProgramModel
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+class TestModelInputsRoundtrip:
+    def test_roundtrip_preserves_predictions(self, xeon_sp_model, tmp_path):
+        path = tmp_path / "inputs.json"
+        repro_io.save_model_inputs(xeon_sp_model.inputs, path)
+        loaded = repro_io.load_model_inputs(path)
+        restored = HybridProgramModel(program=sp_program(), inputs=loaded)
+        for cfg in (config(1, 1, 1.2), config(4, 8, 1.8), config(8, 2, 1.5)):
+            a = xeon_sp_model.predict(cfg)
+            b = restored.predict(cfg)
+            assert b.time_s == pytest.approx(a.time_s)
+            assert b.energy_j == pytest.approx(a.energy_j)
+
+    def test_file_is_plain_json(self, xeon_sp_model, tmp_path):
+        path = tmp_path / "inputs.json"
+        repro_io.save_model_inputs(xeon_sp_model.inputs, path)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "model_inputs"
+        assert data["format_version"] == repro_io.FORMAT_VERSION
+        assert data["program"] == "SP"
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "something_else", "format_version": 1}')
+        with pytest.raises(ValueError, match="not a model-inputs"):
+            repro_io.load_model_inputs(path)
+
+    def test_rejects_future_version(self, xeon_sp_model, tmp_path):
+        doc = repro_io.model_inputs_to_dict(xeon_sp_model.inputs)
+        doc["format_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="format version"):
+            repro_io.load_model_inputs(path)
+
+
+class TestCampaignRoundtrip:
+    @pytest.fixture(scope="class")
+    def campaign(self, xeon_sim, xeon_sp_model):
+        space = ConfigSpace((1, 2), (1, 8), (1.8e9,))
+        return validate_program(
+            xeon_sim, sp_program(), space=space, repetitions=1, model=xeon_sp_model
+        )
+
+    def test_roundtrip_preserves_errors(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        repro_io.save_campaign(campaign, path)
+        loaded = repro_io.load_campaign(path)
+        assert loaded.program == campaign.program
+        assert len(loaded.records) == len(campaign.records)
+        assert loaded.time_errors.mean_abs == pytest.approx(
+            campaign.time_errors.mean_abs
+        )
+        for a, b in zip(campaign.records, loaded.records):
+            assert a.config == b.config
+            assert b.measured_time_s == pytest.approx(a.measured_time_s)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "model_inputs", "format_version": 1}')
+        with pytest.raises(ValueError, match="not a validation-campaign"):
+            repro_io.load_campaign(path)

@@ -1,0 +1,70 @@
+"""The beyond-paper EPYC-class reference cluster."""
+
+import pytest
+
+from repro.machines.epyc import epyc_cluster
+from repro.machines.registry import list_clusters
+from repro.machines.spec import Configuration
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.npb import sp_program
+
+
+def test_not_registered_by_default():
+    """The paper's campaigns must never accidentally include it."""
+    assert "epyc" not in list_clusters()
+
+
+def test_spec_sanity():
+    spec = epyc_cluster()
+    assert spec.max_nodes == 16
+    assert spec.node.max_cores == 16
+    assert len(spec.frequencies_hz) == 5
+    assert spec.node.memory.bandwidth_bytes_per_s > 5 * 9.0e9  # >> the old Xeon
+
+
+def test_full_pipeline_smoke():
+    """Characterize + predict + simulate on the modern machine.
+
+    Class C is used: the 2015-era class-W input finishes in single-digit
+    seconds on this node, where launch/barrier overheads (which the model
+    does not carry) dominate — exactly why a practitioner sizes the input
+    to the machine.
+    """
+    from repro.core.model import HybridProgramModel
+
+    sim = SimulatedCluster(epyc_cluster())
+    model = HybridProgramModel.from_measurements(
+        sim, sp_program(), repetitions=1
+    )
+    cfg = Configuration(4, 16, 3.5e9)
+    pred = model.predict(cfg, "C")
+    run = sim.run(sp_program(), cfg, class_name="C")
+    assert pred.time_s == pytest.approx(run.wall_time_s, rel=0.20)
+    assert 0 < pred.ucr < 1
+
+
+def test_generational_speedup_over_old_xeon():
+    """A node of the modern machine beats a node of the 2012 Xeon by a
+    large factor at fmax (wider cores, higher clock, more of them)."""
+    from repro.machines.xeon import xeon_cluster
+
+    old = SimulatedCluster(xeon_cluster())
+    new = SimulatedCluster(epyc_cluster())
+    t_old = old.run(
+        sp_program(), Configuration(1, 8, old.spec.node.core.fmax)
+    ).wall_time_s
+    t_new = new.run(
+        sp_program(), Configuration(1, 16, new.spec.node.core.fmax)
+    ).wall_time_s
+    assert t_new < t_old / 4
+
+
+def test_better_energy_proportionality():
+    """Idle power relative to peak is lower on the modern node."""
+    from repro.machines.xeon import xeon_cluster
+
+    old = xeon_cluster().node
+    new = epyc_cluster().node
+    old_ratio = old.power.sys_idle_w / old.power.node_peak_w(8, old.core.fmax)
+    new_ratio = new.power.sys_idle_w / new.power.node_peak_w(16, new.core.fmax)
+    assert new_ratio < old_ratio

@@ -1,0 +1,128 @@
+"""Node power models and characterized power tables."""
+
+import numpy as np
+import pytest
+
+from repro.machines.arm import arm_cluster
+from repro.machines.power import NodePowerModel, PowerTable
+from repro.machines.xeon import xeon_cluster
+
+
+def make_power(**overrides) -> NodePowerModel:
+    params = dict(
+        fmax_hz=2.0e9,
+        core_leakage_w=1.0,
+        core_dynamic_w=8.0,
+        dvfs_alpha=2.0,
+        stall_fraction=0.5,
+        uncore_active_w=4.0,
+        uncore_per_core_w=0.5,
+        mem_active_w=6.0,
+        net_active_w=3.0,
+        sys_idle_w=40.0,
+    )
+    params.update(overrides)
+    return NodePowerModel(**params)
+
+
+class TestNodePowerModel:
+    def test_active_power_at_fmax(self):
+        p = make_power()
+        assert p.core_active_w(2.0e9) == pytest.approx(9.0)
+
+    def test_dvfs_law(self):
+        p = make_power()
+        # half frequency, alpha=2 → quarter dynamic power
+        assert p.core_active_w(1.0e9) == pytest.approx(1.0 + 2.0)
+
+    def test_stall_power_below_active(self):
+        p = make_power()
+        for f in (1.0e9, 1.5e9, 2.0e9):
+            assert p.core_stall_w(f) < p.core_active_w(f)
+            assert p.core_stall_w(f) >= p.core_leakage_w
+
+    def test_uncore_scales_with_cores(self):
+        p = make_power()
+        assert p.uncore_w(0) == 0.0
+        assert p.uncore_w(1) == pytest.approx(4.5)
+        assert p.uncore_w(4) == pytest.approx(6.0)
+
+    def test_node_peak(self):
+        p = make_power()
+        peak = p.node_peak_w(2, 2.0e9)
+        assert peak == pytest.approx(40.0 + 2 * 9.0 + 5.0 + 6.0 + 3.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            make_power(stall_fraction=1.5)
+        with pytest.raises(ValueError):
+            make_power(dvfs_alpha=0.5)
+        with pytest.raises(ValueError):
+            make_power(fmax_hz=0.0)
+
+    def test_monotone_in_frequency(self):
+        p = make_power()
+        freqs = np.linspace(0.5e9, 2.0e9, 10)
+        powers = [p.core_active_w(f) for f in freqs]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+
+class TestPowerTable:
+    def test_exact_table_amortizes_uncore(self):
+        p = make_power()
+        table = PowerTable.exact(p, core_counts=(1, 2), frequencies_hz=(2.0e9,))
+        assert table.active(1, 2.0e9) == pytest.approx(9.0 + 4.5)
+        assert table.active(2, 2.0e9) == pytest.approx(9.0 + 2.5)
+
+    def test_lookup_snaps_to_nearest_frequency(self):
+        p = make_power()
+        table = PowerTable.exact(p, (1,), (1.0e9, 2.0e9))
+        assert table.active(1, 1.9e9) == table.active(1, 2.0e9)
+
+    def test_lookup_rejects_unknown_core_count(self):
+        p = make_power()
+        table = PowerTable.exact(p, (1, 2), (1.0e9,))
+        with pytest.raises(KeyError):
+            table.active(3, 1.0e9)
+
+    def test_perturbed_bounded(self):
+        p = make_power()
+        table = PowerTable.exact(p, (1, 2, 4), (1.0e9, 2.0e9))
+        rng = np.random.default_rng(0)
+        noisy = table.perturbed(rng, max_error_w=0.5)
+        for key in table.core_active_w:
+            assert abs(noisy.core_active_w[key] - table.core_active_w[key]) <= 0.5
+            assert noisy.core_active_w[key] > 0
+        assert abs(noisy.sys_idle_w - table.sys_idle_w) <= 0.5
+
+    def test_perturbed_never_nonpositive(self):
+        p = make_power(core_leakage_w=0.01, core_dynamic_w=0.01)
+        table = PowerTable.exact(p, (1,), (1.0e9,))
+        rng = np.random.default_rng(1)
+        noisy = table.perturbed(rng, max_error_w=10.0)
+        assert all(v > 0 for v in noisy.core_active_w.values())
+
+
+class TestRealMachinePower:
+    def test_xeon_node_power_magnitude(self):
+        """Dual E5-2603 node: idle ~50 W, peak well above but bounded."""
+        spec = xeon_cluster()
+        p = spec.node.power
+        assert 30 <= p.sys_idle_w <= 80
+        peak = p.node_peak_w(8, spec.node.core.fmax)
+        assert 100 <= peak <= 200
+
+    def test_arm_node_power_magnitude(self):
+        """Cortex-A9 node: single-digit watts."""
+        spec = arm_cluster()
+        p = spec.node.power
+        assert 1 <= p.sys_idle_w <= 5
+        peak = p.node_peak_w(4, spec.node.core.fmax)
+        assert 4 <= peak <= 12
+
+    def test_xeon_arm_power_ratio(self):
+        """The paper picked the two systems for diverse power: order(s) of
+        magnitude apart."""
+        xeon = xeon_cluster().node.power
+        arm = arm_cluster().node.power
+        assert xeon.sys_idle_w / arm.sys_idle_w > 10

@@ -1,0 +1,32 @@
+"""Cluster registry."""
+
+import pytest
+
+from repro.machines.registry import get_cluster, list_clusters, register_cluster
+from repro.machines.xeon import xeon_cluster
+
+
+def test_lists_both_paper_clusters():
+    assert list_clusters() == ["arm", "xeon"]
+
+
+def test_get_cluster_returns_spec():
+    assert get_cluster("xeon").name == "xeon"
+    assert get_cluster("arm").node.max_cores == 4
+
+
+def test_unknown_cluster_raises_with_choices():
+    with pytest.raises(KeyError, match="arm"):
+        get_cluster("power9")
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_cluster("xeon", xeon_cluster)
+
+
+def test_register_custom_cluster():
+    name = "test-custom-cluster"
+    if name not in list_clusters():
+        register_cluster(name, lambda: xeon_cluster())
+    assert get_cluster(name).name == "xeon"

@@ -1,0 +1,89 @@
+"""Baseline-execution sweeps and communication profiling."""
+
+import pytest
+
+from repro.measure.baseline import (
+    BaselinePoint,
+    CommProfile,
+    profile_communication,
+    run_baseline_sweep,
+)
+from repro.measure.mpip import MpiPReport
+from repro.workloads.npb import sp_program
+
+
+@pytest.fixture(scope="module")
+def sweep(xeon_sim):
+    return run_baseline_sweep(xeon_sim, sp_program(), repetitions=2)
+
+
+def test_sweep_covers_all_cf_points(sweep, xeon_sim):
+    spec = xeon_sim.spec
+    expected = len(spec.node.core_counts) * len(spec.frequencies_hz)
+    assert len(sweep.points) == expected
+
+
+def test_sweep_metadata(sweep):
+    assert sweep.program == "SP"
+    assert sweep.cluster == "xeon"
+    assert sweep.iterations == sp_program().iterations("W")
+
+
+def test_point_lookup_snaps_frequency(sweep):
+    point = sweep.point(4, 1.79e9)
+    assert point.cores == 4
+    assert point.frequency_hz == pytest.approx(1.8e9)
+
+
+def test_point_lookup_rejects_unknown_cores(sweep):
+    with pytest.raises(KeyError):
+        sweep.point(16, 1.8e9)
+
+
+def test_work_cycles_frequency_invariant(sweep):
+    """w is a cycle count: roughly constant across f at fixed c."""
+    w_low = sweep.point(4, 1.2e9).work_cycles
+    w_high = sweep.point(4, 1.8e9).work_cycles
+    assert w_high == pytest.approx(w_low, rel=0.05)
+
+
+def test_mem_stalls_grow_with_frequency(sweep):
+    """The DRAM-bound part of m is fixed in time, so it grows in cycles
+    with f (the effect behind UCR peaking at fmin)."""
+    m_low = sweep.point(8, 1.2e9).mem_stall_cycles
+    m_high = sweep.point(8, 1.8e9).mem_stall_cycles
+    assert m_high > m_low
+
+
+def test_total_mem_stalls_grow_with_cores(sweep):
+    """Contention: the same total traffic costs more aggregate stall cycles
+    when 8 threads share the controller than when 1 thread owns it
+    (per-core counters are averages, so totals are cycles * c)."""
+    total_c8 = sweep.point(8, 1.8e9).mem_stall_cycles * 8
+    total_c1 = sweep.point(1, 1.8e9).mem_stall_cycles * 1
+    assert total_c8 > total_c1
+
+
+def test_averaging_reduces_to_single_numbers():
+    readings_cls = BaselinePoint.from_readings
+    from repro.measure.counters import CounterReading
+
+    r1 = CounterReading(100.0, 50.0, 10.0, 5.0, 0.9)
+    r2 = CounterReading(110.0, 60.0, 20.0, 15.0, 1.0)
+    point = readings_cls(2, 1e9, [r1, r2], [1.0, 2.0])
+    assert point.instructions == pytest.approx(105.0)
+    assert point.utilization == pytest.approx(0.95)
+    assert point.wall_time_s == pytest.approx(1.5)
+
+
+class TestCommProfile:
+    def test_profile_runs_at_requested_node_counts(self, xeon_sim):
+        profile = profile_communication(xeon_sim, sp_program(), node_counts=(2, 4))
+        assert [r.nodes for r in profile.reports] == [2, 4]
+
+    def test_requires_two_distinct_node_counts(self):
+        r = MpiPReport(nodes=2, iterations=10, total_messages=10, total_bytes=100)
+        with pytest.raises(ValueError):
+            CommProfile(program="X", class_name="W", reports=(r,))
+        with pytest.raises(ValueError):
+            CommProfile(program="X", class_name="W", reports=(r, r))

@@ -1,0 +1,86 @@
+"""Instrument models: time command, WattsUp meter, PMU counters, mpiP."""
+
+import numpy as np
+import pytest
+
+from repro.measure.counters import read_counters
+from repro.measure.mpip import MpiPReport, profile_run
+from repro.measure.timecmd import measure_wall_time
+from repro.measure.wattsup import read_meter
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+@pytest.fixture(scope="module")
+def run(xeon_sim):
+    return xeon_sim.run(sp_program(), config(2, 4, 1.5))
+
+
+class TestTimeCmd:
+    def test_centisecond_resolution(self, run):
+        t = measure_wall_time(run)
+        assert t == pytest.approx(run.wall_time_s, abs=0.005)
+        assert round(t * 100) == pytest.approx(t * 100)
+
+    def test_deterministic(self, run):
+        assert measure_wall_time(run) == measure_wall_time(run)
+
+
+class TestWattsUp:
+    def test_reading_close_to_true_energy(self, run):
+        reading = read_meter(run)
+        assert reading.energy_j == pytest.approx(run.energy.total_j, rel=0.05)
+
+    def test_rereading_is_stable(self, run):
+        assert read_meter(run).energy_j == read_meter(run).energy_j
+
+    def test_mean_power_consistent(self, run):
+        reading = read_meter(run)
+        assert reading.mean_power_w == pytest.approx(
+            reading.energy_j / run.wall_time_s, rel=0.05
+        )
+
+    def test_bias_varies_across_runs(self, xeon_sim):
+        r1 = xeon_sim.run(sp_program(), config(2, 4, 1.5), run_index=0)
+        r2 = xeon_sim.run(sp_program(), config(4, 4, 1.5), run_index=0)
+        b1 = read_meter(r1).energy_j / r1.energy.total_j
+        b2 = read_meter(r2).energy_j / r2.energy.total_j
+        assert b1 != b2
+
+
+class TestCounters:
+    def test_reading_close_to_truth(self, run):
+        reading = read_counters(run)
+        assert reading.instructions == pytest.approx(
+            run.counters.instructions, rel=0.05
+        )
+        assert reading.work_cycles == pytest.approx(
+            run.counters.work_cycles, rel=0.05
+        )
+
+    def test_utilization_clipped(self, run):
+        assert 0.0 <= read_counters(run).utilization <= 1.0
+
+    def test_useful_cycles_sum(self, run):
+        reading = read_counters(run)
+        assert reading.useful_cycles == pytest.approx(
+            reading.work_cycles + reading.nonmem_stall_cycles
+        )
+
+
+class TestMpiP:
+    def test_report_normalization(self, run):
+        prog = sp_program()
+        report = profile_run(run, iterations=prog.iterations("W"))
+        assert report.eta_per_process_iter == pytest.approx(
+            prog.messages_per_process(2), rel=0.05
+        )
+        assert report.nu_bytes == pytest.approx(
+            prog.bytes_per_message("W", 2), rel=0.15
+        )
+
+    def test_empty_report_is_zero(self):
+        report = MpiPReport(nodes=1, iterations=100, total_messages=0, total_bytes=0)
+        assert report.eta_per_process_iter == 0.0
+        assert report.nu_bytes == 0.0
+        assert report.volume_per_process_iter == 0.0

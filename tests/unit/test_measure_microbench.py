@@ -1,0 +1,74 @@
+"""Power-characterization micro-benchmarks."""
+
+import pytest
+
+from repro.machines.arm import ARM_POWER_ERROR_W, arm_cluster
+from repro.machines.power import PowerTable
+from repro.machines.xeon import XEON_POWER_ERROR_W, xeon_cluster
+from repro.measure.microbench import characterize_power
+
+
+@pytest.fixture(scope="module")
+def xeon_table() -> PowerTable:
+    return characterize_power(xeon_cluster())
+
+
+@pytest.fixture(scope="module")
+def arm_table() -> PowerTable:
+    return characterize_power(arm_cluster())
+
+
+def test_covers_full_cf_grid(xeon_table):
+    spec = xeon_cluster()
+    for c in spec.node.core_counts:
+        for f in spec.frequencies_hz:
+            assert xeon_table.active(c, f) > 0
+            assert xeon_table.stall(c, f) > 0
+
+
+def test_characterized_close_to_truth_xeon(xeon_table):
+    """Per-core characterization error stays within the paper's ~2 W for
+    the Xeon node."""
+    spec = xeon_cluster()
+    power = spec.node.power
+    exact = PowerTable.exact(power, spec.node.core_counts, spec.frequencies_hz)
+    for key in exact.core_active_w:
+        measured = xeon_table.core_active_w[key]
+        true = exact.core_active_w[key]
+        assert abs(measured - true) < 2.5 * XEON_POWER_ERROR_W
+
+
+def test_characterized_close_to_truth_arm(arm_table):
+    spec = arm_cluster()
+    exact = PowerTable.exact(
+        spec.node.power, spec.node.core_counts, spec.frequencies_hz
+    )
+    for key in exact.core_active_w:
+        assert abs(arm_table.core_active_w[key] - exact.core_active_w[key]) < 1.0
+
+
+def test_stall_below_active_power(xeon_table):
+    spec = xeon_cluster()
+    for c in (1, 4, 8):
+        f = spec.node.core.fmax
+        assert xeon_table.stall(c, f) < xeon_table.active(c, f)
+
+
+def test_active_power_grows_with_frequency(xeon_table):
+    spec = xeon_cluster()
+    freqs = spec.frequencies_hz
+    values = [xeon_table.active(4, f) for f in freqs]
+    assert values[0] < values[-1]
+
+
+def test_idle_measured_close_to_truth(arm_table):
+    true_idle = arm_cluster().node.power.sys_idle_w
+    assert arm_table.sys_idle_w == pytest.approx(true_idle, abs=2 * ARM_POWER_ERROR_W)
+
+
+def test_deterministic_per_seed():
+    a = characterize_power(arm_cluster(), root_seed=5)
+    b = characterize_power(arm_cluster(), root_seed=5)
+    assert a.core_active_w == b.core_active_w
+    c = characterize_power(arm_cluster(), root_seed=6)
+    assert a.core_active_w != c.core_active_w

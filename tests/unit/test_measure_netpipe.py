@@ -1,0 +1,62 @@
+"""NetPIPE network characterization (Fig. 3 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from repro.measure.netpipe import run_netpipe
+
+
+@pytest.fixture(scope="module")
+def arm_pipe():
+    return run_netpipe(arm_cluster())
+
+
+@pytest.fixture(scope="module")
+def xeon_pipe():
+    return run_netpipe(xeon_cluster())
+
+
+def test_latency_monotone_in_size(arm_pipe):
+    """Monotone up to the ±1% measurement jitter."""
+    lat = arm_pipe.latency_s
+    assert np.all(np.diff(lat) >= -0.03 * lat[:-1])
+
+
+def test_throughput_grows_then_plateaus(arm_pipe):
+    tp = arm_pipe.throughput_mbps
+    # small messages are latency-bound: low throughput
+    assert tp[0] < 1.0
+    # the plateau sits in the top decade of sizes
+    assert tp[-1] == pytest.approx(tp.max(), rel=0.1)
+
+
+def test_arm_plateau_is_ninety_mbps(arm_pipe):
+    """Fig. 3's headline: MPI over TCP peaks at ~90 Mbps on a 100 Mbps
+    link."""
+    assert arm_pipe.peak_throughput_mbps == pytest.approx(90.0, rel=0.05)
+
+
+def test_xeon_plateau_below_line_rate(xeon_pipe):
+    peak = xeon_pipe.peak_throughput_mbps
+    assert 800.0 < peak < 1000.0
+
+
+def test_latency_floor_reflects_protocol_overhead(arm_pipe):
+    floor = arm_pipe.latency_floor_s()
+    nic = arm_cluster().node.nic
+    assert floor >= nic.per_message_overhead_s
+    assert floor < 5 * nic.per_message_overhead_s
+
+
+def test_achievable_bandwidth_converts_units(arm_pipe):
+    assert arm_pipe.achievable_bandwidth_bytes_per_s() == pytest.approx(
+        arm_pipe.peak_throughput_mbps * 1e6 / 8.0
+    )
+
+
+def test_deterministic_given_seed():
+    a = run_netpipe(arm_cluster(), sizes=(64, 4096), root_seed=7)
+    b = run_netpipe(arm_cluster(), sizes=(64, 4096), root_seed=7)
+    assert np.array_equal(a.latency_s, b.latency_s)

@@ -1,0 +1,65 @@
+"""Wall-power trace reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.measure.powertrace import synthesize_power_trace
+from repro.workloads.npb import sp_program
+from tests.conftest import config
+
+
+@pytest.fixture(scope="module")
+def traced_run(xeon_sim):
+    return xeon_sim.run(sp_program(), config(2, 8, 1.8), collect_trace=True)
+
+
+def test_requires_trace(xeon_sim):
+    run = xeon_sim.run(sp_program(), config(1, 2, 1.5))
+    with pytest.raises(ValueError, match="collect_trace"):
+        synthesize_power_trace(run)
+
+
+def test_rejects_bad_period(traced_run):
+    with pytest.raises(ValueError):
+        synthesize_power_trace(traced_run, sample_period_s=0.0)
+
+
+def test_integral_matches_total_energy(traced_run):
+    trace = synthesize_power_trace(traced_run)
+    assert trace.energy_j() == pytest.approx(traced_run.energy.total_j, rel=0.02)
+
+
+def test_power_within_physical_envelope(traced_run, xeon_sim):
+    trace = synthesize_power_trace(traced_run)
+    power = xeon_sim.spec.node.power
+    n, c = 2, 8
+    floor = power.sys_idle_w * n
+    peak = power.node_peak_w(c, 1.8e9) * n
+    assert np.all(trace.watts >= floor * 0.95)
+    assert np.all(trace.watts <= peak * 1.05)
+
+
+def test_mean_power_consistent(traced_run):
+    trace = synthesize_power_trace(traced_run)
+    expected = traced_run.energy.total_j / traced_run.wall_time_s
+    assert trace.mean_w == pytest.approx(expected, rel=0.02)
+
+
+def test_covers_wall_time(traced_run):
+    trace = synthesize_power_trace(traced_run)
+    span = trace.times_s[-1] - trace.times_s[0]
+    assert span == pytest.approx(traced_run.wall_time_s, rel=0.1)
+
+
+def test_finer_sampling_refines_trace(traced_run):
+    coarse = synthesize_power_trace(traced_run, sample_period_s=2.0)
+    fine = synthesize_power_trace(traced_run, sample_period_s=0.25)
+    assert fine.times_s.size > coarse.times_s.size
+    assert fine.energy_j() == pytest.approx(coarse.energy_j(), rel=0.05)
+
+
+def test_busy_phases_draw_more_than_idle_floor(traced_run, xeon_sim):
+    trace = synthesize_power_trace(traced_run)
+    floor = xeon_sim.spec.node.power.sys_idle_w * 2
+    # the bulk of the run draws well above the idle floor
+    assert np.median(trace.watts) > 1.3 * floor

@@ -1,0 +1,82 @@
+"""Text-rendering edge cases (report + figures helpers)."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart
+from repro.analysis.report import _fmt, _is_number, ascii_table, format_series
+
+
+class TestFmt:
+    def test_integers_pass_through(self):
+        assert _fmt(42) == "42"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_small_numbers_use_scientific(self):
+        assert "e" in _fmt(1.5e-6)
+
+    def test_large_numbers_use_scientific(self):
+        assert "e" in _fmt(3.2e7) or "+" in _fmt(3.2e7)
+
+    def test_mid_range_trims_trailing_zeros(self):
+        assert _fmt(1.50) == "1.5"
+        assert _fmt(2.00) == "2"
+
+    def test_strings_pass_through(self):
+        assert _fmt("(4,8,1.8)") == "(4,8,1.8)"
+
+
+class TestIsNumber:
+    def test_accepts_numerics(self):
+        assert _is_number("3.5")
+        assert _is_number("-2")
+        assert _is_number("1e9")
+
+    def test_rejects_text(self):
+        assert not _is_number("(1,2)")
+        assert not _is_number("")
+
+
+class TestAsciiTable:
+    def test_numeric_columns_right_aligned(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        data = [l for l in lines if "| a" in l or "| bb" in l]
+        # the numeric column ends aligned before the closing pipe
+        assert data[0].endswith("|  1 |".replace("  1", " 1") ) or " 1 |" in data[0]
+        assert "22 |" in data[1]
+
+    def test_mixed_column_treated_as_text(self):
+        out = ascii_table(["v"], [["1"], ["x"]])
+        assert "| 1" in out  # left aligned
+
+    def test_wide_headers_set_width(self):
+        out = ascii_table(["a-very-long-header"], [["x"]])
+        lines = out.splitlines()
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+
+class TestFormatSeries:
+    def test_without_unit(self):
+        out = format_series("s", [1], [2.0])
+        assert out.splitlines()[0] == "# s"
+
+    def test_rows_align(self):
+        out = format_series("s", [1, 1000], [2.0, 3.0])
+        rows = out.splitlines()[1:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestAsciiChartEdges:
+    def test_single_point(self):
+        out = ascii_chart([5.0], [1.0])
+        assert "o" in out
+
+    def test_constant_series(self):
+        out = ascii_chart([1, 2, 3], [4.0, 4.0, 4.0])
+        assert out.count("o") == 3
+
+    def test_logy_axis(self):
+        out = ascii_chart([1, 2], [1.0, 1000.0], logy=True)
+        assert "1e+03" in out or "1000" in out

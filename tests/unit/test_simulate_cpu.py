@@ -1,0 +1,103 @@
+"""Compute-demand translation."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.machines.xeon import xeon_cluster
+from repro.machines.arm import arm_cluster
+from repro.simulate.cpu import compute_demand, _normalized_imbalance
+from repro.simulate.noise import NoiseModel
+from repro.workloads.npb import sp_program
+from repro.workloads.synthetic import synthetic_program
+from tests.conftest import config
+
+
+def demand_for(cluster, cfg, program=None, noise=None, seed="t"):
+    return compute_demand(
+        program or sp_program(),
+        "W",
+        cluster,
+        cfg,
+        noise or NoiseModel.disabled(),
+        rng_mod.derive(1, seed),
+    )
+
+
+class TestImbalance:
+    def test_zero_cv_gives_ones(self):
+        rng = np.random.default_rng(0)
+        assert np.all(_normalized_imbalance(rng, 0.0, (3, 4), 1) == 1.0)
+
+    def test_single_element_axis_gives_ones(self):
+        rng = np.random.default_rng(0)
+        assert np.all(_normalized_imbalance(rng, 0.5, (3, 1), 1) == 1.0)
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        shares = _normalized_imbalance(rng, 0.1, (100, 8), 1)
+        assert np.allclose(shares.mean(axis=1), 1.0)
+
+    def test_cv_approximate(self):
+        rng = np.random.default_rng(0)
+        shares = _normalized_imbalance(rng, 0.1, (2000, 16), 1)
+        assert shares.std() == pytest.approx(0.1, rel=0.2)
+
+
+class TestComputeDemand:
+    def test_shape(self):
+        d = demand_for(xeon_cluster(), config(2, 4, 1.5))
+        assert d.shape == (sp_program().iterations("W"), 2, 4)
+
+    def test_total_instructions_conserved(self):
+        """Splitting across nodes/threads conserves total work (plus sync)."""
+        prog = synthetic_program(sync_coeff=0.0)
+        cluster = xeon_cluster()
+        d1 = demand_for(cluster, config(1, 1, 1.8), prog)
+        d2 = demand_for(cluster, config(4, 8, 1.8), prog)
+        assert d2.instructions.sum() == pytest.approx(d1.instructions.sum(), rel=1e-9)
+
+    def test_sync_overhead_adds_instructions(self):
+        prog = synthetic_program(sync_coeff=0.01, sync_exponent=1.5)
+        base = synthetic_program(sync_coeff=0.0)
+        cluster = xeon_cluster()
+        with_sync = demand_for(cluster, config(4, 8, 1.8), prog)
+        without = demand_for(cluster, config(4, 8, 1.8), base)
+        assert with_sync.instructions.sum() > without.instructions.sum()
+
+    def test_isa_translation_differs(self):
+        """The same program costs more instructions and cycles on ARM."""
+        xeon_d = demand_for(xeon_cluster(), config(1, 4, 1.2))
+        arm_d = demand_for(arm_cluster(), config(1, 4, 1.1))
+        assert arm_d.instructions.sum() > xeon_d.instructions.sum()
+        assert arm_d.work_cycles.sum() > xeon_d.work_cycles.sum()
+
+    def test_compute_time_is_cycles_over_frequency(self):
+        d = demand_for(xeon_cluster(), config(1, 1, 1.2))
+        expected = (d.work_cycles + d.hazard_cycles) / 1.2e9
+        assert np.allclose(d.compute_time_s, expected)
+
+    def test_dram_amplification_on_small_cache(self):
+        """The ARM node's 1MB LLC re-fetches far more DRAM traffic."""
+        prog = sp_program()
+        xeon_d = demand_for(xeon_cluster(), config(1, 1, 1.2), prog)
+        arm_d = demand_for(arm_cluster(), config(1, 1, 1.1), prog)
+        assert arm_d.dram_bytes.sum() > 2.0 * xeon_d.dram_bytes.sum()
+
+    def test_sequential_fraction_loads_thread_zero(self):
+        prog = synthetic_program(
+            sequential_fraction=0.2, thread_imbalance=0.0, process_imbalance=0.0
+        )
+        d = demand_for(xeon_cluster(), config(2, 4, 1.8), prog)
+        per_thread = d.instructions.sum(axis=0)
+        assert per_thread[0, 0] > 1.5 * per_thread[1, 1]
+
+    def test_noise_jitters_compute_time_only(self):
+        noisy = demand_for(
+            xeon_cluster(), config(1, 2, 1.5), noise=NoiseModel(), seed="n"
+        )
+        clean = demand_for(
+            xeon_cluster(), config(1, 2, 1.5), noise=NoiseModel.disabled(), seed="n"
+        )
+        assert np.allclose(noisy.work_cycles, clean.work_cycles)
+        assert not np.allclose(noisy.compute_time_s, clean.compute_time_s)

@@ -1,0 +1,95 @@
+"""Simulator extensions: stall-phase DVFS and iteration tracing."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.results import IterationTrace
+from repro.workloads.npb import sp_program
+from repro.workloads.quantum import cp_program
+from tests.conftest import config
+
+
+class TestStallDvfs:
+    def test_noop_at_run_frequency(self, arm_sim):
+        cfg = config(2, 4, 1.4)
+        base = arm_sim.run(cp_program(), cfg, run_index=0)
+        same = arm_sim.run(
+            cp_program(), cfg, run_index=0, stall_frequency_hz=1.4e9
+        )
+        assert same.wall_time_s == pytest.approx(base.wall_time_s)
+        assert same.energy.total_j == pytest.approx(base.energy.total_j)
+
+    def test_throttling_slows_and_saves_on_memory_bound(self, arm_sim):
+        cfg = config(2, 4, 1.4)
+        base = arm_sim.run(cp_program(), cfg, run_index=0)
+        throttled = arm_sim.run(
+            cp_program(), cfg, run_index=0, stall_frequency_hz=0.8e9
+        )
+        assert throttled.wall_time_s > base.wall_time_s
+        assert throttled.energy.cpu_stall_j < base.energy.cpu_stall_j
+
+    def test_invalid_stall_frequency_rejected(self, arm_sim):
+        with pytest.raises(ValueError, match="DVFS"):
+            arm_sim.run(
+                cp_program(), config(2, 4, 1.4), stall_frequency_hz=0.3e9
+            )
+
+    def test_paired_randomness(self, arm_sim):
+        """Throttled and static runs with equal run_index share workload
+        randomness: instruction counters are identical."""
+        cfg = config(2, 4, 1.4)
+        a = arm_sim.run(cp_program(), cfg, run_index=3)
+        b = arm_sim.run(
+            cp_program(), cfg, run_index=3, stall_frequency_hz=0.8e9
+        )
+        assert a.counters.instructions == b.counters.instructions
+
+
+class TestIterationTrace:
+    def test_trace_absent_by_default(self, xeon_sim):
+        run = xeon_sim.run(sp_program(), config(2, 4, 1.5))
+        assert run.trace is None
+
+    def test_trace_shape_and_consistency(self, xeon_sim):
+        run = xeon_sim.run(
+            sp_program(), config(2, 4, 1.5), collect_trace=True
+        )
+        trace = run.trace
+        assert trace is not None
+        assert trace.iterations == sp_program().iterations("W")
+        # per-iteration wall times sum (plus startup) to the wall time
+        total = float(np.sum(trace.iteration_s))
+        assert total < run.wall_time_s
+        assert total > 0.9 * run.wall_time_s
+        # phase means reassemble the aggregate breakdown
+        assert float(np.sum(trace.compute_s)) == pytest.approx(
+            run.phases.t_cpu_s, rel=1e-6
+        )
+        assert float(np.sum(trace.memory_s)) == pytest.approx(
+            run.phases.t_mem_s, rel=1e-6
+        )
+        assert float(np.sum(trace.network_s)) == pytest.approx(
+            run.phases.t_net_s, rel=1e-6
+        )
+
+    def test_iteration_times_dominate_phases(self, xeon_sim):
+        run = xeon_sim.run(
+            sp_program(), config(4, 8, 1.8), collect_trace=True
+        )
+        trace = run.trace
+        assert trace is not None
+        # barrier waits make each iteration at least as long as the mean
+        # compute + memory share
+        assert np.all(
+            np.asarray(trace.iteration_s)
+            >= np.asarray(trace.compute_s) + np.asarray(trace.memory_s) - 1e-9
+        )
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            IterationTrace(
+                compute_s=np.ones(3),
+                memory_s=np.ones(3),
+                network_s=np.ones(2),
+                iteration_s=np.ones(3),
+            )

@@ -1,0 +1,99 @@
+"""Memory-controller contention resolution."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+from repro.simulate.cpu import compute_demand
+from repro.simulate.memory import resolve_memory
+from repro.simulate.noise import NoiseModel
+from repro.workloads.npb import sp_program
+from repro.workloads.synthetic import synthetic_program
+from tests.conftest import config
+
+
+def outcome_for(cluster, cfg, program=None, seed="m"):
+    program = program or sp_program()
+    rng = rng_mod.derive(1, seed)
+    demand = compute_demand(
+        program, "W", cluster, cfg, NoiseModel.disabled(), rng
+    )
+    return demand, resolve_memory(demand, cluster, cfg, rng)
+
+
+def test_shapes_match_demand():
+    demand, mem = outcome_for(xeon_cluster(), config(2, 4, 1.5))
+    assert mem.stall_time_s.shape == demand.shape
+    assert mem.stall_cycles.shape == demand.shape
+
+
+def test_all_quantities_nonnegative():
+    _, mem = outcome_for(xeon_cluster(), config(2, 8, 1.8))
+    for arr in (mem.stall_time_s, mem.wait_time_s, mem.service_time_s, mem.stall_cycles):
+        assert np.all(arr >= 0)
+
+
+def test_single_thread_has_negligible_queue_wait():
+    """One thread's batches rarely collide with themselves."""
+    _, mem = outcome_for(xeon_cluster(), config(1, 1, 1.8))
+    assert mem.wait_time_s.sum() < 0.05 * mem.service_time_s.sum()
+
+
+def test_contention_grows_with_thread_count():
+    """More threads sharing the controller → more waiting per byte."""
+    cluster = xeon_cluster()
+    _, mem1 = outcome_for(cluster, config(1, 1, 1.8))
+    _, mem8 = outcome_for(cluster, config(1, 8, 1.8))
+    # per-thread traffic is 8x smaller at c=8, so compare totals
+    assert mem8.wait_time_s.sum() > mem1.wait_time_s.sum()
+
+
+def test_stall_cycles_include_frequency_invariant_cache_part():
+    """m = stall_time*f + cache stalls: at equal time terms, higher f means
+    the cache component keeps m/f constant while the DRAM part shrinks."""
+    demand, mem = outcome_for(xeon_cluster(), config(1, 2, 1.2))
+    expected_floor = demand.cache_stall_cycles
+    assert np.all(mem.stall_cycles >= expected_floor - 1e-6)
+
+
+def test_memory_overlap_reduces_stall_time():
+    """Xeon hides more memory time than ARM per byte of traffic."""
+    xeon = xeon_cluster()
+    assert xeon.node.core.memory_overlap > arm_cluster().node.core.memory_overlap
+    demand, mem = outcome_for(xeon, config(1, 4, 1.8))
+    raw = mem.wait_time_s / (1.0 - xeon.node.core.memory_overlap)
+    assert np.all(mem.wait_time_s <= raw + 1e-12)
+
+
+def test_stall_time_consistent_with_cycles():
+    cfg = config(1, 4, 1.5)
+    demand, mem = outcome_for(xeon_cluster(), cfg)
+    reconstructed = (
+        mem.stall_cycles - demand.cache_stall_cycles
+    ) / cfg.frequency_hz + demand.cache_stall_cycles / cfg.frequency_hz
+    assert np.allclose(reconstructed, mem.stall_time_s)
+
+
+def test_memory_bound_program_stalls_more():
+    heavy = synthetic_program(arithmetic_intensity=1.0)
+    light = synthetic_program(arithmetic_intensity=64.0)
+    cluster = arm_cluster()
+    _, mem_heavy = outcome_for(cluster, config(1, 4, 1.4), heavy)
+    _, mem_light = outcome_for(cluster, config(1, 4, 1.4), light)
+    assert mem_heavy.stall_time_s.sum() > mem_light.stall_time_s.sum()
+
+
+def test_wait_attribution_proportional_to_traffic():
+    """Per-iteration wait shares follow per-thread byte shares."""
+    demand, mem = outcome_for(xeon_cluster(), config(1, 4, 1.8))
+    s_iters = demand.shape[0]
+    for s in (0, s_iters // 2):
+        bytes_row = demand.dram_bytes[s, 0, :]
+        waits_row = mem.wait_time_s[s, 0, :]
+        total_w = waits_row.sum()
+        if total_w > 0:
+            assert np.allclose(
+                waits_row / total_w, bytes_row / bytes_row.sum(), atol=1e-9
+            )

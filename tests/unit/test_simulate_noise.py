@@ -1,0 +1,57 @@
+"""OS-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.noise import NoiseModel
+
+
+def test_disabled_noise_is_identity():
+    noise = NoiseModel.disabled()
+    rng = np.random.default_rng(0)
+    assert np.all(noise.phase_multipliers(rng, (4, 4)) == 1.0)
+    assert np.all(noise.barrier_skews(rng, (8,)) == 0.0)
+    assert np.all(noise.daemon_time(rng, np.ones(5)) == 0.0)
+
+
+def test_phase_multipliers_positive_and_near_one():
+    noise = NoiseModel()
+    rng = np.random.default_rng(1)
+    mult = noise.phase_multipliers(rng, (10000,))
+    assert np.all(mult > 0)
+    assert abs(mult.mean() - 1.0) < 0.01
+    # paper: run-to-run irregularity up to ~10%
+    assert mult.std() < 0.10
+
+
+def test_barrier_skews_nonnegative_with_mean(atol=0.3):
+    noise = NoiseModel(barrier_skew_s=1e-3)
+    rng = np.random.default_rng(2)
+    skews = noise.barrier_skews(rng, (20000,))
+    assert np.all(skews >= 0)
+    assert skews.mean() == pytest.approx(1e-3, rel=0.05)
+
+
+def test_daemon_time_scales_with_span():
+    noise = NoiseModel(daemon_rate_hz=2.0, daemon_quantum_s=1e-3)
+    rng = np.random.default_rng(3)
+    short = noise.daemon_time(rng, np.full(5000, 0.1)).mean()
+    long = noise.daemon_time(rng, np.full(5000, 10.0)).mean()
+    assert long > short
+
+
+def test_daemon_time_zero_span():
+    noise = NoiseModel()
+    rng = np.random.default_rng(4)
+    assert np.all(noise.daemon_time(rng, np.zeros(4)) == 0.0)
+
+
+def test_run_level_spread_within_paper_bound(xeon_sim):
+    """Repeated runs of one configuration spread < 10% (paper §IV-C)."""
+    from repro.workloads.npb import sp_program
+    from tests.conftest import config
+
+    runs = xeon_sim.run_many(sp_program(), config(2, 4, 1.5), repetitions=5)
+    times = np.array([r.wall_time_s for r in runs])
+    spread = (times.max() - times.min()) / times.mean()
+    assert 0.0 < spread < 0.10

@@ -1,0 +1,113 @@
+"""End-to-end simulated execution: RunResult invariants."""
+
+import numpy as np
+import pytest
+
+from repro.machines.spec import Configuration
+from repro.simulate.cluster import SimulatedCluster
+from repro.workloads.npb import sp_program
+from repro.workloads.registry import all_programs
+from tests.conftest import config
+
+
+def test_reproducible_runs(xeon_sim):
+    a = xeon_sim.run(sp_program(), config(2, 4, 1.5), run_index=0)
+    b = xeon_sim.run(sp_program(), config(2, 4, 1.5), run_index=0)
+    assert a.wall_time_s == b.wall_time_s
+    assert a.energy.total_j == b.energy.total_j
+
+
+def test_distinct_run_indices_differ(xeon_sim):
+    a = xeon_sim.run(sp_program(), config(2, 4, 1.5), run_index=0)
+    b = xeon_sim.run(sp_program(), config(2, 4, 1.5), run_index=1)
+    assert a.wall_time_s != b.wall_time_s
+
+
+def test_invalid_configuration_rejected(xeon_sim):
+    with pytest.raises(ValueError):
+        xeon_sim.run(sp_program(), config(16, 1, 1.8))
+
+
+def test_phase_breakdown_sums_to_wall_time(xeon_sim):
+    r = xeon_sim.run(sp_program(), config(4, 4, 1.5))
+    assert r.phases.total_s == pytest.approx(r.wall_time_s, rel=1e-6)
+
+
+def test_energy_components_positive_and_sum(xeon_sim):
+    r = xeon_sim.run(sp_program(), config(2, 8, 1.8))
+    e = r.energy
+    assert e.cpu_active_j > 0
+    assert e.cpu_stall_j > 0
+    assert e.mem_j > 0
+    assert e.net_j > 0
+    assert e.idle_j > 0
+    assert e.total_j == pytest.approx(
+        e.cpu_active_j + e.cpu_stall_j + e.mem_j + e.net_j + e.idle_j
+    )
+
+
+def test_energy_floor_is_idle_power(xeon_sim):
+    """A run can never use less than idle power × time × nodes."""
+    r = xeon_sim.run(sp_program(), config(4, 1, 1.2))
+    floor = xeon_sim.spec.node.power.sys_idle_w * r.wall_time_s * 4
+    assert r.energy.total_j > floor
+    assert r.energy.idle_j == pytest.approx(floor)
+
+
+def test_energy_ceiling_is_peak_power(xeon_sim):
+    r = xeon_sim.run(sp_program(), config(4, 8, 1.8))
+    peak = xeon_sim.spec.node.power.node_peak_w(8, 1.8e9)
+    assert r.energy.total_j < peak * r.wall_time_s * 4 * 1.05
+
+
+def test_utilization_in_unit_interval(xeon_sim):
+    for cfg in (config(1, 1, 1.2), config(8, 8, 1.8)):
+        r = xeon_sim.run(sp_program(), cfg)
+        assert 0.0 < r.counters.utilization <= 1.0
+
+
+def test_ucr_in_unit_interval(arm_sim):
+    for prog in all_programs():
+        r = arm_sim.run(prog, config(2, 2, 0.8))
+        assert 0.0 < r.ucr < 1.0
+
+
+def test_more_nodes_reduce_time_for_compute_bound(xeon_sim):
+    """Strong scaling holds while compute dominates."""
+    t1 = xeon_sim.run(sp_program(), config(1, 4, 1.8)).wall_time_s
+    t4 = xeon_sim.run(sp_program(), config(4, 4, 1.8)).wall_time_s
+    assert t4 < t1
+
+
+def test_higher_frequency_reduces_time(xeon_sim):
+    slow = xeon_sim.run(sp_program(), config(1, 4, 1.2)).wall_time_s
+    fast = xeon_sim.run(sp_program(), config(1, 4, 1.8)).wall_time_s
+    assert fast < slow
+
+
+def test_single_node_has_no_network_phase(xeon_sim):
+    r = xeon_sim.run(sp_program(), config(1, 8, 1.8))
+    assert r.phases.t_net_s == 0.0
+    assert r.messages.total_messages == 0
+
+
+def test_counters_scale_with_input_class(xeon_sim):
+    w = xeon_sim.run(sp_program(), config(1, 4, 1.8), class_name="W")
+    c = xeon_sim.run(sp_program(), config(1, 4, 1.8), class_name="C")
+    ratio = c.counters.instructions / w.counters.instructions
+    assert ratio == pytest.approx(4.0, rel=0.05)
+
+
+def test_deterministic_variant_removes_os_noise(xeon_sim):
+    det = xeon_sim.deterministic()
+    a = det.run(sp_program(), config(2, 2, 1.5), run_index=0)
+    b = det.run(sp_program(), config(2, 2, 1.5), run_index=1)
+    # imbalance draws still differ per run, but OS-level jitter is gone so
+    # runs agree much more closely than noisy ones
+    assert a.wall_time_s == pytest.approx(b.wall_time_s, rel=0.02)
+
+
+def test_run_many_returns_distinct_runs(xeon_sim):
+    runs = xeon_sim.run_many(sp_program(), config(2, 2, 1.5), repetitions=3)
+    times = {r.wall_time_s for r in runs}
+    assert len(times) == 3

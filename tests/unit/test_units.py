@@ -1,0 +1,38 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_ghz_roundtrip():
+    assert units.ghz(1.8) == pytest.approx(1.8e9)
+    assert units.to_ghz(units.ghz(0.2)) == pytest.approx(0.2)
+
+
+def test_mbps_is_bytes_per_second():
+    # 100 Mbps = 12.5 MB/s
+    assert units.mbps(100) == pytest.approx(12.5e6)
+
+
+def test_gbps_is_bytes_per_second():
+    assert units.gbps(1) == pytest.approx(125e6)
+
+
+def test_to_mbps_roundtrip():
+    assert units.to_mbps(units.mbps(90)) == pytest.approx(90.0)
+
+
+def test_energy_conversions():
+    assert units.joules_to_kj(2500.0) == pytest.approx(2.5)
+    assert units.kj(2.5) == pytest.approx(2500.0)
+
+
+def test_seconds_to_minutes():
+    assert units.seconds_to_minutes(120.0) == pytest.approx(2.0)
+
+
+def test_binary_prefixes():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3

@@ -1,0 +1,149 @@
+"""HybridProgram abstraction: classes, scaling, communication laws."""
+
+import pytest
+
+from repro.machines.spec import InstructionMix
+from repro.workloads.base import (
+    CommunicationModel,
+    HybridProgram,
+    InputClass,
+    npb_classes,
+)
+
+
+@pytest.fixture
+def program() -> HybridProgram:
+    return HybridProgram(
+        name="T",
+        suite="test",
+        language="n/a",
+        domain="test",
+        mix=InstructionMix(flops=0.5, mem=0.3, branch=0.1, other=0.1),
+        classes={
+            "W": InputClass("W", iterations=100, size_factor=1.0),
+            "C": InputClass("C", iterations=100, size_factor=4.0),
+        },
+        reference_class="W",
+        instructions_per_iteration=1e9,
+        dram_bytes_per_iteration=1e8,
+        working_set_bytes=32e6,
+        comm=CommunicationModel(
+            msgs_ref=10.0,
+            bytes_ref=1e6,
+            msg_count_exponent=0.0,
+            decomposition_exponent=2.0 / 3.0,
+        ),
+        sync_instruction_coeff=0.01,
+        sync_instruction_exponent=1.5,
+    )
+
+
+class TestInputClass:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            InputClass("X", iterations=0, size_factor=1.0)
+        with pytest.raises(ValueError):
+            InputClass("X", iterations=10, size_factor=0.0)
+
+
+class TestCommunicationModel:
+    def test_single_node_is_silent(self):
+        comm = CommunicationModel(10.0, 1e6, 0.0, 1.0)
+        assert comm.messages_per_process(1) == 0.0
+        assert comm.volume_per_process(1) == 0.0
+        assert comm.bytes_per_message(1) == 0.0
+
+    def test_halo_count_constant(self):
+        comm = CommunicationModel(10.0, 1e6, 0.0, 2.0 / 3.0)
+        assert comm.messages_per_process(2) == comm.messages_per_process(16)
+
+    def test_alltoall_count_linear(self):
+        comm = CommunicationModel(10.0, 1e6, 1.0, 1.0)
+        assert comm.messages_per_process(8) == pytest.approx(40.0)
+
+    def test_surface_volume_decay(self):
+        comm = CommunicationModel(10.0, 1e6, 0.0, 2.0 / 3.0)
+        v2 = comm.volume_per_process(2)
+        v16 = comm.volume_per_process(16)
+        assert v16 == pytest.approx(v2 * (2 / 16) ** (2 / 3))
+
+    def test_volume_scales_with_size_factor(self):
+        comm = CommunicationModel(10.0, 1e6, 0.0, 1.0)
+        assert comm.volume_per_process(4, 4.0) == pytest.approx(
+            4.0 * comm.volume_per_process(4, 1.0)
+        )
+
+    def test_rejects_nonpositive_refs(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(0.0, 1e6, 0.0, 1.0)
+
+
+class TestHybridProgram:
+    def test_scale_factor_class_c_is_four_times(self, program):
+        assert program.scale_factor("C") == pytest.approx(4.0)
+        assert program.scale_factor("W") == pytest.approx(1.0)
+
+    def test_instructions_scale_with_class(self, program):
+        assert program.instructions("C") == pytest.approx(4e9)
+
+    def test_dram_and_working_set_scale(self, program):
+        assert program.dram_bytes("C") == pytest.approx(4e8)
+        assert program.working_set("C") == pytest.approx(128e6)
+
+    def test_unknown_class_raises(self, program):
+        with pytest.raises(KeyError, match="available"):
+            program.input_class("Z")
+
+    def test_sync_instructions_superlinear(self, program):
+        """Per-thread sync overhead grows with total parallelism when the
+        exponent exceeds 1 (the paper's LB pathology)."""
+        small = program.sync_instructions("W", 1, 2)
+        big = program.sync_instructions("W", 8, 8)
+        # totals: coeff * I * threads^1.5 / threads → per run grows as sqrt
+        assert big > small
+        assert program.sync_instructions("W", 1, 1) == 0.0
+
+    def test_reference_class_must_exist(self, program):
+        with pytest.raises(ValueError):
+            HybridProgram(
+                name="X",
+                suite="s",
+                language="l",
+                domain="d",
+                mix=program.mix,
+                classes=program.classes,
+                reference_class="MISSING",
+                instructions_per_iteration=1.0,
+                dram_bytes_per_iteration=1.0,
+                working_set_bytes=1.0,
+                comm=program.comm,
+            )
+
+    def test_with_classes_extends(self, program):
+        extended = program.with_classes(
+            D=InputClass("D", iterations=100, size_factor=8.0)
+        )
+        assert extended.scale_factor("D") == pytest.approx(8.0)
+        assert "D" not in program.classes  # original untouched
+
+    def test_restructured_scales_artefacts(self, program):
+        tuned = program.restructured(sync_coeff_factor=0.5, imbalance_factor=0.5)
+        assert tuned.sync_instruction_coeff == pytest.approx(
+            0.5 * program.sync_instruction_coeff
+        )
+        assert tuned.thread_imbalance == pytest.approx(0.5 * program.thread_imbalance)
+
+    def test_bytes_per_message_consistency(self, program):
+        n = 4
+        nu = program.bytes_per_message("W", n)
+        eta = program.messages_per_process(n)
+        vol = program.comm_volume_per_process("W", n)
+        assert nu * eta == pytest.approx(vol)
+
+
+class TestNpbClasses:
+    def test_ladder(self):
+        classes = npb_classes(200)
+        assert classes["W"].size_factor == 1.0
+        assert classes["C"].size_factor == 4.0
+        assert set(classes) == {"W", "A", "B", "C"}

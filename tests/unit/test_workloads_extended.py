@@ -1,0 +1,82 @@
+"""The extended workload suite (FT, CG, MG)."""
+
+import pytest
+
+from repro.machines.spec import Configuration
+from repro.workloads.npb_extended import (
+    all_extended_programs,
+    cg_program,
+    ft_program,
+    get_extended_program,
+    mg_program,
+)
+from repro.workloads.registry import list_programs
+
+
+def test_kept_out_of_the_paper_registry():
+    """Table 2 / Figs. 5-11 must stay five-program campaigns."""
+    for name in ("FT", "CG", "MG"):
+        assert name not in list_programs()
+
+
+def test_lookup():
+    assert get_extended_program("ft").name == "FT"
+    assert len(all_extended_programs()) == 3
+    with pytest.raises(KeyError):
+        get_extended_program("EP")
+
+
+def test_ft_is_communication_extreme():
+    """FT moves more bytes per instruction over the network than any of
+    the paper's five programs."""
+    from repro.workloads.registry import all_programs
+
+    def comm_per_instr(prog):
+        return prog.comm_volume_per_process("W", 4) * prog.iterations("W") / (
+            prog.instructions("W") * prog.iterations("W") / 4
+        )
+
+    ft = comm_per_instr(ft_program())
+    assert all(ft > comm_per_instr(p) for p in all_programs())
+
+
+def test_ft_alltoall_count_growth():
+    ft = ft_program()
+    assert ft.messages_per_process(8) == pytest.approx(
+        4 * ft.messages_per_process(2)
+    )
+
+
+def test_cg_is_most_memory_intensive_of_suite():
+    cg = cg_program()
+    intensity = cg.instructions_per_iteration / cg.dram_bytes_per_iteration
+    for other in (ft_program(), mg_program()):
+        assert intensity < (
+            other.instructions_per_iteration / other.dram_bytes_per_iteration
+        )
+
+
+class TestEndToEnd:
+    """The full pipeline holds the paper's error bound on the new suite."""
+
+    @pytest.mark.parametrize("name", ["FT", "CG", "MG"])
+    def test_model_accuracy(self, xeon_sim, name):
+        from repro.core.model import HybridProgramModel
+        from repro.measure.timecmd import measure_wall_time
+
+        program = get_extended_program(name)
+        model = HybridProgramModel.from_measurements(
+            xeon_sim, program, repetitions=1
+        )
+        errs = []
+        for n, c in ((1, 8), (2, 4), (4, 8), (8, 8)):
+            cfg = Configuration(n, c, xeon_sim.spec.node.core.fmax)
+            measured = measure_wall_time(xeon_sim.run(program, cfg, run_index=1))
+            predicted = model.predict(cfg).time_s
+            errs.append(abs(predicted - measured) / measured)
+        assert sum(errs) / len(errs) < 0.15, errs
+
+    def test_cg_low_ucr_from_latency_exposure(self, arm_sim):
+        """CG's irregular accesses leave the ARM node deeply stalled."""
+        run = arm_sim.run(cg_program(), Configuration(1, 4, 1.4e9))
+        assert run.ucr < 0.35

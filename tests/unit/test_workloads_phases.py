@@ -1,0 +1,167 @@
+"""Phase-level composition and planning."""
+
+import pytest
+
+from repro.machines.arm import arm_cluster
+from repro.machines.spec import InstructionMix
+from repro.machines.xeon import xeon_cluster
+from repro.workloads.base import CommunicationModel, InputClass
+from repro.workloads.phases import (
+    Phase,
+    blend_mixes,
+    compose,
+    phase_frequency_plan,
+    phase_placements,
+)
+
+COLLIDE = Phase(
+    name="collide",
+    instructions=8e8,
+    dram_bytes=4e7,
+    mix=InstructionMix(flops=0.6, mem=0.2, branch=0.08, other=0.12),
+)
+STREAM = Phase(
+    name="stream",
+    instructions=2e8,
+    dram_bytes=4e8,
+    mix=InstructionMix(flops=0.1, mem=0.7, branch=0.08, other=0.12),
+)
+
+CLASSES = {"W": InputClass("W", iterations=100, size_factor=1.0)}
+COMM = CommunicationModel(10.0, 1e6, 0.0, 2.0 / 3.0)
+
+
+def composed():
+    return compose(
+        "LBM2",
+        [COLLIDE, STREAM],
+        classes=CLASSES,
+        reference_class="W",
+        comm=COMM,
+        working_set_bytes=64e6,
+    )
+
+
+class TestPhase:
+    def test_arithmetic_intensity(self):
+        assert COLLIDE.arithmetic_intensity == pytest.approx(20.0)
+        assert STREAM.arithmetic_intensity == pytest.approx(0.5)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Phase("x", instructions=0, dram_bytes=1, mix=COLLIDE.mix)
+        with pytest.raises(ValueError):
+            Phase("x", instructions=1, dram_bytes=-1, mix=COLLIDE.mix)
+
+    def test_zero_dram_is_pure_compute(self):
+        p = Phase("fma", instructions=1e6, dram_bytes=0.0, mix=COLLIDE.mix)
+        assert p.arithmetic_intensity == float("inf")
+
+
+class TestBlend:
+    def test_weighted_by_instructions(self):
+        mix = blend_mixes([COLLIDE, STREAM])
+        # collide dominates 4:1
+        assert mix.flops == pytest.approx(0.6 * 0.8 + 0.1 * 0.2)
+        assert mix.mem == pytest.approx(0.2 * 0.8 + 0.7 * 0.2)
+
+    def test_blend_is_valid_mix(self):
+        mix = blend_mixes([COLLIDE, STREAM])
+        assert mix.flops + mix.mem + mix.branch + mix.other == pytest.approx(1.0)
+
+
+class TestCompose:
+    def test_aggregate_totals(self):
+        prog = composed()
+        assert prog.instructions_per_iteration == pytest.approx(1e9)
+        assert prog.dram_bytes_per_iteration == pytest.approx(4.4e8)
+
+    def test_composed_program_runs_on_simulator(self, xeon_sim):
+        from repro.machines.spec import Configuration
+
+        run = xeon_sim.run(composed(), Configuration(2, 4, 1.5e9))
+        assert run.wall_time_s > 0
+        assert 0 < run.ucr < 1
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            compose("X", [], classes=CLASSES, reference_class="W", comm=COMM, working_set_bytes=1e6)
+        with pytest.raises(ValueError, match="duplicate"):
+            compose(
+                "X",
+                [COLLIDE, COLLIDE],
+                classes=CLASSES,
+                reference_class="W",
+                comm=COMM,
+                working_set_bytes=1e6,
+            )
+
+    def test_artefacts_forwarded(self):
+        prog = compose(
+            "X",
+            [COLLIDE],
+            classes=CLASSES,
+            reference_class="W",
+            comm=COMM,
+            working_set_bytes=1e6,
+            sequential_fraction=0.05,
+            sync_instruction_coeff=0.01,
+        )
+        assert prog.sequential_fraction == 0.05
+        assert prog.sync_instruction_coeff == 0.01
+
+
+class TestPlacements:
+    def test_identifies_binding_phase(self):
+        placements = phase_placements(xeon_cluster(), [COLLIDE, STREAM])
+        by_name = {p.phase.name: p for p in placements}
+        assert by_name["collide"].bound == "compute"
+        assert by_name["stream"].bound == "memory"
+
+    def test_amplification_shifts_bound(self):
+        # a huge working set on the ARM node pushes even collide toward
+        # the memory wall
+        arm = phase_placements(
+            arm_cluster(), [COLLIDE], working_set_bytes=512e6
+        )
+        xeon = phase_placements(
+            xeon_cluster(), [COLLIDE], working_set_bytes=512e6
+        )
+        assert arm[0].effective_ai < xeon[0].effective_ai
+
+    def test_min_time_shares_positive(self):
+        for p in phase_placements(xeon_cluster(), [COLLIDE, STREAM]):
+            assert p.min_time_share_s > 0
+
+
+class TestFrequencyPlan:
+    def test_memory_phase_throttled_compute_phase_kept(self):
+        plan = phase_frequency_plan(
+            xeon_cluster(), [COLLIDE, STREAM], max_slowdown=0.05
+        )
+        fmax = xeon_cluster().node.core.fmax
+        assert plan.frequencies_hz["collide"] == pytest.approx(fmax)
+        assert plan.frequencies_hz["stream"] < fmax
+
+    def test_saves_energy_within_budget(self):
+        plan = phase_frequency_plan(
+            xeon_cluster(), [COLLIDE, STREAM], max_slowdown=0.05
+        )
+        assert plan.energy_saving_fraction > 0.0
+        assert plan.slowdown_fraction <= 0.05 + 1e-9
+
+    def test_zero_budget_keeps_static_plan(self):
+        plan = phase_frequency_plan(
+            xeon_cluster(), [COLLIDE, STREAM], max_slowdown=0.0
+        )
+        # memory-bound phases may still throttle for free (their time roof
+        # does not move), but the total time must not grow at all
+        assert plan.slowdown_fraction <= 1e-9
+
+    def test_pure_compute_program_never_throttles(self):
+        plan = phase_frequency_plan(
+            xeon_cluster(), [COLLIDE], max_slowdown=0.10
+        )
+        assert plan.frequencies_hz["collide"] == pytest.approx(
+            xeon_cluster().node.core.fmax
+        )

@@ -1,0 +1,91 @@
+"""The five paper programs: registry and per-program signatures."""
+
+import pytest
+
+from repro.workloads.base import REFERENCE_NODES
+from repro.workloads.lbm import lb_program
+from repro.workloads.npb import bt_program, lu_program, sp_program
+from repro.workloads.quantum import cp_program
+from repro.workloads.registry import all_programs, get_program, list_programs
+
+
+def test_registry_paper_order():
+    assert list_programs() == ["LU", "SP", "BT", "CP", "LB"]
+    assert [p.name for p in all_programs()] == ["LU", "SP", "BT", "CP", "LB"]
+
+
+def test_lookup_case_insensitive():
+    assert get_program("sp").name == "SP"
+
+
+def test_unknown_program_raises():
+    with pytest.raises(KeyError):
+        get_program("FFT")
+
+
+def test_languages_match_table2():
+    """Paper §IV-B: four Fortran programs plus C++ LB (language
+    independence)."""
+    assert lb_program().language == "C++"
+    for prog in (bt_program(), sp_program(), lu_program(), cp_program()):
+        assert prog.language == "Fortran"
+
+
+def test_suites_match_table2():
+    assert "NPB3.3-MZ" in bt_program().suite
+    assert "Quantum Espresso" in cp_program().suite
+    assert "OpenLB" in lb_program().suite
+
+
+def test_all_programs_have_class_c_at_4x():
+    """Class C is 4x the baseline size (Fig. 7's scale-out input)."""
+    for prog in all_programs():
+        assert prog.scale_factor("C") == pytest.approx(
+            4.0 * prog.iterations("C") / prog.iterations("W")
+        )
+
+
+def test_cp_is_alltoall():
+    """CP's FFT transposes: message count grows linearly with n."""
+    cp = cp_program()
+    assert cp.messages_per_process(8) == pytest.approx(
+        4 * cp.messages_per_process(2)
+    )
+
+
+def test_halo_programs_have_constant_message_count():
+    for prog in (bt_program(), sp_program(), lu_program(), lb_program()):
+        assert prog.messages_per_process(8) == pytest.approx(
+            prog.messages_per_process(REFERENCE_NODES)
+        )
+
+
+def test_lu_sends_many_small_messages():
+    """Wavefront sweeps: highest message count, smallest ν of the NPB trio."""
+    lu, sp, bt = lu_program(), sp_program(), bt_program()
+    assert lu.messages_per_process(2) > sp.messages_per_process(2)
+    assert lu.messages_per_process(2) > bt.messages_per_process(2)
+    assert lu.bytes_per_message("W", 2) < sp.bytes_per_message("W", 2)
+    assert lu.bytes_per_message("W", 2) < bt.bytes_per_message("W", 2)
+
+
+def test_lb_is_most_memory_intensive():
+    """LBM stream-collide kernels have the lowest arithmetic intensity."""
+    intensities = {
+        p.name: p.instructions_per_iteration / p.dram_bytes_per_iteration
+        for p in all_programs()
+    }
+    assert intensities["LB"] == min(intensities.values())
+
+
+def test_lb_has_steepest_sync_growth():
+    """The paper's §IV-C sync pathology belongs to LB."""
+    lb = lb_program()
+    others = [bt_program(), sp_program(), lu_program(), cp_program()]
+    assert lb.sync_instruction_exponent >= max(
+        p.sync_instruction_exponent for p in others
+    )
+
+
+def test_program_factories_are_cached():
+    assert bt_program() is bt_program()

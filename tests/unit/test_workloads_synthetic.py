@@ -1,0 +1,51 @@
+"""Synthetic workload generator."""
+
+import pytest
+
+from repro.workloads.synthetic import synthetic_program
+
+
+def test_defaults_build_valid_program():
+    prog = synthetic_program()
+    assert prog.name == "SYN"
+    assert prog.iterations("W") == 100
+    assert prog.scale_factor("C") == pytest.approx(4.0)
+
+
+def test_arithmetic_intensity_sets_dram_traffic():
+    prog = synthetic_program(
+        instructions_per_iteration=8e9, arithmetic_intensity=4.0
+    )
+    assert prog.dram_bytes_per_iteration == pytest.approx(2e9)
+
+
+def test_comm_fraction_sets_volume():
+    prog = synthetic_program(arithmetic_intensity=1.0, comm_fraction=0.1)
+    assert prog.comm.bytes_ref == pytest.approx(
+        0.1 * prog.dram_bytes_per_iteration
+    )
+
+
+def test_halo_vs_alltoall_patterns():
+    halo = synthetic_program(pattern="halo")
+    a2a = synthetic_program(pattern="alltoall")
+    assert halo.comm.msg_count_exponent == 0.0
+    assert a2a.comm.msg_count_exponent == 1.0
+
+
+def test_rejects_unknown_pattern():
+    with pytest.raises(ValueError, match="pattern"):
+        synthetic_program(pattern="ring")
+
+
+def test_rejects_bad_intensity():
+    with pytest.raises(ValueError):
+        synthetic_program(arithmetic_intensity=0.0)
+    with pytest.raises(ValueError):
+        synthetic_program(comm_fraction=-0.1)
+
+
+def test_zero_comm_fraction_still_positive_bytes():
+    """Degenerate comm volume is clamped so the model can always fit."""
+    prog = synthetic_program(comm_fraction=0.0)
+    assert prog.comm.bytes_ref >= 1.0
