@@ -1,12 +1,25 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures examples clean ci lint
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# mirror of .github/workflows/ci.yml: lint, tier-1 tests, then the
+# vectorized-speedup regression gate in smoke mode
+ci: lint
+	PYTHONPATH=src python -m pytest -x -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check . && ruff format --check .; \
+	else \
+		echo "ruff not installed; skipping lint (pip install -e .[dev])"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,151 @@
+"""Scalar vs. vectorized configuration-space evaluation (perf regression gate).
+
+Times the per-config scalar reference (``model.predict`` in a loop) against
+the broadcast engine (``evaluate_configs``) on the paper's two Pareto spaces
+— Fig. 8 (216 Xeon configs) and Fig. 9 (400 ARM configs) — plus a synthetic
+~10k-config space, and writes a machine-readable record to
+``benchmarks/out/vectorized_speedup.json`` for CI trend tracking.
+
+Two modes:
+
+* full (default): the synthetic space has 10 080 configs and the engine
+  must beat the scalar loop by >= 10x on it;
+* smoke (``REPRO_BENCH_SMOKE=1``): the synthetic space shrinks to 960
+  configs and only the regression floor applies — vectorized must never
+  be slower than scalar (>= 1x on every case).
+
+Either way the engine's results must match the scalar reference within
+1e-9 relative tolerance; the scalar path stays the reference
+implementation.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.configspace import ConfigSpace
+from repro.core.vectorized import evaluate_configs
+from repro.machines.arm import arm_cluster
+from repro.machines.xeon import xeon_cluster
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+#: Full-mode bar from the ISSUE: >= 10x on the ~10k synthetic space.
+FULL_SPEEDUP_FLOOR = 10.0
+#: Smoke-mode bar: vectorized must never lose to the scalar loop.
+SMOKE_SPEEDUP_FLOOR = 1.0
+RTOL = 1e-9
+_REPEATS = 3
+
+
+def _synthetic_space() -> ConfigSpace:
+    """~10k configs on the Xeon axes (960 in smoke mode)."""
+    max_nodes = 40 if SMOKE else 420
+    return ConfigSpace(
+        node_counts=tuple(range(1, max_nodes + 1)),
+        core_counts=tuple(range(1, 9)),
+        frequencies_hz=(1.2e9, 1.5e9, 1.8e9),
+    )
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _max_rel_diff(vec_values: np.ndarray, scalar_values: list[float]) -> float:
+    ref = np.asarray(scalar_values)
+    denom = np.maximum(np.abs(ref), 1e-300)
+    return float(np.max(np.abs(vec_values - ref) / denom))
+
+
+def _measure_case(name: str, model, space: ConfigSpace) -> dict:
+    scalar_s, preds = _best_of(lambda: [model.predict(cfg) for cfg in space])
+    vectorized_s, vec = _best_of(
+        lambda: evaluate_configs(model, space, use_cache=False)
+    )
+    cached_s, _ = _best_of(lambda: evaluate_configs(model, space))
+    return {
+        "name": name,
+        "configs": len(space),
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "cached_s": cached_s,
+        "speedup_x": scalar_s / vectorized_s,
+        "max_rel_diff_time": _max_rel_diff(
+            vec.times_s, [p.time_s for p in preds]
+        ),
+        "max_rel_diff_energy": _max_rel_diff(
+            vec.energies_j, [p.energy_j for p in preds]
+        ),
+    }
+
+
+def test_vectorized_speedup(
+    benchmark, xeon_sim, arm_sim, model_cache, write_artifact, artifact_dir
+):
+    xeon_model = model_cache(xeon_sim, "SP")
+    arm_model = model_cache(arm_sim, "CP")
+    synthetic = _synthetic_space()
+
+    cases = [
+        _measure_case(
+            "fig08_xeon_sp", xeon_model, ConfigSpace.xeon_pareto(xeon_cluster())
+        ),
+        _measure_case(
+            "fig09_arm_cp", arm_model, ConfigSpace.arm_pareto(arm_cluster())
+        ),
+        _measure_case(
+            f"synthetic_{len(synthetic)}", xeon_model, synthetic
+        ),
+    ]
+    # the headline number, timed once more under pytest-benchmark for the
+    # harness's own statistics
+    benchmark.pedantic(
+        lambda: evaluate_configs(xeon_model, synthetic, use_cache=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    record = {
+        "smoke": SMOKE,
+        "speedup_floor_x": SMOKE_SPEEDUP_FLOOR if SMOKE else FULL_SPEEDUP_FLOOR,
+        "rtol": RTOL,
+        "cases": cases,
+    }
+    path = artifact_dir / "vectorized_speedup.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n[artifact] {path}")
+
+    lines = [
+        "Vectorized configuration-space evaluation: scalar vs. broadcast",
+        "",
+        f"{'case':<18} {'configs':>7} {'scalar[s]':>10} {'vector[s]':>10} "
+        f"{'cached[s]':>10} {'speedup':>8}",
+    ]
+    for case in cases:
+        lines.append(
+            f"{case['name']:<18} {case['configs']:>7} "
+            f"{case['scalar_s']:>10.4f} {case['vectorized_s']:>10.6f} "
+            f"{case['cached_s']:>10.6f} {case['speedup_x']:>7.1f}x"
+        )
+    write_artifact("vectorized_speedup.txt", "\n".join(lines))
+
+    # the engine is only useful if it is *exactly* the model, faster
+    for case in cases:
+        assert case["max_rel_diff_time"] <= RTOL, case["name"]
+        assert case["max_rel_diff_energy"] <= RTOL, case["name"]
+        assert case["speedup_x"] >= SMOKE_SPEEDUP_FLOOR, case["name"]
+    if not SMOKE:
+        synth = cases[-1]
+        assert synth["configs"] >= 10_000
+        assert synth["speedup_x"] >= FULL_SPEEDUP_FLOOR, (
+            f"synthetic speedup regressed: {synth['speedup_x']:.1f}x"
+        )

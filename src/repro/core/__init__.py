@@ -24,13 +24,24 @@ from repro.core.time_model import TimeBreakdown, predict_time
 from repro.core.energy_model import EnergyBreakdown, predict_energy
 from repro.core.model import HybridProgramModel, Prediction
 from repro.core.configspace import ConfigSpace, SpaceEvaluation, evaluate_space
+from repro.core.vectorized import (
+    CacheInfo,
+    VectorizedEvaluation,
+    clear_evaluation_cache,
+    evaluate_configs,
+    evaluation_cache_info,
+)
 from repro.core.pareto import ParetoPoint, pareto_frontier
 from repro.core.optimizer import (
     min_energy_within_deadline,
     min_time_within_budget,
 )
-from repro.core.ucr import ucr_decomposition
-from repro.core.whatif import WhatIf
+from repro.core.ucr import (
+    UCRSpaceDecomposition,
+    ucr_decomposition,
+    ucr_decomposition_space,
+)
+from repro.core.whatif import SpaceDelta, WhatIf
 from repro.core.dvfs import (
     DvfsAdvice,
     advise_stall_dvfs,
@@ -75,11 +86,19 @@ __all__ = [
     "ConfigSpace",
     "SpaceEvaluation",
     "evaluate_space",
+    "CacheInfo",
+    "VectorizedEvaluation",
+    "evaluate_configs",
+    "evaluation_cache_info",
+    "clear_evaluation_cache",
     "ParetoPoint",
     "pareto_frontier",
     "min_energy_within_deadline",
     "min_time_within_budget",
     "ucr_decomposition",
+    "ucr_decomposition_space",
+    "UCRSpaceDecomposition",
+    "SpaceDelta",
     "WhatIf",
     "DvfsAdvice",
     "advise_stall_dvfs",

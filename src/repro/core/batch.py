@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.configspace import ConfigSpace, evaluate_space
 from repro.core.model import HybridProgramModel, Prediction
 
@@ -130,9 +132,12 @@ def plan_batch(
             core_counts=tuple(range(1, _cores_of(job.model) + 1)),
             frequencies_hz=_frequencies_of(job.model),
         )
+        # vectorized + LRU-cached: a queue of same-model jobs evaluates its
+        # space once and replans from the cached arrays
         evaluation = evaluate_space(job.model, space, job.class_name)
         best: PlacedJob | None = None
-        for pred in sorted(evaluation.predictions, key=lambda p: p.energy_j):
+        for idx in np.argsort(evaluation.energies_j, kind="stable"):
+            pred = evaluation.predictions[int(idx)]
             start = _earliest_start(
                 placements, pred.config.nodes, total_nodes, pred.time_s
             )

@@ -5,6 +5,13 @@ explores 216 Xeon configurations up to 256 nodes, Fig. 9 explores 400 ARM
 configurations up to 20 nodes.  :class:`ConfigSpace` describes such a
 space; :func:`evaluate_space` runs the model over every point and returns
 aligned arrays for plotting/Pareto extraction.
+
+Evaluation routes through the vectorized engine
+(:mod:`repro.core.vectorized`): the whole space is computed as one NumPy
+broadcast over the ``(n, c, f)`` axes and cached, so repeated sweeps
+(search, Pareto, batch planning, what-if) reuse results.  The scalar
+:meth:`~repro.core.model.HybridProgramModel.predict` remains the reference
+implementation the engine is tested against.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.model import HybridProgramModel, Prediction
+from repro.core.vectorized import VectorizedEvaluation, evaluate_configs
 from repro.machines.spec import ClusterSpec, Configuration
 
 
@@ -84,23 +92,37 @@ class ConfigSpace:
 
 @dataclass(frozen=True)
 class SpaceEvaluation:
-    """Model predictions over a whole space, as aligned arrays."""
+    """Model predictions over a whole space, as aligned arrays.
+
+    When produced by :func:`evaluate_space`, ``vectorized`` carries the
+    engine's raw arrays and the metric properties return them directly
+    (read-only, shared with the cache).  Hand-assembled instances (tests,
+    ad-hoc prediction lists) fall back to deriving arrays from the
+    predictions.
+    """
 
     predictions: tuple[Prediction, ...]
+    vectorized: VectorizedEvaluation | None = None
 
     @property
     def times_s(self) -> np.ndarray:
         """Predicted execution times."""
+        if self.vectorized is not None:
+            return self.vectorized.times_s
         return np.array([p.time_s for p in self.predictions])
 
     @property
     def energies_j(self) -> np.ndarray:
         """Predicted energies."""
+        if self.vectorized is not None:
+            return self.vectorized.energies_j
         return np.array([p.energy_j for p in self.predictions])
 
     @property
     def ucrs(self) -> np.ndarray:
         """Predicted UCR values."""
+        if self.vectorized is not None:
+            return self.vectorized.ucrs
         return np.array([p.ucr for p in self.predictions])
 
     @property
@@ -117,6 +139,10 @@ def evaluate_space(
     space: ConfigSpace | Sequence[Configuration],
     class_name: str | None = None,
 ) -> SpaceEvaluation:
-    """Predict every configuration in a space."""
-    preds = tuple(model.predict(cfg, class_name) for cfg in space)
-    return SpaceEvaluation(predictions=preds)
+    """Predict every configuration in a space (vectorized, LRU-cached).
+
+    Repeated calls with equal model parameters and space return the same
+    underlying arrays and :class:`Prediction` objects from the cache.
+    """
+    vec = evaluate_configs(model, space, class_name)
+    return SpaceEvaluation(predictions=vec.predictions, vectorized=vec)

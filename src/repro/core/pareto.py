@@ -46,21 +46,25 @@ class ParetoPoint:
 def pareto_mask(times: np.ndarray, energies: np.ndarray) -> np.ndarray:
     """Boolean mask of non-dominated (min-time, min-energy) points.
 
-    O(m log m): sort by time then keep points whose energy strictly
-    improves the running minimum.  Ties in time keep only the lowest
-    energy; exact duplicates keep the first occurrence.
+    O(m log m), fully vectorized: sort by time (ties by energy), then a
+    point survives iff its energy strictly improves the running minimum —
+    computed as a cumulative-minimum comparison.  Ties in time keep only
+    the lowest energy; exact duplicates keep the first occurrence.
     """
     times = np.asarray(times, dtype=np.float64)
     energies = np.asarray(energies, dtype=np.float64)
     if times.shape != energies.shape or times.ndim != 1:
         raise ValueError("times and energies must be equal-length 1-D arrays")
-    order = np.lexsort((energies, times))
     mask = np.zeros(times.shape, dtype=bool)
-    best_energy = np.inf
-    for idx in order:
-        if energies[idx] < best_energy:
-            mask[idx] = True
-            best_energy = energies[idx]
+    if not times.size:
+        return mask
+    order = np.lexsort((energies, times))
+    sorted_energies = energies[order]
+    running_min = np.minimum.accumulate(sorted_energies)
+    keep = np.empty(order.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = sorted_energies[1:] < running_min[:-1]
+    mask[order[keep]] = True
     return mask
 
 

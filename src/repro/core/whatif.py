@@ -12,9 +12,55 @@ transformations, no re-measurement needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
 
+import numpy as np
+
+from repro.core.configspace import ConfigSpace, SpaceEvaluation, evaluate_space
 from repro.core.model import HybridProgramModel
-from repro.core.params import BaselineArtefacts, NetworkCharacteristics
+from repro.core.params import NetworkCharacteristics
+from repro.machines.spec import Configuration
+
+
+@dataclass(frozen=True)
+class SpaceDelta:
+    """Whole-space effect of a what-if transformation.
+
+    Both evaluations route through the vectorized engine and its LRU
+    cache, so sweeping several transformations against the same baseline
+    reuses the baseline arrays.
+    """
+
+    base: SpaceEvaluation
+    variant: SpaceEvaluation
+
+    @property
+    def time_delta_s(self) -> np.ndarray:
+        """Per-configuration time change (negative = faster)."""
+        return self.variant.times_s - self.base.times_s
+
+    @property
+    def energy_delta_j(self) -> np.ndarray:
+        """Per-configuration energy change (negative = cheaper)."""
+        return self.variant.energies_j - self.base.energies_j
+
+    @property
+    def ucr_delta(self) -> np.ndarray:
+        """Per-configuration UCR change (positive = more useful work)."""
+        return self.variant.ucrs - self.base.ucrs
+
+    @property
+    def best_energy_saving_j(self) -> float:
+        """Largest per-configuration energy saving over the space."""
+        return float(-self.energy_delta_j.min()) if len(self.base) else 0.0
+
+    def at(self, index: int) -> tuple[float, float, float]:
+        """(Δtime, Δenergy, ΔUCR) of one configuration by index."""
+        return (
+            float(self.time_delta_s[index]),
+            float(self.energy_delta_j[index]),
+            float(self.ucr_delta[index]),
+        )
 
 
 @dataclass(frozen=True)
@@ -74,3 +120,26 @@ class WhatIf:
             sys_idle_w=self.model.inputs.power.sys_idle_w * factor,
         )
         return self.model.with_inputs(replace(self.model.inputs, power=power))
+
+    def compare(
+        self,
+        variant: HybridProgramModel,
+        space: ConfigSpace | Sequence[Configuration],
+        class_name: str | None = None,
+    ) -> SpaceDelta:
+        """Evaluate base vs. transformed model over a whole space.
+
+        The paper's §V-B study — "doubling the memory bandwidth … improves
+        the UCR of SP on (1,8,1.8) from 0.67 to 0.81" — becomes::
+
+            delta = WhatIf(model).compare(
+                WhatIf(model).memory_bandwidth(2.0), space
+            )
+
+        Both sweeps run through the vectorized engine and the space LRU,
+        so a battery of what-if variants pays for the baseline once.
+        """
+        return SpaceDelta(
+            base=evaluate_space(self.model, space, class_name),
+            variant=evaluate_space(variant, space, class_name),
+        )

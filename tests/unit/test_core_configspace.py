@@ -25,9 +25,27 @@ class TestConfigSpace:
         assert len(configs) == len(space)
         assert all(c.nodes <= 8 for c in configs)
 
-    def test_rejects_empty_axis(self):
+    @pytest.mark.parametrize(
+        "axes",
+        [
+            ((), (1,), (1e9,)),
+            ((1,), (), (1e9,)),
+            ((1,), (1,), ()),
+            ((), (), ()),
+        ],
+    )
+    def test_rejects_empty_axis(self, axes):
+        nodes, cores, freqs = axes
         with pytest.raises(ValueError):
-            ConfigSpace(node_counts=(), core_counts=(1,), frequencies_hz=(1e9,))
+            ConfigSpace(
+                node_counts=nodes, core_counts=cores, frequencies_hz=freqs
+            )
+
+    def test_single_point_space(self):
+        space = ConfigSpace((4,), (8,), (1.8e9,))
+        assert len(space) == 1
+        (only,) = list(space)
+        assert (only.nodes, only.cores, only.frequency_hz) == (4, 8, 1.8e9)
 
     def test_iteration_order_is_cartesian(self):
         space = ConfigSpace((1, 2), (1,), (1e9, 2e9))
@@ -50,3 +68,28 @@ class TestEvaluateSpace:
         ev = evaluate_space(xeon_sp_model, [config(1, 1, 1.2), config(2, 4, 1.5)])
         assert len(ev) == 2
         assert ev.labels == ["(1,1,1.2)", "(2,4,1.5)"]
+
+    def test_single_point_space_evaluates(self, xeon_sp_model):
+        ev = evaluate_space(xeon_sp_model, ConfigSpace((1,), (8,), (1.8e9,)))
+        assert len(ev) == 1
+        expected = xeon_sp_model.predict(config(1, 8, 1.8))
+        assert float(ev.times_s[0]) == expected.time_s
+        assert float(ev.energies_j[0]) == expected.energy_j
+
+    def test_routes_through_vectorized_engine(self, xeon_sp_model):
+        ev = evaluate_space(xeon_sp_model, ConfigSpace((1, 2), (8,), (1.8e9,)))
+        assert ev.vectorized is not None
+        assert len(ev.vectorized) == len(ev)
+
+    def test_hand_assembled_evaluation_still_works(self, xeon_sp_model):
+        """SpaceEvaluation without a vectorized backing derives its arrays."""
+        from repro.core.configspace import SpaceEvaluation
+
+        preds = [
+            xeon_sp_model.predict(config(1, 8, 1.8)),
+            xeon_sp_model.predict(config(2, 8, 1.8)),
+        ]
+        ev = SpaceEvaluation(predictions=tuple(preds))
+        assert ev.times_s.shape == (2,)
+        assert float(ev.times_s[0]) == preds[0].time_s
+        assert float(ev.ucrs[1]) == preds[1].ucr
