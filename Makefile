@@ -9,9 +9,12 @@ test:
 	pytest tests/
 
 # mirror of .github/workflows/ci.yml: lint, tier-1 tests, then the
-# vectorized-speedup regression gate in smoke mode
+# instrumentation-overhead and vectorized-speedup gates in smoke mode
+# (the CI job additionally runs the tier-1 suite under pytest-cov with
+# a threshold on repro.core / repro.obs / repro.mg1)
 ci: lint
 	PYTHONPATH=src python -m pytest -x -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
 
 lint:

@@ -32,7 +32,14 @@ from repro.workloads.base import HybridProgram
 
 @dataclass(frozen=True)
 class ValidationRecord:
-    """Measured vs predicted values at one configuration."""
+    """Measured vs predicted values at one configuration.
+
+    ``predicted_saturated`` carries the model's saturation flag: the
+    Eq. 5 fixed point converged with the switch load clamped at
+    :data:`repro.mg1.RHO_MAX`, so the prediction is a capacity-limited
+    extrapolation.  Error summaries keep such records but they can be
+    excluded via :meth:`ValidationCampaign.stable_records`.
+    """
 
     program: str
     cluster: str
@@ -42,6 +49,7 @@ class ValidationRecord:
     measured_energy_j: float
     predicted_time_s: float
     predicted_energy_j: float
+    predicted_saturated: bool = False
 
     @property
     def time_error_percent(self) -> float:
@@ -71,6 +79,14 @@ class ValidationCampaign:
     def energy_errors(self) -> ErrorSummary:
         """Summary of energy errors (a Table 2 cell pair)."""
         return summarize_errors([r.energy_error_percent for r in self.records])
+
+    def stable_records(self) -> list[ValidationRecord]:
+        """Records whose prediction did not hit the saturation clamp."""
+        return [r for r in self.records if not r.predicted_saturated]
+
+    def saturated_records(self) -> list[ValidationRecord]:
+        """Records flagged saturated (capacity-limited extrapolations)."""
+        return [r for r in self.records if r.predicted_saturated]
 
     def select(self, **axes: Iterable[float]) -> list[ValidationRecord]:
         """Filter records by configuration axes (nodes / cores / frequency).
@@ -137,6 +153,7 @@ def validate_program(
                 measured_energy_j=e_meas,
                 predicted_time_s=pred.time_s,
                 predicted_energy_j=pred.energy_j,
+                predicted_saturated=pred.time.saturated,
             )
         )
     return ValidationCampaign(

@@ -51,6 +51,20 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Time-energy modeling of hybrid MPI+OpenMP programs "
         "(IPDPS 2015 reproduction).",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.jsonl",
+        help="record pipeline spans and write a JSONL trace dump here "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="METRICS.txt",
+        help="collect counters/histograms and write them in Prometheus "
+        "text format here ('-' for stdout)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("systems", help="print the validation cluster specs (Table 3)")
@@ -546,9 +560,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "systems":
         return _cmd_systems()
     if args.command == "characterize":
@@ -576,6 +588,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.trace is None and args.metrics is None:
+        return _dispatch(args)
+
+    from repro import obs
+
+    tracer = obs.enable_tracing() if args.trace is not None else None
+    registry = obs.enable_metrics() if args.metrics is not None else None
+    try:
+        return _dispatch(args)
+    finally:
+        obs.disable()
+        if tracer is not None:
+            if args.trace == "-":
+                sys.stdout.write(tracer.to_jsonl())
+            else:
+                tracer.write_jsonl(args.trace)
+                print(
+                    f"wrote {len(tracer.spans)} spans -> {args.trace}",
+                    file=sys.stderr,
+                )
+        if registry is not None:
+            if args.metrics == "-":
+                sys.stdout.write(registry.to_prometheus_text())
+            else:
+                with open(args.metrics, "w", encoding="utf-8") as fh:
+                    fh.write(registry.to_prometheus_text())
+                print(f"wrote metrics -> {args.metrics}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

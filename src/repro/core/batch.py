@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.configspace import ConfigSpace, evaluate_space
 from repro.core.model import HybridProgramModel, Prediction
 
@@ -123,6 +124,19 @@ def plan_batch(
     """
     if total_nodes < 1:
         raise ValueError("the cluster needs at least one node")
+    if not obs.active():
+        return _plan(jobs, total_nodes)
+    with obs.span("batch_plan", jobs=len(jobs), total_nodes=total_nodes) as sp:
+        plan = _plan(jobs, total_nodes)
+        sp.set(
+            makespan_s=plan.makespan_s, total_energy_j=plan.total_energy_j
+        )
+    if obs.metrics_enabled():
+        obs.add("batch.jobs_planned", len(plan.placements))
+    return plan
+
+
+def _plan(jobs: Sequence[Job], total_nodes: int) -> BatchPlan:
     ordered = sorted(jobs, key=lambda j: j.deadline_s)
     placements: list[PlacedJob] = []
     for job in ordered:

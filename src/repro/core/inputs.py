@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import (
     BaselineArtefacts,
     CommCharacteristics,
@@ -74,16 +75,22 @@ def characterize(
     NetPIPE, wall meter), never through simulator internals.
     """
     cls = class_name or program.reference_class
-    sweep = run_baseline_sweep(cluster, program, cls, repetitions=repetitions)
-    comm = fit_comm_model(
-        profile_communication(cluster, program, cls, node_counts=comm_node_counts)
-    )
-    pipe = run_netpipe(cluster.spec)
-    network = NetworkCharacteristics(
-        bandwidth_bytes_per_s=pipe.achievable_bandwidth_bytes_per_s(),
-        latency_floor_s=pipe.latency_floor_s(),
-    )
-    power = characterize_power(cluster.spec)
+    with obs.span("characterize", program=program.name, class_name=cls):
+        sweep = run_baseline_sweep(cluster, program, cls, repetitions=repetitions)
+        comm = fit_comm_model(
+            profile_communication(
+                cluster, program, cls, node_counts=comm_node_counts
+            )
+        )
+        pipe = run_netpipe(cluster.spec)
+        network = NetworkCharacteristics(
+            bandwidth_bytes_per_s=pipe.achievable_bandwidth_bytes_per_s(),
+            latency_floor_s=pipe.latency_floor_s(),
+        )
+        power = characterize_power(cluster.spec)
+    if obs.metrics_enabled():
+        obs.add("characterize.campaigns")
+        obs.add("characterize.baseline_points", len(sweep.points))
     return ModelInputs(
         program=program.name,
         cluster=cluster.spec.name,

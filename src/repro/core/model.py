@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.core.energy_model import EnergyBreakdown, predict_energy
 from repro.core.inputs import characterize
 from repro.core.params import ModelInputs
@@ -85,6 +86,24 @@ class HybridProgramModel:
         cls_name = class_name or self.inputs.baseline_class
         scale = self.program.scale_factor(cls_name, self.inputs.baseline_class)
         iterations = self.program.iterations(cls_name)
+        if not obs.tracing_enabled():
+            return self._predict(
+                config, cls_name, scale, iterations, queueing, service_overlap
+            )
+        with obs.span("predict", config=config.label(), class_name=cls_name):
+            return self._predict(
+                config, cls_name, scale, iterations, queueing, service_overlap
+            )
+
+    def _predict(
+        self,
+        config: Configuration,
+        cls_name: str,
+        scale: float,
+        iterations: int,
+        queueing: str,
+        service_overlap: bool,
+    ) -> Prediction:
         time = predict_time(
             self.inputs,
             nodes=config.nodes,

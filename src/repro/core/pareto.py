@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.configspace import SpaceEvaluation
 from repro.core.model import Prediction
 
@@ -70,6 +71,18 @@ def pareto_mask(times: np.ndarray, energies: np.ndarray) -> np.ndarray:
 
 def pareto_frontier(evaluation: SpaceEvaluation) -> list[ParetoPoint]:
     """Extract the frontier from a space evaluation, sorted by time."""
+    if not obs.active():
+        return _frontier(evaluation)
+    with obs.span("pareto", points=len(evaluation.times_s)) as sp:
+        points = _frontier(evaluation)
+        sp.set(frontier=len(points))
+    if obs.metrics_enabled():
+        obs.add("pareto.candidates", len(evaluation.times_s))
+        obs.add("pareto.frontier_points", len(points))
+    return points
+
+
+def _frontier(evaluation: SpaceEvaluation) -> list[ParetoPoint]:
     mask = pareto_mask(evaluation.times_s, evaluation.energies_j)
     points = [
         ParetoPoint(prediction=p)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.core.model import HybridProgramModel, Prediction
 from repro.core.vectorized import evaluate_many
 from repro.machines.spec import Configuration
@@ -88,6 +89,21 @@ def search_min_energy_within_deadline(
     """
     if deadline_s <= 0:
         raise ValueError("deadline must be positive")
+    if not obs.active():
+        return _search_min_energy(model, space, deadline_s, class_name)
+    with obs.span("search", kind="min_energy_within_deadline") as sp:
+        best, stats = _search_min_energy(model, space, deadline_s, class_name)
+        sp.set(total=stats.total, evaluated=stats.evaluated, pruned=stats.pruned)
+    _record_search_stats(stats)
+    return best, stats
+
+
+def _search_min_energy(
+    model: HybridProgramModel,
+    space: Iterable[Configuration],
+    deadline_s: float,
+    class_name: str | None,
+) -> tuple[Prediction | None, SearchStats]:
     cls = class_name or model.inputs.baseline_class
     scale = model.program.scale_factor(cls, model.inputs.baseline_class)
 
@@ -131,6 +147,21 @@ def search_min_time_within_budget(
     """Fastest configuration within the energy budget, with pruning."""
     if budget_j <= 0:
         raise ValueError("energy budget must be positive")
+    if not obs.active():
+        return _search_min_time(model, space, budget_j, class_name)
+    with obs.span("search", kind="min_time_within_budget") as sp:
+        best, stats = _search_min_time(model, space, budget_j, class_name)
+        sp.set(total=stats.total, evaluated=stats.evaluated, pruned=stats.pruned)
+    _record_search_stats(stats)
+    return best, stats
+
+
+def _search_min_time(
+    model: HybridProgramModel,
+    space: Iterable[Configuration],
+    budget_j: float,
+    class_name: str | None,
+) -> tuple[Prediction | None, SearchStats]:
     cls = class_name or model.inputs.baseline_class
     scale = model.program.scale_factor(cls, model.inputs.baseline_class)
 
@@ -162,6 +193,14 @@ def search_min_time_within_budget(
             if best is None or pred.time_s < best.time_s:
                 best = pred
     return best, SearchStats(total=len(configs), evaluated=evaluated)
+
+
+def _record_search_stats(stats: SearchStats) -> None:
+    """Mirror one search's pruning statistics into the obs counters."""
+    if obs.metrics_enabled():
+        obs.add("search.candidates", stats.total)
+        obs.add("search.evaluated", stats.evaluated)
+        obs.add("search.pruned", stats.pruned)
 
 
 def _evaluate_chunk(

@@ -9,41 +9,69 @@ and divided across ``n`` nodes:
 * ``T_CPU = (w_s + b_s) * scale / (n * f)``                      (Eqs. 2-4)
 * ``T_w,mem + T_s,mem = m_s * scale / (n * f)``                     (Eq. 7)
 
+Note on the Eq. 2 denominator: the paper writes ``T_CPU = cycles/(n·c·f)``
+with *total* cycles summed over a node's ``c`` cores.  The baseline sweep
+here records **per-core average** cycles at each (c, f) point (the counter
+readings are per-core means), so the per-core quantities are already the
+paper's total divided by ``c`` — dividing by ``n·f`` is exactly the
+paper's ``/(n·c·f)``.  ``tests/integration/test_paper_anchors.py`` pins
+Fig. 8 predictions so this denominator cannot silently drift.
+
 Network terms (for ``n > 1``):
 
 * ``T_s,net = max((1-U) * T_CPU, η·ν / B)``                         (Eq. 6)
   — the wire time of the process's total communication, unless it is
   already covered by CPU idle gaps (overlap);
-* ``T_w,net`` from the M/G/1 switch queue (Eq. 5): the paper's
-  ``λ·ŷ²/(1-ρ)`` is exactly Pollaczek-Khinchine under exponentially
-  distributed service, applied per message and accumulated over the
-  process's messages.  Since the arrival rate λ depends on the execution
-  time being predicted, the model solves a damped fixed point T → λ → T.
+* ``T_w,net`` from the M/G/1 switch queue (Eq. 5), computed by the shared
+  Pollaczek-Khinchine helper :func:`repro.mg1.mg1_mean_wait` with the
+  exponential-service second moment ``E[y²] = 2·ŷ²`` — exactly the
+  paper's ``λ·ŷ²/(1-ρ)`` (see :mod:`repro.mg1` for the convention
+  derivation).  Since the arrival rate λ depends on the execution time
+  being predicted, the model solves a damped fixed point T → λ → T.
+  The offered load is clamped at :data:`repro.mg1.RHO_MAX`; when the
+  clamp engages, the breakdown's ``saturated`` flag is set.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.params import ModelInputs
+from repro.mg1 import (
+    RHO_MAX,
+    exponential_second_moment,
+    mg1_mean_wait,
+    mg1_utilization,
+)
 
 #: Fixed-point iteration controls.
 _MAX_FIXPOINT_ITER = 200
 _FIXPOINT_TOL = 1e-9
 _DAMPING = 0.5
-#: Utilization clamp: an offered load above this stretches T through the
-#: fixed point rather than producing a negative waiting time.
-_RHO_MAX = 0.985
+#: Back-compat alias; the clamp is owned by :mod:`repro.mg1` so the
+#: scalar model, the vectorized engine and the queueing helpers share it.
+_RHO_MAX = RHO_MAX
 #: Bulk-synchronous burst floor: fraction of the inbound-burst drain time a
 #: barrier-synchronized iteration pays even when the run-average port
 #: utilization looks low (messages collide at the receiving port because
-#: they are released together, not spread Poisson-fashion).
+#: they are released together, not spread Poisson-fashion).  Unchanged by
+#: the P-K unification: the shared helper reproduces the paper's Eq. 5
+#: form bit-for-bit (exponential second moment), so no recalibration of
+#: this constant or the bracket was needed.
 _BURST_FLOOR = 0.5
 
 
 @dataclass(frozen=True)
 class TimeBreakdown:
-    """Predicted execution-time components (the Eq. 1 terms, seconds)."""
+    """Predicted execution-time components (the Eq. 1 terms, seconds).
+
+    ``saturated`` reports whether the Eq. 5 fixed point ever clamped the
+    switch port's offered load at :data:`repro.mg1.RHO_MAX` — the waiting
+    time then includes a capacity-limited extrapolation rather than a
+    pure stable-queue estimate.
+    """
 
     t_cpu_s: float
     t_mem_s: float
@@ -51,6 +79,7 @@ class TimeBreakdown:
     t_net_wait_s: float
     utilization_baseline: float
     rho_network: float
+    saturated: bool = False
 
     @property
     def t_net_s(self) -> float:
@@ -99,6 +128,36 @@ def predict_time(
         ``max((1-U)·T_CPU, wire)`` overlap; ``False`` charges the full wire
         time on top of computation (no overlap modeling).
     """
+    instrumented = obs.active()
+    t_start = time.perf_counter() if instrumented else 0.0
+    breakdown = _predict_time(
+        inputs,
+        nodes,
+        cores,
+        frequency_hz,
+        scale,
+        iterations,
+        queueing,
+        service_overlap,
+    )
+    if instrumented:
+        obs.observe("model.predict_seconds", time.perf_counter() - t_start)
+        obs.add("model.predictions")
+        if breakdown.saturated:
+            obs.add("model.saturated_predictions")
+    return breakdown
+
+
+def _predict_time(
+    inputs: ModelInputs,
+    nodes: int,
+    cores: int,
+    frequency_hz: float,
+    scale: float,
+    iterations: int,
+    queueing: str,
+    service_overlap: bool,
+) -> TimeBreakdown:
     if nodes < 1 or cores < 1:
         raise ValueError("need nodes >= 1 and cores >= 1")
     if scale <= 0 or iterations < 1:
@@ -109,7 +168,8 @@ def predict_time(
     art = inputs.artefacts(cores, frequency_hz)
     f = frequency_hz
 
-    # Eqs. 2-4: useful cycles, split across n nodes
+    # Eqs. 2-4: per-core average cycles, split across n nodes (see the
+    # module docstring for why this equals the paper's /(n·c·f))
     t_cpu = art.useful_cycles * scale / (nodes * f)
     # Eq. 7: memory stalls scale identically (contention level is set by c,
     # which the baseline point shares)
@@ -133,14 +193,19 @@ def predict_time(
     nu = volume_total / eta_total if eta_total else 0.0
 
     bandwidth = inputs.network.bandwidth_bytes_per_s
+    if bandwidth <= 0:
+        raise ValueError("network bandwidth must be positive for nodes > 1")
     overhead = inputs.network.latency_floor_s
 
-    # Eq. 6: non-overlapped network service time
+    # Eq. 6: non-overlapped network service time.  The overlap slack is
+    # clamped at zero so a measured utilization above 1.0 (counter noise)
+    # cannot produce a negative service time.
     wire_time = eta_total * overhead + volume_total / bandwidth
+    slack = max(0.0, 1.0 - art.utilization)
     if service_overlap:
-        t_net_service = max((1.0 - art.utilization) * t_cpu, wire_time)
+        t_net_service = max(slack * t_cpu, wire_time)
     else:
-        t_net_service = (1.0 - art.utilization) * t_cpu + wire_time
+        t_net_service = slack * t_cpu + wire_time
 
     # Eq. 5: switch waiting time via damped fixed point on T.  The switch
     # is a non-blocking fabric, so the M/G/1 server of Eq. 5 is the
@@ -158,6 +223,7 @@ def predict_time(
     # serializing the iteration's inbound burst).  The model takes the
     # M/G/1 estimate clamped into that bracket.
     y_mean = nu / bandwidth  # per-message service at the receiving port
+    y_m2 = exponential_second_moment(y_mean)  # the paper's Eq. 5 convention
     drain_bound = eta_total * y_mean
     burst_floor = _BURST_FLOOR * drain_bound if nodes > 2 else 0.0
     if queueing == "none":
@@ -172,13 +238,22 @@ def predict_time(
     t_total = t_cpu + t_mem + t_net_service
     t_net_wait = 0.0
     rho = 0.0
-    for _ in range(_MAX_FIXPOINT_ITER):
+    iters = 0
+    bracket_clamps = 0
+    rho_clamps = 0
+    for iters in range(1, _MAX_FIXPOINT_ITER + 1):
         lam = eta_total / t_total  # per-port inbound message rate
-        rho = min(lam * y_mean, _RHO_MAX)
-        mean_wait = lam * y_mean**2 / (1.0 - rho)
+        rho_raw = mg1_utilization(lam, y_mean)
+        if rho_raw >= RHO_MAX:
+            rho_clamps += 1
+        rho = min(rho_raw, RHO_MAX)
+        mean_wait = mg1_mean_wait(lam, y_mean, y_m2, rho_max=RHO_MAX)
         new_wait = eta_total * mean_wait
         if queueing == "bracketed":
-            new_wait = min(max(new_wait, burst_floor), drain_bound)
+            clamped_wait = min(max(new_wait, burst_floor), drain_bound)
+            if clamped_wait != new_wait:
+                bracket_clamps += 1
+            new_wait = clamped_wait
         new_total = t_cpu + t_mem + t_net_service + new_wait
         if abs(new_total - t_total) <= _FIXPOINT_TOL * t_total:
             t_net_wait = new_wait
@@ -187,6 +262,17 @@ def predict_time(
         t_net_wait = _DAMPING * new_wait + (1.0 - _DAMPING) * t_net_wait
         t_total = t_cpu + t_mem + t_net_service + t_net_wait
 
+    # the wire time (>= the drain bound) is part of every T the iteration
+    # visits, so the *converged* load always settles below the clamp; the
+    # flag therefore reports whether the clamp engaged anywhere along the
+    # fixed point (equivalently: the zero-wait offered load eta/t_base
+    # exceeds capacity), marking the wait as a capacity-limited estimate.
+    saturated = rho_clamps > 0
+    if obs.metrics_enabled():
+        obs.add("model.fixpoint_iterations", iters)
+        obs.add("model.fixpoint_bracket_clamps", bracket_clamps)
+        obs.add("model.fixpoint_rho_clamps", rho_clamps)
+
     return TimeBreakdown(
         t_cpu_s=t_cpu,
         t_mem_s=t_mem,
@@ -194,4 +280,5 @@ def predict_time(
         t_net_wait_s=t_net_wait,
         utilization_baseline=art.utilization,
         rho_network=rho,
+        saturated=saturated,
     )

@@ -27,6 +27,7 @@ Two properties are deliberately preserved:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
@@ -34,6 +35,7 @@ from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.energy_model import EnergyBreakdown
 from repro.core.model import HybridProgramModel, Prediction
 from repro.core.time_model import (
@@ -41,10 +43,10 @@ from repro.core.time_model import (
     _DAMPING,
     _FIXPOINT_TOL,
     _MAX_FIXPOINT_ITER,
-    _RHO_MAX,
     TimeBreakdown,
 )
 from repro.machines.spec import Configuration
+from repro.mg1 import RHO_MAX, exponential_second_moment, mg1_mean_wait, mg1_utilization
 
 
 def _is_grid(space: object) -> bool:
@@ -78,6 +80,7 @@ class VectorizedEvaluation:
     t_net_wait_s: np.ndarray
     utilization_baseline: np.ndarray
     rho_network: np.ndarray
+    saturated: np.ndarray
     cpu_j: np.ndarray
     mem_j: np.ndarray
     net_j: np.ndarray
@@ -115,6 +118,7 @@ class VectorizedEvaluation:
             t_net_wait_s=float(self.t_net_wait_s[i]),
             utilization_baseline=float(self.utilization_baseline[i]),
             rho_network=float(self.rho_network[i]),
+            saturated=bool(self.saturated[i]),
         )
         energy = EnergyBreakdown(
             cpu_j=float(self.cpu_j[i]),
@@ -140,31 +144,40 @@ class VectorizedEvaluation:
 # ----------------------------------------------------------------------
 
 class CacheInfo(NamedTuple):
-    """Cache statistics, mirroring :func:`functools.lru_cache`."""
+    """Cache statistics, mirroring :func:`functools.lru_cache` (plus the
+    eviction count the obs layer also tracks)."""
 
     hits: int
     misses: int
     maxsize: int
     currsize: int
+    evictions: int = 0
 
 
 class _LRUCache:
-    """A small explicit LRU (model fingerprints are not lru_cache-able)."""
+    """A small explicit LRU (model fingerprints are not lru_cache-able).
+
+    Hit/miss/eviction events are mirrored into the observability layer
+    (``vectorized.cache.*`` counters) whenever metrics are enabled.
+    """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self._data: OrderedDict[object, VectorizedEvaluation] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: object) -> VectorizedEvaluation | None:
         try:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            obs.add("vectorized.cache.misses")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        obs.add("vectorized.cache.hits")
         return value
 
     def put(self, key: object, value: VectorizedEvaluation) -> None:
@@ -172,14 +185,19 @@ class _LRUCache:
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
+            obs.add("vectorized.cache.evictions")
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._data))
+        return CacheInfo(
+            self.hits, self.misses, self.maxsize, len(self._data), self.evictions
+        )
 
 
 _EVALUATION_CACHE = _LRUCache(maxsize=64)
@@ -292,6 +310,29 @@ def evaluate_configs(
     """
     if queueing not in ("bracketed", "mg1", "none"):
         raise ValueError(f"unknown queueing variant {queueing!r}")
+    if not obs.active():
+        return _evaluate(
+            model, space, class_name, queueing, service_overlap, use_cache
+        )
+    t_start = time.perf_counter()
+    with obs.span("evaluate_space", queueing=queueing) as sp:
+        result = _evaluate(
+            model, space, class_name, queueing, service_overlap, use_cache
+        )
+        sp.set(configs=len(result), class_name=result.class_name)
+    obs.observe("vectorized.evaluate_seconds", time.perf_counter() - t_start)
+    return result
+
+
+def _evaluate(
+    model: HybridProgramModel,
+    space: object,
+    class_name: str | None,
+    queueing: str,
+    service_overlap: bool,
+    use_cache: bool,
+    instrument: bool = True,
+) -> VectorizedEvaluation:
     key = (
         cache_key(model, space, class_name, queueing, service_overlap)
         if use_cache
@@ -402,36 +443,51 @@ def evaluate_configs(
     bandwidth = inputs.network.bandwidth_bytes_per_s
     overhead = inputs.network.latency_floor_s
     multi = n > 1
+    if bandwidth <= 0 and bool(np.any(np.broadcast_to(multi, shape))):
+        raise ValueError("network bandwidth must be positive for nodes > 1")
 
-    # Eq. 6: non-overlapped network service time (zero on a single node)
-    wire_time = eta_total * overhead + volume_total / bandwidth
+    # Eq. 6: non-overlapped network service time (zero on a single node).
+    # The overlap slack is clamped at zero exactly like the scalar path.
+    wire_time = eta_total * overhead + (
+        volume_total / bandwidth if bandwidth > 0 else np.zeros_like(volume_total)
+    )
+    slack = np.maximum(0.0, 1.0 - util)
     if service_overlap:
-        t_net_service = np.maximum((1.0 - util) * t_cpu, wire_time)
+        t_net_service = np.maximum(slack * t_cpu, wire_time)
     else:
-        t_net_service = (1.0 - util) * t_cpu + wire_time
+        t_net_service = slack * t_cpu + wire_time
     t_net_service = np.where(multi, t_net_service, 0.0)
 
-    # Eq. 5: switch waiting time via the damped fixed point, lane-wise.
-    # Each lane follows exactly the scalar iteration sequence; converged
-    # lanes freeze while the rest keep iterating.
-    y_mean = nu / bandwidth
-    y_sq = y_mean**2
+    # Eq. 5: switch waiting time via the damped fixed point, lane-wise,
+    # through the shared P-K helper (repro.mg1) with the exponential
+    # second moment — the same call the scalar model makes.  Each lane
+    # follows exactly the scalar iteration sequence; converged lanes
+    # freeze while the rest keep iterating.
+    y_mean = (
+        nu / bandwidth if bandwidth > 0 else np.zeros_like(nu)
+    )
+    y_m2 = exponential_second_moment(y_mean)
     drain_bound = eta_total * y_mean
     burst_floor = np.where(n > 2, _BURST_FLOOR * drain_bound, 0.0)
 
     t_base = t_cpu + t_mem + t_net_service
     wait = np.zeros(shape)
     rho_out = np.zeros(shape)
+    saturated = np.zeros(shape, dtype=bool)
+    iters = 0
     if queueing != "none" and bool(multi.any()):
         total = np.broadcast_to(t_base, shape).copy()
         done = np.broadcast_to(~multi, shape).copy()
-        for _ in range(_MAX_FIXPOINT_ITER):
+        for iters in range(1, _MAX_FIXPOINT_ITER + 1):
             if bool(done.all()):
                 break
             active = ~done
             lam = eta_total / total
-            rho = np.minimum(lam * y_mean, _RHO_MAX)
-            new_wait = eta_total * (lam * y_sq / (1.0 - rho))
+            rho_raw = mg1_utilization(lam, y_mean)
+            rho = np.minimum(rho_raw, RHO_MAX)
+            new_wait = eta_total * mg1_mean_wait(
+                lam, y_mean, y_m2, rho_max=RHO_MAX
+            )
             if queueing == "bracketed":
                 new_wait = np.minimum(
                     np.maximum(new_wait, burst_floor), drain_bound
@@ -440,11 +496,31 @@ def evaluate_configs(
             conv = np.abs(new_total - total) <= _FIXPOINT_TOL * total
             damped = _DAMPING * new_wait + (1.0 - _DAMPING) * wait
             rho_out = np.where(active, rho, rho_out)
+            # any-iteration semantics, matching the scalar flag: the clamp
+            # engaging anywhere along the lane's fixed point marks it
+            saturated = saturated | (active & (rho_raw >= RHO_MAX))
             wait = np.where(active, np.where(conv, new_wait, damped), wait)
             total = np.where(
                 active, np.where(conv, new_total, t_base + damped), total
             )
             done = done | conv
+    if instrument and obs.metrics_enabled():
+        lanes = int(np.broadcast_to(multi, shape).sum())
+        obs.add("vectorized.fixpoint_iterations", iters)
+        obs.add("vectorized.lanes", int(np.prod(shape)))
+        obs.add("vectorized.multi_node_lanes", lanes)
+        obs.add("vectorized.saturated_lanes", int(saturated.sum()))
+        if queueing == "bracketed" and lanes:
+            # one post-hoc pass: lanes whose final wait sits on a bracket
+            # edge were clamped away from the raw M/G/1 estimate
+            on_edge = np.broadcast_to(multi, shape) & (
+                (wait <= np.broadcast_to(burst_floor, shape))
+                | (wait >= np.broadcast_to(drain_bound, shape))
+            )
+            obs.add(
+                "vectorized.fixpoint_bracket_clamped_lanes",
+                int(np.count_nonzero(on_edge & (wait > 0))),
+            )
 
     # totals, associated exactly like TimeBreakdown.total_s
     t_net = t_net_service + wait
@@ -471,6 +547,7 @@ def evaluate_configs(
         t_net_wait_s=_readonly(_flat(wait, shape)),
         utilization_baseline=_readonly(_flat(util, shape)),
         rho_network=_readonly(_flat(rho_out, shape)),
+        saturated=_readonly(_flat(saturated, shape)),
         cpu_j=_readonly(_flat(cpu_j, shape)),
         mem_j=_readonly(_flat(mem_j, shape)),
         net_j=_readonly(_flat(net_j, shape)),
@@ -493,6 +570,12 @@ def evaluate_many(
 
     Convenience for callers holding ad-hoc candidate lists (the pruned
     search, planners) where caching arbitrary subsets would only churn
-    the LRU.
+    the LRU.  Deliberately *uninstrumented*: these callers invoke it from
+    inner loops inside their own span (e.g. "search") and account the
+    work through their own counters, so per-chunk spans and lane metrics
+    would dominate both the trace and the < 2% overhead budget that
+    ``benchmarks/bench_obs_overhead.py`` enforces.
     """
-    return evaluate_configs(model, tuple(configs), class_name, use_cache=False)
+    return _evaluate(
+        model, tuple(configs), class_name, "bracketed", True, False, instrument=False
+    )

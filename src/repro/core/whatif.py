@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.configspace import ConfigSpace, SpaceEvaluation, evaluate_space
 from repro.core.model import HybridProgramModel
 from repro.core.params import NetworkCharacteristics
@@ -139,7 +140,17 @@ class WhatIf:
         Both sweeps run through the vectorized engine and the space LRU,
         so a battery of what-if variants pays for the baseline once.
         """
-        return SpaceDelta(
-            base=evaluate_space(self.model, space, class_name),
-            variant=evaluate_space(variant, space, class_name),
-        )
+        if not obs.active():
+            return SpaceDelta(
+                base=evaluate_space(self.model, space, class_name),
+                variant=evaluate_space(variant, space, class_name),
+            )
+        with obs.span("whatif") as sp:
+            delta = SpaceDelta(
+                base=evaluate_space(self.model, space, class_name),
+                variant=evaluate_space(variant, space, class_name),
+            )
+            sp.set(configs=len(delta.base))
+        if obs.metrics_enabled():
+            obs.add("whatif.comparisons")
+        return delta

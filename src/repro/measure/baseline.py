@@ -20,6 +20,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.machines.spec import Configuration
 from repro.measure.counters import CounterReading, read_counters
 from repro.measure.mpip import MpiPReport, profile_run
@@ -110,13 +111,21 @@ def run_baseline_sweep(
     cls = class_name or program.reference_class
     spec = cluster.spec
     points: dict[tuple[int, float], BaselinePoint] = {}
-    for c in spec.node.core_counts:
-        for f in spec.frequencies_hz:
-            config = Configuration(nodes=1, cores=c, frequency_hz=f)
-            runs = cluster.run_many(program, config, cls, repetitions=repetitions)
-            readings = [read_counters(r) for r in runs]
-            walls = [measure_wall_time(r) for r in runs]
-            points[(c, f)] = BaselinePoint.from_readings(c, f, readings, walls)
+    with obs.span("baseline_sweep", program=program.name, class_name=cls) as sp:
+        for c in spec.node.core_counts:
+            for f in spec.frequencies_hz:
+                config = Configuration(nodes=1, cores=c, frequency_hz=f)
+                runs = cluster.run_many(
+                    program, config, cls, repetitions=repetitions
+                )
+                readings = [read_counters(r) for r in runs]
+                walls = [measure_wall_time(r) for r in runs]
+                points[(c, f)] = BaselinePoint.from_readings(
+                    c, f, readings, walls
+                )
+        sp.set(points=len(points), repetitions=repetitions)
+    if obs.metrics_enabled():
+        obs.add("baseline.runs", len(points) * repetitions)
     return BaselineSweep(
         program=program.name,
         cluster=spec.name,
@@ -136,8 +145,11 @@ def profile_communication(
     cls = class_name or program.reference_class
     spec = cluster.spec
     reports = []
-    for n in node_counts:
-        config = Configuration(nodes=n, cores=1, frequency_hz=spec.node.core.fmax)
-        run = cluster.run(program, config, cls)
-        reports.append(profile_run(run, iterations=program.iterations(cls)))
+    with obs.span("comm_profile", program=program.name, class_name=cls):
+        for n in node_counts:
+            config = Configuration(
+                nodes=n, cores=1, frequency_hz=spec.node.core.fmax
+            )
+            run = cluster.run(program, config, cls)
+            reports.append(profile_run(run, iterations=program.iterations(cls)))
     return CommProfile(program=program.name, class_name=cls, reports=tuple(reports))

@@ -1,0 +1,183 @@
+"""Counters and histograms with a Prometheus-style text exporter.
+
+The registry is deliberately tiny: metrics are identified by dotted
+names (``vectorized.cache.hits``), values are plain Python numbers, and
+the only export formats are a JSON-able snapshot and the Prometheus
+text exposition format (dots become underscores, prefixed ``repro_``).
+No background threads, no global state — the enabled registry lives in
+:mod:`repro.obs` and every hot-path call is a no-op while disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Default histogram buckets (seconds): spans µs-scale predictions to
+#: multi-second characterization campaigns.
+DEFAULT_BUCKETS = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    60.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max summaries."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if tuple(self.buckets) != tuple(sorted(self.buckets)):
+            raise ValueError("histogram buckets must be sorted ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf bucket
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    return repr(v) if isinstance(v, float) and not v.is_integer() else str(int(v))
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name=name, help=help)
+        return c
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name=name, help=help, buckets=tuple(buckets)
+            )
+        return h
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0.0 if it never fired)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0.0
+
+    def clear(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "min": None if h.count == 0 else h.min,
+                    "max": None if h.count == 0 else h.max,
+                    "buckets": {
+                        _prom_value(edge): cum
+                        for edge, cum in zip(
+                            (*h.buckets, math.inf), _cumulative(h.bucket_counts)
+                        )
+                    },
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format of every metric."""
+        lines: list[str] = []
+        for name, c in sorted(self._counters.items()):
+            p = _prom_name(name) + "_total"
+            if c.help:
+                lines.append(f"# HELP {p} {c.help}")
+            lines.append(f"# TYPE {p} counter")
+            lines.append(f"{p} {_prom_value(c.value)}")
+        for name, h in sorted(self._histograms.items()):
+            p = _prom_name(name)
+            if h.help:
+                lines.append(f"# HELP {p} {h.help}")
+            lines.append(f"# TYPE {p} histogram")
+            for edge, cum in zip(
+                (*h.buckets, math.inf), _cumulative(h.bucket_counts)
+            ):
+                lines.append(f'{p}_bucket{{le="{_prom_value(edge)}"}} {cum}')
+            lines.append(f"{p}_sum {repr(h.sum)}")
+            lines.append(f"{p}_count {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _cumulative(counts: list[int]) -> list[int]:
+    out, total = [], 0
+    for c in counts:
+        total += c
+        out.append(total)
+    return out

@@ -21,6 +21,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
+
 
 @dataclass(order=True)
 class _Event:
@@ -69,15 +71,25 @@ class Simulator:
 
         Returns the final simulation time.
         """
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
-                self.now = until
-                return self.now
-            event = heapq.heappop(self._heap)
-            self.now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-        return self.now
+        # counters are aggregated once per run() call, not per event, so
+        # the event loop itself stays instrumentation-free
+        processed_before = self._events_processed
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    self.now = until
+                    return self.now
+                event = heapq.heappop(self._heap)
+                self.now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+            return self.now
+        finally:
+            if obs.metrics_enabled():
+                obs.add(
+                    "simulate.events_processed",
+                    self._events_processed - processed_before,
+                )
 
 
 class FifoServer:

@@ -24,6 +24,22 @@ from __future__ import annotations
 
 import numpy as np
 
+# The analytical Pollaczek-Khinchine counterpart the model uses lives in
+# :mod:`repro.mg1` — the single shared definition for the scalar model,
+# the vectorized engine and these property tests.  Re-exported here so the
+# simulator-facing import path keeps working; with the default
+# ``rho_max=None`` it returns ``inf`` for a saturated queue (ρ >= 1),
+# exactly the theory convention the empirical-convergence tests expect.
+from repro.mg1 import mg1_mean_wait
+
+__all__ = [
+    "lindley_waits",
+    "lindley_waits_loop",
+    "merge_request_streams",
+    "per_owner_totals",
+    "mg1_mean_wait",
+]
+
 
 def lindley_waits(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
     """Waiting times at a FIFO single server, one row per independent batch.
@@ -112,19 +128,3 @@ def per_owner_totals(
     return np.bincount(
         np.asarray(owners, dtype=np.intp), weights=values, minlength=n_owners
     )
-
-
-def mg1_mean_wait(arrival_rate: float, mean_service: float, second_moment: float) -> float:
-    """Pollaczek-Khinchine M/G/1 mean waiting time (paper Eq. 5).
-
-    ``T_w = λ·E[y²] / (2·(1-ρ))`` with ``ρ = λ·E[y]``.  This is the
-    *analytical* counterpart the model uses; it lives here so property tests
-    can check the simulator's empirical waits converge to it under Poisson
-    arrivals.  Returns ``inf`` for a saturated queue (ρ >= 1).
-    """
-    if arrival_rate < 0 or mean_service < 0:
-        raise ValueError("rates and service times must be non-negative")
-    rho = arrival_rate * mean_service
-    if rho >= 1.0:
-        return float("inf")
-    return arrival_rate * second_moment / (2.0 * (1.0 - rho))

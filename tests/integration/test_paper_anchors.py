@@ -52,6 +52,30 @@ class TestUCRAnchors:
         )
 
 
+class TestFig8DenominatorPin:
+    """Tight regression pins on SP-on-Xeon Fig. 8 predictions.
+
+    The Eq. 2 audit resolved that the baseline sweep stores *per-core
+    average* cycles, so dividing by ``n·f`` equals the paper's
+    ``/(n·c·f)`` with total cycles.  These values would shift by exactly
+    ``c`` (up to 8x) if that denominator convention drifted, so unlike
+    the loose UCR anchors above they pin it to six digits."""
+
+    GOLDEN = {
+        (1, 1, 1.2): (403.04641659201684, 23227.602215558454),
+        (1, 8, 1.8): (44.17507973221754, 5107.439591593702),
+        (2, 8, 1.8): (33.50377380203429, 6327.776355401391),
+        (4, 8, 1.8): (19.32617278256594, 6878.132229227553),
+        (8, 8, 1.8): (10.91965701462046, 7415.416008304271),
+    }
+
+    def test_predicted_time_and_energy_pinned(self, xeon_sp_model):
+        for (n, c, f), (t_gold, e_gold) in self.GOLDEN.items():
+            pred = xeon_sp_model.predict(config(n, c, f))
+            assert pred.time_s == pytest.approx(t_gold, rel=1e-6), (n, c, f)
+            assert pred.energy_j == pytest.approx(e_gold, rel=1e-6), (n, c, f)
+
+
 class TestWhatIfAnchor:
     def test_membw_doubling_on_sp_xeon(self, xeon_sp_model):
         """§V-B: doubling memory bandwidth lifts SP on Xeon (1,8,1.8) from

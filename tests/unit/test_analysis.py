@@ -46,6 +46,7 @@ class TestValidationRecord:
         )
         assert r.time_error_percent == pytest.approx(-5.0)
         assert r.energy_error_percent == pytest.approx(10.0)
+        assert r.predicted_saturated is False
 
 
 class TestValidateProgram:
@@ -69,6 +70,14 @@ class TestValidateProgram:
         assert all(r.config.nodes == 2 for r in subset)
         subset = campaign.select(cores=[8], frequency_hz=[1.8e9])
         assert all(r.config.cores == 8 for r in subset)
+
+    def test_saturation_partition(self, campaign):
+        """Records carry the model's saturated flag and partition cleanly."""
+        stable = campaign.stable_records()
+        saturated = campaign.saturated_records()
+        assert len(stable) + len(saturated) == len(campaign.records)
+        assert all(not r.predicted_saturated for r in stable)
+        assert all(r.predicted_saturated for r in saturated)
 
 
 class TestReport:
