@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean ci lint
+.PHONY: install test bench figures examples clean ci lint chaos
 
 install:
 	pip install -e .
@@ -9,13 +9,20 @@ test:
 	pytest tests/
 
 # mirror of .github/workflows/ci.yml: lint, tier-1 tests, then the
-# instrumentation-overhead and vectorized-speedup gates in smoke mode
-# (the CI job additionally runs the tier-1 suite under pytest-cov with
-# a threshold on repro.core / repro.obs / repro.mg1)
+# instrumentation-overhead, resilience-overhead and vectorized-speedup
+# gates (the CI job additionally runs the tier-1 suite under pytest-cov
+# with a threshold on repro.core / repro.obs / repro.mg1 /
+# repro.resilience, plus a chaos job — see `make chaos`)
 ci: lint
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
+	PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
+
+# the CI chaos job: tier-1 under the pinned drop/delay schedule with
+# generous retries — must pass unchanged while exercising the retry path
+chaos:
+	REPRO_CHAOS=tests/fixtures/chaos/schedule_ci.json PYTHONPATH=src python -m pytest -q
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -65,6 +65,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect counters/histograms and write them in Prometheus "
         "text format here ('-' for stdout)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the resilience layer: retry each lost instrument "
+        "sample up to N times (default 3 when --chaos/--timeout is given)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt instrument timeout; a sample delayed past it "
+        "counts as lost (enables the resilience layer)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SCHEDULE.json",
+        help="inject a deterministic chaos schedule (drops/delays/"
+        "corruptions) into every instrument call — see docs/resilience.md",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("systems", help="print the validation cluster specs (Table 3)")
@@ -80,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--program", choices=list_programs(), required=True)
     p.add_argument("--output", required=True, metavar="INPUTS.json")
     p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="CHECKPOINT.json",
+        help="persist the baseline sweep's progress here and resume an "
+        "interrupted campaign from it",
+    )
 
     p = sub.add_parser("predict", help="predict one configuration")
     p.add_argument("--cluster", choices=list_clusters(), required=True)
@@ -110,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
     p.add_argument("--budget", type=float, default=None, metavar="KILOJOULES")
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="CHECKPOINT.json",
+        help="persist the space evaluation's progress here and resume an "
+        "interrupted sweep from it",
+    )
 
     p = sub.add_parser("ucr", help="UCR across configurations (Figs. 10-11)")
     p.add_argument("--cluster", choices=list_clusters(), required=True)
@@ -209,18 +246,28 @@ def _model_for(
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro import resilience
     from repro.core.inputs import characterize
     from repro.io import save_model_inputs
+    from repro.resilience.pipeline import coverage_report
 
     sim = SimulatedCluster(get_cluster(args.cluster))
     inputs = characterize(
-        sim, get_program(args.program), repetitions=args.repetitions
+        sim,
+        get_program(args.program),
+        repetitions=args.repetitions,
+        baseline_checkpoint=args.checkpoint,
     )
     save_model_inputs(inputs, args.output)
     print(
         f"characterized {args.program} on {args.cluster} "
         f"({len(inputs.baseline)} baseline points) -> {args.output}"
     )
+    report = coverage_report(resilience.get_context())
+    if report.degraded:
+        print("degraded calibration — surviving coverage per instrument:")
+        for line in report.summary_lines():
+            print(f"  {line}")
     return 0
 
 
@@ -288,7 +335,14 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         )
     else:
         space = ConfigSpace.physical(sim.spec)
-    evaluation = evaluate_space(model, space)
+    if getattr(args, "checkpoint", None) is not None:
+        from repro.resilience.pipeline import evaluate_space_checkpointed
+
+        evaluation = evaluate_space_checkpointed(
+            model, space, checkpoint_path=args.checkpoint
+        )
+    else:
+        evaluation = evaluate_space(model, space)
     frontier = pareto_frontier(evaluation)
     rows = [
         [p.label, f"{p.time_s:.1f}", f"{joules_to_kj(p.energy_j):.2f}", f"{p.ucr:.2f}"]
@@ -590,18 +644,59 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
+def _dispatch_resilient(args: argparse.Namespace) -> int:
+    """Run the command, optionally inside a resilience context.
+
+    The context is enabled when any of ``--retries``/``--timeout``/
+    ``--chaos`` is given; resilience-layer failures (unusable checkpoints,
+    campaigns lost beyond recovery, bad policies or schedules) exit
+    nonzero with an actionable message instead of a traceback.
+    """
+    from repro import resilience
+
+    wanted = (
+        args.retries is not None
+        or args.timeout is not None
+        or args.chaos is not None
+    )
+    if not wanted:
+        return _dispatch(args)
+    policy = resilience.RetryPolicy(
+        max_retries=args.retries if args.retries is not None else 3,
+        timeout_s=args.timeout,
+    )
+    chaos = resilience.ChaosSchedule.load(args.chaos) if args.chaos else None
+    with resilience.enabled(policy, chaos):
+        return _dispatch(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.resilience import ResilienceError
+    from repro.resilience.checkpoint import CheckpointError
+
     args = _build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except (CheckpointError, ResilienceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # bad resilience policy or chaos schedule (e.g. --timeout 0)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.trace is None and args.metrics is None:
-        return _dispatch(args)
+        return _dispatch_resilient(args)
 
     from repro import obs
 
     tracer = obs.enable_tracing() if args.trace is not None else None
     registry = obs.enable_metrics() if args.metrics is not None else None
     try:
-        return _dispatch(args)
+        return _dispatch_resilient(args)
     finally:
         obs.disable()
         if tracer is not None:

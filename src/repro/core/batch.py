@@ -21,6 +21,8 @@ optimality.
 
 from __future__ import annotations
 
+import pathlib
+import re
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -116,8 +118,13 @@ def _earliest_start(
 def plan_batch(
     jobs: Sequence[Job],
     total_nodes: int,
+    checkpoint_dir: str | pathlib.Path | None = None,
 ) -> BatchPlan:
     """Plan a queue of jobs (EDF + min-energy configuration per job).
+
+    With ``checkpoint_dir``, each job's configuration-space evaluation is
+    checkpointed into ``<dir>/job-<name>.json`` so an interrupted planning
+    run resumes without re-evaluating completed jobs' spaces.
 
     Raises :class:`ValueError` when some job cannot meet its deadline even
     with the whole machine to itself.
@@ -125,9 +132,9 @@ def plan_batch(
     if total_nodes < 1:
         raise ValueError("the cluster needs at least one node")
     if not obs.active():
-        return _plan(jobs, total_nodes)
+        return _plan(jobs, total_nodes, checkpoint_dir)
     with obs.span("batch_plan", jobs=len(jobs), total_nodes=total_nodes) as sp:
-        plan = _plan(jobs, total_nodes)
+        plan = _plan(jobs, total_nodes, checkpoint_dir)
         sp.set(
             makespan_s=plan.makespan_s, total_energy_j=plan.total_energy_j
         )
@@ -136,7 +143,14 @@ def plan_batch(
     return plan
 
 
-def _plan(jobs: Sequence[Job], total_nodes: int) -> BatchPlan:
+def _plan(
+    jobs: Sequence[Job],
+    total_nodes: int,
+    checkpoint_dir: str | pathlib.Path | None = None,
+) -> BatchPlan:
+    if checkpoint_dir is not None:
+        checkpoint_dir = pathlib.Path(checkpoint_dir)
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
     ordered = sorted(jobs, key=lambda j: j.deadline_s)
     placements: list[PlacedJob] = []
     for job in ordered:
@@ -146,9 +160,20 @@ def _plan(jobs: Sequence[Job], total_nodes: int) -> BatchPlan:
             core_counts=tuple(range(1, _cores_of(job.model) + 1)),
             frequencies_hz=_frequencies_of(job.model),
         )
-        # vectorized + LRU-cached: a queue of same-model jobs evaluates its
-        # space once and replans from the cached arrays
-        evaluation = evaluate_space(job.model, space, job.class_name)
+        if checkpoint_dir is not None:
+            from repro.resilience.pipeline import evaluate_space_checkpointed
+
+            slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", job.name)
+            evaluation = evaluate_space_checkpointed(
+                job.model,
+                space,
+                job.class_name,
+                checkpoint_path=checkpoint_dir / f"job-{slug}.json",
+            )
+        else:
+            # vectorized + LRU-cached: a queue of same-model jobs evaluates
+            # its space once and replans from the cached arrays
+            evaluation = evaluate_space(job.model, space, job.class_name)
         best: PlacedJob | None = None
         for idx in np.argsort(evaluation.energies_j, kind="stable"):
             pred = evaluation.predictions[int(idx)]

@@ -67,16 +67,30 @@ def characterize(
     class_name: str | None = None,
     repetitions: int = 3,
     comm_node_counts: tuple[int, ...] = (2, 4),
+    baseline_checkpoint: object | None = None,
 ) -> ModelInputs:
     """Run the full characterization campaign for one program on one cluster.
 
     This is the only constructor of :class:`ModelInputs` used in validation:
     every value passes through a measurement interface (counters, mpiP,
     NetPIPE, wall meter), never through simulator internals.
+
+    ``baseline_checkpoint`` (a path or an open
+    :class:`~repro.resilience.checkpoint.Checkpoint`) makes the baseline
+    (c, f) sweep resumable; under an enabled resilience context the whole
+    campaign degrades gracefully on lost samples (see
+    :func:`repro.resilience.pipeline.characterize_resilient` for the
+    coverage record).
     """
     cls = class_name or program.reference_class
     with obs.span("characterize", program=program.name, class_name=cls):
-        sweep = run_baseline_sweep(cluster, program, cls, repetitions=repetitions)
+        sweep = run_baseline_sweep(
+            cluster,
+            program,
+            cls,
+            repetitions=repetitions,
+            checkpoint=baseline_checkpoint,
+        )
         comm = fit_comm_model(
             profile_communication(
                 cluster, program, cls, node_counts=comm_node_counts

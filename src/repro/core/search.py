@@ -24,13 +24,20 @@ suite — the pruned search returns bit-identical winners.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro import obs
 from repro.core.model import HybridProgramModel, Prediction
-from repro.core.vectorized import evaluate_many
+from repro.core.vectorized import evaluate_many, model_fingerprint
 from repro.machines.spec import Configuration
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    fingerprint,
+    prediction_from_dict,
+    prediction_to_dict,
+)
 
 #: Candidates surviving the bound filter are evaluated through the
 #: vectorized engine in blocks of this size; the incumbent-based cutoff is
@@ -76,23 +83,99 @@ def _energy_bound(
     return config.nodes * t_cpu * (p_idle + config.cores * p_act)
 
 
+def _search_checkpoint(
+    checkpoint: str | pathlib.Path | Checkpoint | None,
+    model: HybridProgramModel,
+    configs: list[Configuration],
+    kind: str,
+    constraint: float,
+    cls: str,
+) -> Checkpoint | None:
+    """Open (or pass through) a search checkpoint, fingerprinted over the
+    model parameters, the space, the objective and its constraint."""
+    if checkpoint is None or isinstance(checkpoint, Checkpoint):
+        return checkpoint
+    return Checkpoint.open(
+        checkpoint,
+        "search",
+        fingerprint(
+            {
+                "model": repr(model_fingerprint(model)),
+                "space": [(c.nodes, c.cores, c.frequency_hz) for c in configs],
+                "kind": kind,
+                "constraint": constraint,
+                "class_name": cls,
+            }
+        ),
+    )
+
+
+def _restore_search_state(
+    ck: Checkpoint | None,
+) -> tuple[int, Prediction | None, int, bool]:
+    """Replay a search checkpoint: (next chunk index, incumbent, evaluated,
+    done).  Chunking and candidate order are deterministic, so the state
+    recorded after chunk *k* fully determines resumption at chunk *k + 1*."""
+    if ck is None:
+        return 0, None, 0, False
+    index, best, evaluated, done = 0, None, 0, False
+    while True:
+        state = ck.get(f"chunk{index}")
+        if state is None:
+            break
+        evaluated = state["evaluated"]
+        best = (
+            prediction_from_dict(state["best"])
+            if state["best"] is not None
+            else None
+        )
+        done = bool(state.get("done", False))
+        index += 1
+    return index, best, evaluated, done
+
+
+def _record_search_chunk(
+    ck: Checkpoint | None,
+    index: int,
+    best: Prediction | None,
+    evaluated: int,
+    done: bool,
+) -> None:
+    if ck is None:
+        return
+    ck.record(
+        f"chunk{index}",
+        {
+            "evaluated": evaluated,
+            "best": prediction_to_dict(best) if best is not None else None,
+            "done": done,
+        },
+    )
+
+
 def search_min_energy_within_deadline(
     model: HybridProgramModel,
     space: Iterable[Configuration],
     deadline_s: float,
     class_name: str | None = None,
+    checkpoint: str | pathlib.Path | Checkpoint | None = None,
 ) -> tuple[Prediction | None, SearchStats]:
     """Minimum-energy configuration meeting the deadline, with pruning.
 
     Returns the same winner as exhaustively evaluating the space (or
-    ``None`` if infeasible) plus the pruning statistics.
+    ``None`` if infeasible) plus the pruning statistics.  With
+    ``checkpoint``, the incumbent and position are persisted after every
+    evaluated chunk and a re-invocation resumes where the last one
+    stopped, returning the identical winner.
     """
     if deadline_s <= 0:
         raise ValueError("deadline must be positive")
     if not obs.active():
-        return _search_min_energy(model, space, deadline_s, class_name)
+        return _search_min_energy(model, space, deadline_s, class_name, checkpoint)
     with obs.span("search", kind="min_energy_within_deadline") as sp:
-        best, stats = _search_min_energy(model, space, deadline_s, class_name)
+        best, stats = _search_min_energy(
+            model, space, deadline_s, class_name, checkpoint
+        )
         sp.set(total=stats.total, evaluated=stats.evaluated, pruned=stats.pruned)
     _record_search_stats(stats)
     return best, stats
@@ -103,11 +186,19 @@ def _search_min_energy(
     space: Iterable[Configuration],
     deadline_s: float,
     class_name: str | None,
+    checkpoint: str | pathlib.Path | Checkpoint | None = None,
 ) -> tuple[Prediction | None, SearchStats]:
     cls = class_name or model.inputs.baseline_class
     scale = model.program.scale_factor(cls, model.inputs.baseline_class)
 
     configs = list(space)
+    ck = _search_checkpoint(
+        checkpoint, model, configs, "min_energy_within_deadline", deadline_s, cls
+    )
+    start_index, best, evaluated, done = _restore_search_state(ck)
+    if done:
+        return best, SearchStats(total=len(configs), evaluated=evaluated)
+
     bounded = []
     for cfg in configs:
         t_lb = _cpu_bound_time(model, cfg, scale)
@@ -118,15 +209,16 @@ def _search_min_energy(
     # most promising (lowest energy bound) first: the incumbent tightens fast
     bounded.sort(key=lambda item: item[2])
 
-    best: Prediction | None = None
-    evaluated = 0
-    for pos in range(0, len(bounded), _CHUNK_SIZE):
+    for index, pos in enumerate(range(0, len(bounded), _CHUNK_SIZE)):
+        if index < start_index:
+            continue  # chunk already evaluated before the interruption
         chunk = bounded[pos : pos + _CHUNK_SIZE]
         if best is not None:
             # sorted by bound: only candidates whose bound still beats the
             # incumbent can win (strict <); the rest of the list is pruned
             chunk = [item for item in chunk if item[2] < best.energy_j]
             if not chunk:
+                _record_search_chunk(ck, index, best, evaluated, done=True)
                 break
         preds = _evaluate_chunk(model, [item[0] for item in chunk], cls)
         evaluated += len(chunk)
@@ -135,6 +227,7 @@ def _search_min_energy(
                 continue
             if best is None or pred.energy_j < best.energy_j:
                 best = pred
+        _record_search_chunk(ck, index, best, evaluated, done=False)
     return best, SearchStats(total=len(configs), evaluated=evaluated)
 
 
@@ -143,14 +236,17 @@ def search_min_time_within_budget(
     space: Iterable[Configuration],
     budget_j: float,
     class_name: str | None = None,
+    checkpoint: str | pathlib.Path | Checkpoint | None = None,
 ) -> tuple[Prediction | None, SearchStats]:
     """Fastest configuration within the energy budget, with pruning."""
     if budget_j <= 0:
         raise ValueError("energy budget must be positive")
     if not obs.active():
-        return _search_min_time(model, space, budget_j, class_name)
+        return _search_min_time(model, space, budget_j, class_name, checkpoint)
     with obs.span("search", kind="min_time_within_budget") as sp:
-        best, stats = _search_min_time(model, space, budget_j, class_name)
+        best, stats = _search_min_time(
+            model, space, budget_j, class_name, checkpoint
+        )
         sp.set(total=stats.total, evaluated=stats.evaluated, pruned=stats.pruned)
     _record_search_stats(stats)
     return best, stats
@@ -161,11 +257,19 @@ def _search_min_time(
     space: Iterable[Configuration],
     budget_j: float,
     class_name: str | None,
+    checkpoint: str | pathlib.Path | Checkpoint | None = None,
 ) -> tuple[Prediction | None, SearchStats]:
     cls = class_name or model.inputs.baseline_class
     scale = model.program.scale_factor(cls, model.inputs.baseline_class)
 
     configs = list(space)
+    ck = _search_checkpoint(
+        checkpoint, model, configs, "min_time_within_budget", budget_j, cls
+    )
+    start_index, best, evaluated, done = _restore_search_state(ck)
+    if done:
+        return best, SearchStats(total=len(configs), evaluated=evaluated)
+
     bounded = []
     for cfg in configs:
         t_lb = _cpu_bound_time(model, cfg, scale)
@@ -176,14 +280,15 @@ def _search_min_time(
     # most promising (lowest time bound) first
     bounded.sort(key=lambda item: item[1])
 
-    best: Prediction | None = None
-    evaluated = 0
-    for pos in range(0, len(bounded), _CHUNK_SIZE):
+    for index, pos in enumerate(range(0, len(bounded), _CHUNK_SIZE)):
+        if index < start_index:
+            continue  # chunk already evaluated before the interruption
         chunk = bounded[pos : pos + _CHUNK_SIZE]
         if best is not None:
             # no candidate whose time bound misses the incumbent can win
             chunk = [item for item in chunk if item[1] < best.time_s]
             if not chunk:
+                _record_search_chunk(ck, index, best, evaluated, done=True)
                 break
         preds = _evaluate_chunk(model, [item[0] for item in chunk], cls)
         evaluated += len(chunk)
@@ -192,6 +297,7 @@ def _search_min_time(
                 continue
             if best is None or pred.time_s < best.time_s:
                 best = pred
+        _record_search_chunk(ck, index, best, evaluated, done=False)
     return best, SearchStats(total=len(configs), evaluated=evaluated)
 
 

@@ -15,16 +15,19 @@ internals.
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
-from repro import obs
+from repro import obs, resilience
 from repro.machines.spec import Configuration
 from repro.measure.counters import CounterReading, read_counters
 from repro.measure.mpip import MpiPReport, profile_run
 from repro.measure.timecmd import measure_wall_time
+from repro.resilience.checkpoint import Checkpoint, fingerprint
 from repro.simulate.cluster import SimulatedCluster
 from repro.workloads.base import HybridProgram
 
@@ -101,29 +104,106 @@ class CommProfile:
             raise ValueError("mpiP reports must be at distinct node counts")
 
 
+def _sweep_checkpoint(
+    checkpoint: str | pathlib.Path | Checkpoint | None,
+    cluster: SimulatedCluster,
+    program: HybridProgram,
+    cls: str,
+    repetitions: int,
+) -> Checkpoint | None:
+    """Open (or pass through) the sweep's checkpoint, fingerprinted over
+    everything that determines the sweep's outputs."""
+    if checkpoint is None or isinstance(checkpoint, Checkpoint):
+        return checkpoint
+    spec = cluster.spec
+    return Checkpoint.open(
+        checkpoint,
+        "baseline_sweep",
+        fingerprint(
+            {
+                "cluster": spec.name,
+                "program": program.name,
+                "class_name": cls,
+                "repetitions": repetitions,
+                "core_counts": list(spec.node.core_counts),
+                "frequencies_hz": list(spec.frequencies_hz),
+            }
+        ),
+    )
+
+
 def run_baseline_sweep(
     cluster: SimulatedCluster,
     program: HybridProgram,
     class_name: str | None = None,
     repetitions: int = 3,
+    checkpoint: str | pathlib.Path | Checkpoint | None = None,
 ) -> BaselineSweep:
-    """Single-node sweep over all (c, f): the paper's baseline executions."""
+    """Single-node sweep over all (c, f): the paper's baseline executions.
+
+    With ``checkpoint``, each completed point is persisted as it finishes
+    and a re-invocation resumes, skipping completed points — the resumed
+    sweep is bit-identical to an uninterrupted one.  Under an enabled
+    resilience context, points whose every repetition stays lost are
+    dropped (recorded as lost units), as long as every core count keeps
+    at least one frequency.
+    """
     cls = class_name or program.reference_class
     spec = cluster.spec
+    ck = _sweep_checkpoint(checkpoint, cluster, program, cls, repetitions)
     points: dict[tuple[int, float], BaselinePoint] = {}
+    lost_points: list[str] = []
+    context = resilience.get_context()
     with obs.span("baseline_sweep", program=program.name, class_name=cls) as sp:
         for c in spec.node.core_counts:
             for f in spec.frequencies_hz:
+                key = f"{c}@{f:.0f}"
+                if ck is not None:
+                    done = ck.get(key)
+                    if done is not None:
+                        if done.get("lost"):
+                            lost_points.append(key)
+                        else:
+                            points[(c, f)] = BaselinePoint(**done["point"])
+                        continue
                 config = Configuration(nodes=1, cores=c, frequency_hz=f)
                 runs = cluster.run_many(
                     program, config, cls, repetitions=repetitions
                 )
-                readings = [read_counters(r) for r in runs]
-                walls = [measure_wall_time(r) for r in runs]
-                points[(c, f)] = BaselinePoint.from_readings(
-                    c, f, readings, walls
-                )
+                readings: list[CounterReading] = []
+                walls: list[float] = []
+                for r in runs:
+                    try:
+                        reading = read_counters(r)
+                        wall = measure_wall_time(r)
+                    except resilience.SampleLost:
+                        continue
+                    readings.append(reading)
+                    walls.append(wall)
+                if not readings:
+                    # every repetition of this point stayed lost: degrade
+                    lost_points.append(key)
+                    if context is not None:
+                        context.note_lost_unit("baseline", key)
+                    if ck is not None:
+                        ck.record(key, {"lost": True})
+                    continue
+                point = BaselinePoint.from_readings(c, f, readings, walls)
+                points[(c, f)] = point
+                if ck is not None:
+                    ck.record(
+                        key, {"lost": False, "point": dataclasses.asdict(point)}
+                    )
         sp.set(points=len(points), repetitions=repetitions)
+    missing = sorted(
+        set(spec.node.core_counts) - {c for c, _ in points}
+    )
+    if missing:
+        raise resilience.ResilienceError(
+            "baseline sweep lost every (c, f) point for core count(s) "
+            f"{missing}; the model cannot interpolate across core counts — "
+            "raise --retries or relax the chaos schedule"
+        )
     if obs.metrics_enabled():
         obs.add("baseline.runs", len(points) * repetitions)
     return BaselineSweep(
@@ -144,6 +224,7 @@ def profile_communication(
     """mpiP profiling runs at small node counts (c=1, fmax)."""
     cls = class_name or program.reference_class
     spec = cluster.spec
+    context = resilience.get_context()
     reports = []
     with obs.span("comm_profile", program=program.name, class_name=cls):
         for n in node_counts:
@@ -151,5 +232,18 @@ def profile_communication(
                 nodes=n, cores=1, frequency_hz=spec.node.core.fmax
             )
             run = cluster.run(program, config, cls)
-            reports.append(profile_run(run, iterations=program.iterations(cls)))
+            try:
+                reports.append(
+                    profile_run(run, iterations=program.iterations(cls))
+                )
+            except resilience.SampleLost:
+                if context is not None:
+                    context.note_lost_unit("mpip", f"n={n}")
+    if len(reports) < min(2, len(node_counts)):
+        raise resilience.ResilienceError(
+            f"communication profiling lost all but {len(reports)} of "
+            f"{len(node_counts)} mpiP reports; need reports at >= 2 node "
+            "counts to fit the scaling laws — raise --retries or relax the "
+            "chaos schedule"
+        )
     return CommProfile(program=program.name, class_name=cls, reports=tuple(reports))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import resilience
 from repro import rng as rng_mod
 from repro.simulate.results import RunResult
 
@@ -59,10 +60,40 @@ def read_counters(
     def observe(value: float) -> float:
         return value * (1.0 + rng.normal(0.0, MULTIPLEX_ERROR))
 
-    return CounterReading(
+    reading = CounterReading(
         instructions=observe(c.instructions),
         work_cycles=observe(c.work_cycles),
         nonmem_stall_cycles=observe(c.nonmem_stall_cycles),
         mem_stall_cycles=observe(c.mem_stall_cycles),
         utilization=float(np.clip(observe(c.utilization), 0.0, 1.0)),
+    )
+    if not resilience.active():
+        return reading
+    # The reading is computed first (consuming the PMU noise stream exactly
+    # as an undisturbed campaign would), then routed through the resilience
+    # layer as an idempotent result: re-reading a retried sample returns the
+    # same counters.  The value token distinguishes repetitions of the same
+    # (c, f) point, which carry no run index of their own.
+    return resilience.call(
+        "counters",
+        (
+            run.cluster,
+            run.program,
+            run.class_name,
+            run.config.label(),
+            resilience.value_token(reading.work_cycles),
+        ),
+        lambda: reading,
+        corrupt=_corrupt_reading,
+    )
+
+
+def _corrupt_reading(reading: CounterReading, factor: float) -> CounterReading:
+    """A corrupted PMU read-out: cycle accumulators scaled, ratios kept."""
+    return CounterReading(
+        instructions=reading.instructions * factor,
+        work_cycles=reading.work_cycles * factor,
+        nonmem_stall_cycles=reading.nonmem_stall_cycles * factor,
+        mem_stall_cycles=reading.mem_stall_cycles * factor,
+        utilization=reading.utilization,
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import resilience
 from repro import rng as rng_mod
 from repro.machines.power import PowerTable
 from repro.machines.spec import ClusterSpec
@@ -85,6 +86,13 @@ def characterize_power(
     # P_net measured directly with a line-rate blast
     net_w = max(0.05, _meter(rng, power.net_active_w + power.sys_idle_w, abs_error_w) - idle_measured)
 
+    if resilience.active():
+        # All meter draws happened above in the undisturbed order; the
+        # resilience pass only decides which recorded readings survive.
+        idle_measured, active, stall, mem_w, net_w = _resilient_power(
+            cluster, idle_measured, active, stall, mem_w, net_w
+        )
+
     return PowerTable(
         core_active_w=active,
         core_stall_w=stall,
@@ -92,3 +100,70 @@ def characterize_power(
         net_w=net_w,
         sys_idle_w=idle_measured,
     )
+
+
+def _scale(value: float, factor: float) -> float:
+    return value * factor
+
+
+def _resilient_power(
+    cluster: ClusterSpec,
+    idle_measured: float,
+    active: dict[tuple[int, float], float],
+    stall: dict[tuple[int, float], float],
+    mem_w: float,
+    net_w: float,
+) -> tuple[float, dict, dict, float, float]:
+    """Resilience pass over the power campaign's recorded readings.
+
+    The scalar readings (idle, memory, network) are required — losing one
+    raises :class:`~repro.resilience.policy.SampleLost`.  Per-``(c, f)``
+    spin/chase points degrade: a point whose readings stay lost is dropped
+    from both tables, as long as every core count keeps at least one
+    frequency (the nearest-frequency lookup in
+    :class:`~repro.machines.power.PowerTable` needs an exact core match).
+    """
+    context = resilience.get_context()
+    name = cluster.name
+    idle_out = resilience.call(
+        "powerbench", (name, "idle"), lambda: idle_measured, corrupt=_scale
+    )
+    mem_out = resilience.call(
+        "powerbench", (name, "mem"), lambda: mem_w, corrupt=_scale
+    )
+    net_out = resilience.call(
+        "powerbench", (name, "net"), lambda: net_w, corrupt=_scale
+    )
+    active_out: dict[tuple[int, float], float] = {}
+    stall_out: dict[tuple[int, float], float] = {}
+    for (c, f), active_w in active.items():
+        tokens = (name, f"c={c}", f"f={f:.0f}")
+        try:
+            active_out[(c, f)] = resilience.call(
+                "powerbench",
+                (*tokens, "active"),
+                lambda value=active_w: value,
+                corrupt=_scale,
+            )
+            stall_out[(c, f)] = resilience.call(
+                "powerbench",
+                (*tokens, "stall"),
+                lambda value=stall[(c, f)]: value,
+                corrupt=_scale,
+            )
+        except resilience.SampleLost:
+            # drop the whole point from both tables so they stay aligned
+            active_out.pop((c, f), None)
+            if context is not None:
+                context.note_lost_unit("powerbench", f"c={c}@f={f:.0f}")
+            continue
+    missing = sorted(
+        {c for c, _ in active} - {c for c, _ in active_out}
+    )
+    if missing:
+        raise resilience.ResilienceError(
+            "power characterization lost every (c, f) point for core "
+            f"count(s) {missing}; the model cannot interpolate across core "
+            "counts — raise --retries or relax the chaos schedule"
+        )
+    return idle_out, active_out, stall_out, mem_out, net_out

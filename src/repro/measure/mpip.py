@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import resilience
 from repro.simulate.results import RunResult
 
 
@@ -52,9 +53,27 @@ class MpiPReport:
 
 def profile_run(run: RunResult, iterations: int) -> MpiPReport:
     """Build the mpiP report for a run (the profiler sees exact counts)."""
-    return MpiPReport(
+    report = MpiPReport(
         nodes=run.config.nodes,
         iterations=iterations,
         total_messages=run.messages.total_messages,
         total_bytes=run.messages.total_bytes,
+    )
+    if not resilience.active():
+        return report
+    return resilience.call(
+        "mpip",
+        (run.cluster, run.program, run.class_name, run.config.label()),
+        lambda: report,
+        corrupt=_corrupt_report,
+    )
+
+
+def _corrupt_report(report: MpiPReport, factor: float) -> MpiPReport:
+    """A corrupted report: byte totals scaled (message counts are robust)."""
+    return MpiPReport(
+        nodes=report.nodes,
+        iterations=report.iterations,
+        total_messages=report.total_messages,
+        total_bytes=report.total_bytes * factor,
     )

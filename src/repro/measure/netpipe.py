@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import resilience
 from repro import rng as rng_mod
 from repro.machines.spec import ClusterSpec
 from repro.simulate.engine import FifoServer, Simulator
@@ -105,6 +106,13 @@ def run_netpipe(
         # OS scheduling jitter on each timed ping
         observed = base * (1.0 + np.abs(rng.normal(0.0, 0.01, size=repetitions)))
         latencies[i] = observed.mean()
+    if resilience.active():
+        # All latencies are computed first (so the jitter stream is consumed
+        # exactly as in an undisturbed sweep), then each size's timing is
+        # routed through the resilience layer.  Sizes whose pings stay lost
+        # after every retry are dropped from the curve: the bandwidth
+        # plateau and latency floor survive on the remaining points.
+        sizes, latencies = _resilient_sizes(cluster, sizes, latencies)
     sizes_arr = np.asarray(sizes, dtype=np.float64)
     throughput = to_mbps(sizes_arr / latencies)
     return NetpipeResult(
@@ -112,3 +120,33 @@ def run_netpipe(
         latency_s=latencies,
         throughput_mbps=throughput,
     )
+
+
+def _resilient_sizes(
+    cluster: ClusterSpec, sizes: tuple[int, ...], latencies: np.ndarray
+) -> tuple[tuple[int, ...], np.ndarray]:
+    """Per-size resilience pass: retry, degrade, or fail actionably."""
+    context = resilience.get_context()
+    surviving_sizes: list[int] = []
+    surviving_lat: list[float] = []
+    for i, size in enumerate(sizes):
+        try:
+            lat = resilience.call(
+                "netpipe",
+                (cluster.name, f"size={size}"),
+                lambda value=float(latencies[i]): value,
+                corrupt=lambda value, factor: value * factor,
+            )
+        except resilience.SampleLost:
+            if context is not None:
+                context.note_lost_unit("netpipe", f"size={size}")
+            continue
+        surviving_sizes.append(size)
+        surviving_lat.append(lat)
+    if len(surviving_sizes) < 2:
+        raise resilience.ResilienceError(
+            f"NetPIPE lost all but {len(surviving_sizes)} of {len(sizes)} "
+            "message sizes; need at least 2 to characterize the network — "
+            "raise --retries or relax the chaos schedule"
+        )
+    return tuple(surviving_sizes), np.asarray(surviving_lat, dtype=np.float64)

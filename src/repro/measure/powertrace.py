@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import resilience
 from repro.simulate.results import RunResult
 
 
@@ -103,4 +104,14 @@ def synthesize_power_trace(
     cum_energy = np.concatenate([[0.0], np.cumsum(powers * spans)])
     sampled_cum = np.interp(grid, edges, cum_energy)
     watts = np.diff(sampled_cum) / np.diff(grid)
-    return PowerTrace(times_s=grid[:-1], watts=watts)
+    trace_out = PowerTrace(times_s=grid[:-1], watts=watts)
+    if not resilience.active():
+        return trace_out
+    return resilience.call(
+        "powertrace",
+        (run.cluster, run.program, run.class_name, run.config.label()),
+        lambda: trace_out,
+        corrupt=lambda t, factor: PowerTrace(
+            times_s=t.times_s, watts=t.watts * factor
+        ),
+    )

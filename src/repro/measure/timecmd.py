@@ -7,6 +7,7 @@ fidelity.
 
 from __future__ import annotations
 
+from repro import resilience
 from repro.simulate.results import RunResult
 
 #: ``time`` reports two decimal places.
@@ -15,4 +16,18 @@ RESOLUTION_S = 0.01
 
 def measure_wall_time(run: RunResult) -> float:
     """Wall time of a run as the ``time`` command would report it."""
-    return round(run.wall_time_s / RESOLUTION_S) * RESOLUTION_S
+    wall = round(run.wall_time_s / RESOLUTION_S) * RESOLUTION_S
+    if not resilience.active():
+        return wall
+    return resilience.call(
+        "timecmd",
+        (
+            run.cluster,
+            run.program,
+            run.class_name,
+            run.config.label(),
+            resilience.value_token(run.wall_time_s),
+        ),
+        lambda: wall,
+        corrupt=lambda value, factor: value * factor,
+    )

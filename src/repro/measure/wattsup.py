@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import resilience
 from repro import rng as rng_mod
 from repro.simulate.results import RunResult
 
@@ -58,8 +59,31 @@ def read_meter(
     mean_power = true_energy / run.wall_time_s
     sampled_duration = round(run.wall_time_s / SAMPLE_PERIOD_S) * SAMPLE_PERIOD_S
     energy = mean_power * max(sampled_duration, SAMPLE_PERIOD_S) * (1.0 + bias)
-    return MeterReading(
+    reading = MeterReading(
         energy_j=energy,
         mean_power_w=energy / max(run.wall_time_s, SAMPLE_PERIOD_S),
         duration_s=run.wall_time_s,
+    )
+    if not resilience.active():
+        return reading
+    return resilience.call(
+        "wattsup",
+        (
+            run.cluster,
+            run.program,
+            run.class_name,
+            run.config.label(),
+            resilience.value_token(reading.energy_j),
+        ),
+        lambda: reading,
+        corrupt=_corrupt_reading,
+    )
+
+
+def _corrupt_reading(reading: MeterReading, factor: float) -> MeterReading:
+    """A corrupted meter record: energy (and hence power) scaled."""
+    return MeterReading(
+        energy_j=reading.energy_j * factor,
+        mean_power_w=reading.mean_power_w * factor,
+        duration_s=reading.duration_s,
     )

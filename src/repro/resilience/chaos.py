@@ -1,0 +1,186 @@
+"""Deterministic chaos injection for the measurement pipeline.
+
+A :class:`ChaosSchedule` decides, per instrument call and attempt,
+whether the sample is dropped, delayed, corrupted or delivered clean.
+Decisions draw through :func:`repro.simulate.faults.schedule_rng` — the
+same seeded stream factory the simulator's fault schedules use — keyed by
+``(schedule seed, instrument, call tokens, attempt)``.  A schedule
+therefore replays bit-identically across processes: tests and benchmarks
+can drop/delay/corrupt any instrument on a pinned schedule and still pin
+their outputs.
+
+Schedules round-trip through plain JSON (see ``docs/resilience.md`` for
+the format), so chaos campaigns are checked into fixtures and shared with
+CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.simulate.faults import schedule_rng
+
+#: Format version written into every schedule file; bump on schema changes.
+FORMAT_VERSION = 1
+
+#: Rule key that applies to any instrument without its own rule.
+WILDCARD = "*"
+
+#: Chaos outcomes (``ChaosDecision.outcome`` values).
+OK, DROP, DELAY, CORRUPT = "ok", "drop", "delay", "corrupt"
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """What chaos does to one instrument-call attempt."""
+
+    outcome: str
+    delay_s: float = 0.0
+    factor: float = 1.0
+
+    @property
+    def failed(self) -> bool:
+        """True when the attempt yields no sample at all."""
+        return self.outcome == DROP
+
+
+_CLEAN = ChaosDecision(outcome=OK)
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """Per-instrument fault mix.
+
+    ``drop_p`` loses the sample outright; ``delay_p`` delivers it after
+    ``delay_s``-scaled latency (which the retry policy may convert into a
+    timeout); ``corrupt_p`` delivers it scaled by a lognormal factor with
+    sigma ``corrupt_sigma``.  The three probabilities partition the unit
+    interval; the remainder is a clean read.
+    """
+
+    drop_p: float = 0.0
+    delay_p: float = 0.0
+    corrupt_p: float = 0.0
+    delay_s: float = 1.0
+    corrupt_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "delay_p", "corrupt_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.drop_p + self.delay_p + self.corrupt_p > 1.0 + 1e-12:
+            raise ValueError("drop_p + delay_p + corrupt_p must be <= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.corrupt_sigma < 0:
+            raise ValueError("corrupt_sigma must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any outcome other than a clean read is possible."""
+        return (self.drop_p + self.delay_p + self.corrupt_p) > 0.0
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded schedule of instrument faults.
+
+    ``rules`` maps instrument names (``"counters"``, ``"netpipe"``, …) to
+    their :class:`ChaosRule`; the ``"*"`` key, when present, applies to
+    every instrument without its own rule.
+    """
+
+    seed: int
+    rules: Mapping[str, ChaosRule]
+
+    def rule_for(self, instrument: str) -> ChaosRule | None:
+        """The rule governing ``instrument`` (wildcard-aware)."""
+        rule = self.rules.get(instrument)
+        if rule is None:
+            rule = self.rules.get(WILDCARD)
+        return rule
+
+    def decide(
+        self, instrument: str, tokens: tuple[str, ...], attempt: int
+    ) -> ChaosDecision:
+        """The (deterministic) fate of one instrument-call attempt."""
+        rule = self.rule_for(instrument)
+        if rule is None or not rule.active:
+            return _CLEAN
+        stream = schedule_rng(
+            self.seed, "chaos", instrument, *tokens, f"attempt={attempt}"
+        )
+        u = float(stream.uniform())
+        if u < rule.drop_p:
+            return ChaosDecision(outcome=DROP)
+        if u < rule.drop_p + rule.delay_p:
+            # delay between 0.5x and 1.5x the nominal latency
+            delay = rule.delay_s * (0.5 + float(stream.uniform()))
+            return ChaosDecision(outcome=DELAY, delay_s=delay)
+        if u < rule.drop_p + rule.delay_p + rule.corrupt_p:
+            factor = float(stream.lognormal(0.0, rule.corrupt_sigma)) if (
+                rule.corrupt_sigma > 0
+            ) else 1.0
+            return ChaosDecision(outcome=CORRUPT, factor=factor)
+        return _CLEAN
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of this schedule."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "chaos_schedule",
+            "seed": self.seed,
+            "rules": {
+                name: {
+                    "drop_p": rule.drop_p,
+                    "delay_p": rule.delay_p,
+                    "corrupt_p": rule.corrupt_p,
+                    "delay_s": rule.delay_s,
+                    "corrupt_sigma": rule.corrupt_sigma,
+                }
+                for name, rule in self.rules.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosSchedule":
+        """Rebuild a schedule from its dict form."""
+        if data.get("kind") != "chaos_schedule":
+            raise ValueError("not a chaos-schedule document")
+        if data.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported chaos-schedule format version "
+                f"{data.get('format_version')!r}"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            rules={
+                name: ChaosRule(**rule) for name, rule in data["rules"].items()
+            },
+        )
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the schedule to a JSON file."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "ChaosSchedule":
+        """Read a schedule from a JSON file (with an actionable error)."""
+        p = pathlib.Path(path)
+        try:
+            data = json.loads(p.read_text())
+        except FileNotFoundError:
+            raise ValueError(f"chaos schedule {p} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"chaos schedule {p} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,184 @@
+"""Checkpoint/resume for long measurement and evaluation campaigns.
+
+A checkpoint is one JSON file recording which units of a campaign (baseline
+``(c, f)`` points, evaluation chunks, search chunks) completed and what
+they produced.  Guarantees:
+
+* **Atomic writes** — the file is rewritten through a temp file +
+  :func:`os.replace`, so a crash mid-write leaves the previous valid
+  checkpoint, never a torn one.
+* **Fingerprinted identity** — every checkpoint embeds a digest of the
+  campaign's full identity (model parameters, space, seeds, options).
+  Resuming against a different campaign is refused with an actionable
+  :class:`CheckpointError` instead of silently mixing results.
+* **Exact resume** — payloads are plain JSON; Python floats round-trip
+  JSON exactly, so values read back from a checkpoint are bit-identical
+  to the values written, and a resumed campaign reproduces an
+  uninterrupted one bit for bit (pinned by the golden chaos fixtures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro import obs
+
+#: Format version written into every checkpoint; bump on schema changes.
+FORMAT_VERSION = 1
+
+KIND = "repro_checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unusable for the requested campaign."""
+
+
+def fingerprint(identity: object) -> str:
+    """Stable digest of a JSON-serializable campaign identity."""
+    text = json.dumps(identity, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def atomic_write_json(path: pathlib.Path, document: dict[str, Any]) -> None:
+    """Write ``document`` to ``path`` atomically (temp file + rename)."""
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class Checkpoint:
+    """One campaign's completed-unit ledger, persisted after every unit."""
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        task: str,
+        digest: str,
+        completed: dict[str, Any] | None = None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.task = task
+        self.digest = digest
+        self._completed: dict[str, Any] = completed or {}
+        self.resumed = len(self._completed)
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, task: str, digest: str) -> "Checkpoint":
+        """Open (resuming) or create the checkpoint for a campaign.
+
+        Raises :class:`CheckpointError` when the file exists but is not a
+        valid checkpoint, records a different task, or fingerprints a
+        different campaign configuration.
+        """
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls(p, task, digest)
+        try:
+            data = json.loads(p.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {p} is not valid JSON ({exc}); delete it to "
+                "start the campaign from scratch"
+            ) from exc
+        if not isinstance(data, dict) or data.get("kind") != KIND:
+            raise CheckpointError(
+                f"checkpoint {p} is not a repro checkpoint; delete it to "
+                "start the campaign from scratch"
+            )
+        if data.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {p} uses unsupported format version "
+                f"{data.get('format_version')!r}; delete it to re-run"
+            )
+        if data.get("task") != task:
+            raise CheckpointError(
+                f"checkpoint {p} belongs to task {data.get('task')!r}, not "
+                f"{task!r}; point --checkpoint at a fresh file"
+            )
+        if data.get("fingerprint") != digest:
+            raise CheckpointError(
+                f"checkpoint {p} was written for a different {task} "
+                "configuration (model, space, seed or options changed); "
+                "delete it or point --checkpoint at a fresh file"
+            )
+        ck = cls(p, task, digest, completed=dict(data.get("completed", {})))
+        if ck.resumed:
+            obs.add("resilience.checkpoint.resumes")
+            obs.add("resilience.checkpoint.resumed_units", ck.resumed)
+        return ck
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def get(self, key: str) -> Any | None:
+        """The recorded payload for ``key``, or ``None`` if not completed."""
+        return self._completed.get(key)
+
+    def record(self, key: str, payload: Any) -> None:
+        """Mark one unit complete and persist the checkpoint atomically."""
+        self._completed[key] = payload
+        obs.add("resilience.checkpoint.units_saved")
+        atomic_write_json(
+            self.path,
+            {
+                "format_version": FORMAT_VERSION,
+                "kind": KIND,
+                "task": self.task,
+                "fingerprint": self.digest,
+                "completed": self._completed,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Prediction serialization (search checkpoints)
+# ----------------------------------------------------------------------
+
+
+def prediction_to_dict(pred) -> dict[str, Any]:
+    """JSON form of a :class:`~repro.core.model.Prediction`."""
+    t, e, cfg = pred.time, pred.energy, pred.config
+    return {
+        "nodes": cfg.nodes,
+        "cores": cfg.cores,
+        "frequency_hz": cfg.frequency_hz,
+        "class_name": pred.class_name,
+        "time": {
+            "t_cpu_s": t.t_cpu_s,
+            "t_mem_s": t.t_mem_s,
+            "t_net_service_s": t.t_net_service_s,
+            "t_net_wait_s": t.t_net_wait_s,
+            "utilization_baseline": t.utilization_baseline,
+            "rho_network": t.rho_network,
+            "saturated": t.saturated,
+        },
+        "energy": {
+            "cpu_j": e.cpu_j,
+            "mem_j": e.mem_j,
+            "net_j": e.net_j,
+            "idle_j": e.idle_j,
+        },
+    }
+
+
+def prediction_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.core.model.Prediction` bit-identically."""
+    from repro.core.energy_model import EnergyBreakdown
+    from repro.core.model import Prediction
+    from repro.core.time_model import TimeBreakdown
+    from repro.machines.spec import Configuration
+
+    return Prediction(
+        config=Configuration(
+            nodes=int(data["nodes"]),
+            cores=int(data["cores"]),
+            frequency_hz=float(data["frequency_hz"]),
+        ),
+        class_name=data["class_name"],
+        time=TimeBreakdown(**data["time"]),
+        energy=EnergyBreakdown(**data["energy"]),
+    )

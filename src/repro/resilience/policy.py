@@ -1,0 +1,104 @@
+"""Retry/timeout/backoff policies for simulated instrument calls.
+
+Real counter and power instruments drop samples and time out; the papers
+this layer leans on (Guermouche et al., Hofmann et al.) show that exactly
+this measurement noise dominates model error in practice.  A
+:class:`RetryPolicy` describes how the pipeline reacts: how many times a
+failed sample is re-read, when a slow sample counts as timed out, and how
+long the (simulated) exponential backoff between attempts is.
+
+Backoff jitter is *deterministic*: the jitter draw for attempt ``k`` of a
+given instrument call comes from a :mod:`repro.rng` stream named by the
+call's identity tokens, so two processes replaying the same campaign
+produce bit-identical backoff schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import rng as rng_mod
+
+
+class ResilienceError(RuntimeError):
+    """A measurement campaign cannot proceed even with degradation."""
+
+
+class SampleLost(ResilienceError):
+    """An instrument sample stayed lost after every retry.
+
+    Call sites that can degrade gracefully catch this and continue on the
+    surviving samples; required samples let it propagate with an
+    actionable message.
+    """
+
+    def __init__(self, instrument: str, tokens: tuple[str, ...], attempts: int):
+        self.instrument = instrument
+        self.tokens = tokens
+        self.attempts = attempts
+        super().__init__(
+            f"instrument {instrument!r} lost sample "
+            f"({'/'.join(tokens) or 'unnamed'}) after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}; raise --retries or "
+            "relax the chaos schedule"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How instrument failures are retried.
+
+    ``max_retries`` counts *additional* attempts after the first read, so
+    a policy with ``max_retries=3`` reads at most four times.
+    ``timeout_s`` is the per-attempt budget: an attempt whose (injected)
+    delay reaches it fails like a drop.  ``None`` disables timeouts —
+    ``0`` is rejected because it would fail every sample.
+    """
+
+    max_retries: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    root_seed: int = rng_mod.DEFAULT_ROOT_SEED
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                "timeout must be positive (a 0s timeout would fail every "
+                "sample); omit it for no timeout"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor below 1 would shrink the backoff")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts per sample (first read + retries)."""
+        return self.max_retries + 1
+
+    def backoff_s(self, instrument: str, tokens: tuple[str, ...], attempt: int) -> float:
+        """Deterministic jittered backoff before retry ``attempt + 1``.
+
+        The jitter draw is a named :mod:`repro.rng` stream, so it depends
+        only on the call identity and attempt index — never on process
+        history or draw order.
+        """
+        base = self.backoff_base_s * self.backoff_factor**attempt
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        stream = rng_mod.derive(
+            self.root_seed, "resilience-backoff", instrument, *tokens,
+            f"attempt={attempt}",
+        )
+        return base * (1.0 + self.jitter * float(stream.uniform(-1.0, 1.0)))
+
+    @classmethod
+    def aggressive(cls) -> "RetryPolicy":
+        """Many fast retries — for chaos-heavy test campaigns."""
+        return cls(max_retries=8, backoff_base_s=0.01)

@@ -8,16 +8,39 @@ module provides the injection side:
 
 * :class:`FaultModel` — a straggler node whose execution (compute and
   memory alike, as thermal throttling does) runs slower by a factor;
+* :class:`FaultSchedule` — a *seeded* schedule that decides, per run,
+  whether a straggler appears and how slow it is;
 * :func:`degraded_memory` / :func:`degraded_network` — spec-level
   degradations (a cluster whose DRAM or links run below nameplate),
   applied by rebuilding the `ClusterSpec`.
+
+Every stochastic decision a schedule makes draws through
+:func:`schedule_rng`, a named :mod:`repro.rng` stream keyed by the
+schedule seed and the decision's identity tokens.  Nothing here touches a
+process-local global generator, so a schedule replays bit-identically
+across processes and regardless of the order decisions are requested in —
+the property the chaos-injection layer (:mod:`repro.resilience.chaos`)
+builds on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
+from repro import rng as rng_mod
 from repro.machines.spec import ClusterSpec, NetworkSpec
+
+
+def schedule_rng(seed: int, *tokens: str) -> np.random.Generator:
+    """The one generator factory for fault/chaos schedule draws.
+
+    Routes through :func:`repro.rng.derive` so every draw is addressed by
+    ``(seed, tokens)`` alone: reproducible across processes, insensitive
+    to how many other draws happened first.
+    """
+    return rng_mod.derive(seed, "fault-schedule", *tokens)
 
 
 @dataclass(frozen=True)
@@ -47,6 +70,44 @@ class FaultModel:
     def healthy(cls) -> "FaultModel":
         """No faults."""
         return cls()
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, replayable schedule of straggler faults across runs.
+
+    ``straggler_p`` is the per-run probability that one node throttles;
+    the victim and its slowdown factor are drawn from the same named
+    stream.  Because the stream is keyed by the run's identity tokens
+    (not by draw order), the same run always sees the same fault — in
+    any process, after any number of unrelated draws.
+    """
+
+    seed: int
+    straggler_p: float = 0.0
+    factor_min: float = 1.2
+    factor_max: float = 1.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.straggler_p <= 1.0:
+            raise ValueError("straggler_p must be a probability")
+        if not 1.0 <= self.factor_min <= self.factor_max:
+            raise ValueError("need 1 <= factor_min <= factor_max")
+
+    def fault_for(self, nodes: int, *run_tokens: str) -> FaultModel:
+        """The fault (possibly none) this schedule assigns to one run."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.straggler_p == 0.0:
+            return FaultModel.healthy()
+        stream = schedule_rng(self.seed, "straggler", *run_tokens)
+        if float(stream.uniform()) >= self.straggler_p:
+            return FaultModel.healthy()
+        victim = int(stream.integers(0, nodes))
+        factor = float(stream.uniform(self.factor_min, self.factor_max))
+        if factor <= 1.0:
+            return FaultModel.healthy()
+        return FaultModel(straggler_node=victim, straggler_factor=factor)
 
 
 def degraded_memory(spec: ClusterSpec, factor: float) -> ClusterSpec:

@@ -11,6 +11,7 @@ consuming the approach.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
 
 from repro.core.configspace import ConfigSpace, evaluate_space
@@ -78,6 +79,7 @@ def recommend(
     budget_j: float | None = None,
     class_name: str | None = None,
     model: HybridProgramModel | None = None,
+    checkpoint_dir: str | pathlib.Path | None = None,
 ) -> Recommendation:
     """Run the Fig. 2 pipeline and recommend a configuration.
 
@@ -85,13 +87,39 @@ def recommend(
     time within it.  With neither: the frontier knee.  (Both constraints
     together: the deadline governs, the budget is verified.)
 
+    With ``checkpoint_dir``, the two long campaigns persist their progress
+    there (``baseline.json`` for the measurement sweep, ``space.json`` for
+    the space evaluation) and a re-invocation resumes them; combined with
+    an enabled :mod:`repro.resilience` context the pipeline also survives
+    lost samples.
+
     Raises :class:`ValueError` if the constraints are infeasible on the
     physical space.
     """
+    if checkpoint_dir is not None:
+        checkpoint_dir = pathlib.Path(checkpoint_dir)
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
     if model is None:
-        model = HybridProgramModel.from_measurements(testbed, program)
+        if checkpoint_dir is not None:
+            from repro.core.inputs import characterize
+
+            inputs = characterize(
+                testbed,
+                program,
+                baseline_checkpoint=checkpoint_dir / "baseline.json",
+            )
+            model = HybridProgramModel(program=program, inputs=inputs)
+        else:
+            model = HybridProgramModel.from_measurements(testbed, program)
     space = ConfigSpace.physical(testbed.spec)
-    evaluation = evaluate_space(model, space, class_name)
+    if checkpoint_dir is not None:
+        from repro.resilience.pipeline import evaluate_space_checkpointed
+
+        evaluation = evaluate_space_checkpointed(
+            model, space, class_name, checkpoint_path=checkpoint_dir / "space.json"
+        )
+    else:
+        evaluation = evaluate_space(model, space, class_name)
     frontier = tuple(pareto_frontier(evaluation))
 
     if deadline_s is not None:

@@ -6,6 +6,8 @@ so models are cached per (cluster, program) at session scope.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.model import HybridProgramModel
@@ -14,6 +16,29 @@ from repro.machines.spec import Configuration
 from repro.machines.xeon import xeon_cluster
 from repro.simulate.cluster import SimulatedCluster
 from repro.workloads.registry import get_program
+
+
+@pytest.fixture(scope="session", autouse=True)
+def ambient_chaos():
+    """Run the whole suite under a chaos schedule when REPRO_CHAOS is set.
+
+    CI's chaos job points REPRO_CHAOS at a pinned drop/delay-only schedule
+    (no corruption) with generous retries (REPRO_CHAOS_RETRIES, default 8):
+    every sample eventually succeeds with its original value, so the suite
+    must pass unchanged while the retry machinery is exercised end to end.
+    """
+    schedule_path = os.environ.get("REPRO_CHAOS")
+    if not schedule_path:
+        yield None
+        return
+    from repro import resilience
+
+    policy = resilience.RetryPolicy(
+        max_retries=int(os.environ.get("REPRO_CHAOS_RETRIES", "8"))
+    )
+    chaos = resilience.ChaosSchedule.load(schedule_path)
+    with resilience.enabled(policy, chaos) as context:
+        yield context
 
 
 @pytest.fixture(scope="session")

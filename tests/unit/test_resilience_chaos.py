@@ -1,0 +1,161 @@
+"""Unit tests for deterministic chaos schedules (and the fault-schedule
+streams they draw through)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.resilience.chaos import (
+    CORRUPT,
+    DELAY,
+    DROP,
+    OK,
+    ChaosRule,
+    ChaosSchedule,
+)
+from repro.simulate.faults import FaultSchedule, schedule_rng
+
+
+class TestChaosRule:
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError, match="drop_p"):
+            ChaosRule(drop_p=1.5)
+        with pytest.raises(ValueError, match="corrupt_p"):
+            ChaosRule(corrupt_p=-0.1)
+
+    def test_rejects_probabilities_summing_past_one(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            ChaosRule(drop_p=0.5, delay_p=0.4, corrupt_p=0.2)
+
+    def test_rejects_negative_delay_and_sigma(self):
+        with pytest.raises(ValueError):
+            ChaosRule(delay_s=-1.0)
+        with pytest.raises(ValueError):
+            ChaosRule(corrupt_sigma=-0.1)
+
+    def test_active_flag(self):
+        assert not ChaosRule().active
+        assert ChaosRule(drop_p=0.1).active
+
+
+class TestChaosSchedule:
+    def test_decisions_are_deterministic_per_identity(self):
+        schedule = ChaosSchedule(
+            seed=11, rules={"*": ChaosRule(drop_p=0.3, delay_p=0.3, corrupt_p=0.3)}
+        )
+        first = [
+            schedule.decide("counters", ("run", f"s{i}"), attempt=0)
+            for i in range(40)
+        ]
+        replay = [
+            schedule.decide("counters", ("run", f"s{i}"), attempt=0)
+            for i in range(40)
+        ]
+        assert first == replay
+        # the mix actually exercises several outcomes at these rates
+        outcomes = {d.outcome for d in first}
+        assert {DROP, DELAY, CORRUPT} & outcomes
+
+    def test_decisions_independent_of_request_order(self):
+        schedule = ChaosSchedule(seed=11, rules={"*": ChaosRule(drop_p=0.5)})
+        forward = [
+            schedule.decide("pmu", (f"s{i}",), 0) for i in range(20)
+        ]
+        backward = [
+            schedule.decide("pmu", (f"s{i}",), 0) for i in reversed(range(20))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_attempt_index_changes_the_draw(self):
+        schedule = ChaosSchedule(seed=11, rules={"*": ChaosRule(drop_p=0.5)})
+        outcomes = {
+            schedule.decide("pmu", ("s",), attempt=k).outcome for k in range(20)
+        }
+        assert outcomes == {OK, DROP}  # retries escape a dropped first attempt
+
+    def test_wildcard_fallback_and_specific_rule_priority(self):
+        schedule = ChaosSchedule(
+            seed=1,
+            rules={"counters": ChaosRule(), "*": ChaosRule(drop_p=1.0)},
+        )
+        # counters has its own (inactive) rule -> always clean
+        assert schedule.decide("counters", ("x",), 0).outcome == OK
+        # anything else falls back to the wildcard
+        assert schedule.decide("netpipe", ("x",), 0).outcome == DROP
+
+    def test_no_rule_means_clean(self):
+        schedule = ChaosSchedule(seed=1, rules={"counters": ChaosRule(drop_p=1.0)})
+        assert schedule.decide("netpipe", ("x",), 0).outcome == OK
+
+    def test_dict_round_trip(self):
+        schedule = ChaosSchedule(
+            seed=7,
+            rules={
+                "counters": ChaosRule(corrupt_p=0.2, corrupt_sigma=0.1),
+                "*": ChaosRule(drop_p=0.1, delay_p=0.05, delay_s=2.0),
+            },
+        )
+        assert ChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_file_round_trip(self, tmp_path):
+        schedule = ChaosSchedule(seed=3, rules={"*": ChaosRule(drop_p=0.25)})
+        path = tmp_path / "chaos.json"
+        schedule.save(path)
+        assert ChaosSchedule.load(path) == schedule
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            ChaosSchedule.load(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ChaosSchedule.load(path)
+
+    def test_load_wrong_kind(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ValueError, match="not a chaos-schedule"):
+            ChaosSchedule.load(path)
+
+    def test_load_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"kind": "chaos_schedule", "format_version": 99})
+        )
+        with pytest.raises(ValueError, match="format version"):
+            ChaosSchedule.load(path)
+
+    def test_fixture_schedules_load(self):
+        # the checked-in golden schedules must stay loadable
+        fixtures = pathlib.Path(__file__).parents[1] / "fixtures" / "chaos"
+        for name in ("schedule_a", "schedule_b", "schedule_c", "schedule_ci"):
+            schedule = ChaosSchedule.load(fixtures / f"{name}.json")
+            assert any(rule.active for rule in schedule.rules.values())
+
+
+class TestScheduleRngStreams:
+    """The shared stream factory both fault and chaos schedules draw from."""
+
+    def test_same_identity_same_stream(self):
+        a = float(schedule_rng(5, "x", "y").uniform())
+        b = float(schedule_rng(5, "x", "y").uniform())
+        assert a == b
+
+    def test_distinct_tokens_distinct_streams(self):
+        draws = {
+            float(schedule_rng(5, "x", f"t{i}").uniform()) for i in range(10)
+        }
+        assert len(draws) == 10
+
+    def test_fault_schedule_replays_bit_identically(self):
+        schedule = FaultSchedule(seed=9, straggler_p=0.5)
+        faults = [schedule.fault_for(8, "run", str(i)) for i in range(30)]
+        replay = [schedule.fault_for(8, "run", str(i)) for i in range(30)]
+        assert faults == replay
+        assert any(f.active for f in faults)
+        assert any(not f.active for f in faults)

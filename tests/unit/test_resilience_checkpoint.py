@@ -1,0 +1,164 @@
+"""Unit tests for the checkpoint ledger and prediction serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.energy_model import EnergyBreakdown
+from repro.core.model import Prediction
+from repro.core.time_model import TimeBreakdown
+from repro.machines.spec import Configuration
+from repro.resilience.checkpoint import (
+    FORMAT_VERSION,
+    KIND,
+    Checkpoint,
+    CheckpointError,
+    atomic_write_json,
+    fingerprint,
+    prediction_from_dict,
+    prediction_to_dict,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_short_hex(self):
+        digest = fingerprint({"x": [1, 2, 3]})
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+
+class TestAtomicWrite:
+    def test_writes_valid_json_and_no_temp_left(self, tmp_path):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"k": 1.5})
+        assert json.loads(path.read_text()) == {"k": 1.5}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"old": True})
+        atomic_write_json(path, {"new": True})
+        assert json.loads(path.read_text()) == {"new": True}
+
+
+class TestCheckpoint:
+    def test_fresh_checkpoint_starts_empty(self, tmp_path):
+        ck = Checkpoint.open(tmp_path / "ck.json", "baseline_sweep", "abc")
+        assert len(ck) == 0
+        assert ck.resumed == 0
+        assert ck.get("anything") is None
+
+    def test_record_persists_and_reopens(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint.open(path, "baseline_sweep", "abc")
+        ck.record("1@2.0e9", {"lost": False, "wall_s": 12.5})
+        ck.record("2@2.0e9", {"lost": True})
+        again = Checkpoint.open(path, "baseline_sweep", "abc")
+        assert again.resumed == 2
+        assert again.get("1@2.0e9") == {"lost": False, "wall_s": 12.5}
+        assert again.get("2@2.0e9") == {"lost": True}
+
+    def test_float_payloads_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "ck.json"
+        awkward = [0.1, 1e-300, 123456789.123456789, 2**53 + 1.0]
+        ck = Checkpoint.open(path, "t", "d")
+        ck.record("floats", awkward)
+        restored = Checkpoint.open(path, "t", "d").get("floats")
+        assert all(a == b for a, b in zip(restored, awkward, strict=True))
+
+    def test_open_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("definitely not json{")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            Checkpoint.open(path, "t", "d")
+
+    def test_open_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"kind": "chaos_schedule"}))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            Checkpoint.open(path, "t", "d")
+
+    def test_open_rejects_future_format(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"kind": KIND, "format_version": FORMAT_VERSION + 1})
+        )
+        with pytest.raises(CheckpointError, match="format version"):
+            Checkpoint.open(path, "t", "d")
+
+    def test_open_rejects_other_task(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint.open(path, "baseline_sweep", "d").record("k", 1)
+        with pytest.raises(CheckpointError, match="belongs to task"):
+            Checkpoint.open(path, "search", "d")
+
+    def test_open_rejects_other_campaign(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint.open(path, "baseline_sweep", "digest-one").record("k", 1)
+        with pytest.raises(CheckpointError, match="different baseline_sweep"):
+            Checkpoint.open(path, "baseline_sweep", "digest-two")
+
+    def test_crash_between_records_keeps_previous_units(self, tmp_path):
+        # a torn campaign resumes from whatever was last durably recorded
+        path = tmp_path / "ck.json"
+        ck = Checkpoint.open(path, "t", "d")
+        ck.record("unit-0", 0)
+        ck.record("unit-1", 1)
+        # "crash": a new process reopens the same file
+        resumed = Checkpoint.open(path, "t", "d")
+        assert resumed.resumed == 2
+        resumed.record("unit-2", 2)
+        assert Checkpoint.open(path, "t", "d").resumed == 3
+
+
+class TestPredictionSerde:
+    def test_round_trip_is_exact(self):
+        pred = Prediction(
+            config=Configuration(nodes=4, cores=8, frequency_hz=2.3e9),
+            class_name="C",
+            time=TimeBreakdown(
+                t_cpu_s=10.123456789012345,
+                t_mem_s=3.987654321098765,
+                t_net_service_s=1.1111111111111112,
+                t_net_wait_s=0.3333333333333333,
+                utilization_baseline=0.8765432109876543,
+                rho_network=0.9999999999999,
+                saturated=True,
+            ),
+            energy=EnergyBreakdown(
+                cpu_j=1234.5678901234567,
+                mem_j=345.6789012345678,
+                net_j=56.78901234567890,
+                idle_j=789.0123456789012,
+            ),
+        )
+        restored = prediction_from_dict(prediction_to_dict(pred))
+        assert restored == pred
+        assert restored.time_s == pred.time_s
+        assert restored.energy_j == pred.energy_j
+
+    def test_survives_json_round_trip(self):
+        pred = Prediction(
+            config=Configuration(nodes=1, cores=1, frequency_hz=2.0e9),
+            class_name=None,
+            time=TimeBreakdown(
+                t_cpu_s=0.1,
+                t_mem_s=0.2,
+                t_net_service_s=0.0,
+                t_net_wait_s=0.0,
+                utilization_baseline=1.0,
+                rho_network=0.0,
+                saturated=False,
+            ),
+            energy=EnergyBreakdown(cpu_j=1.0, mem_j=2.0, net_j=0.0, idle_j=3.0),
+        )
+        wire = json.loads(json.dumps(prediction_to_dict(pred)))
+        assert prediction_from_dict(wire) == pred
