@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean ci lint chaos
+.PHONY: install test bench figures examples clean ci lint chaos hygiene docstrings docs-check
 
 install:
 	pip install -e .
@@ -8,16 +8,19 @@ install:
 test:
 	pytest tests/
 
-# mirror of .github/workflows/ci.yml: lint, tier-1 tests, then the
-# instrumentation-overhead, resilience-overhead and vectorized-speedup
-# gates (the CI job additionally runs the tier-1 suite under pytest-cov
-# with a threshold on repro.core / repro.obs / repro.mg1 /
-# repro.resilience, plus a chaos job — see `make chaos`)
-ci: lint
+# mirror of .github/workflows/ci.yml: lint + hygiene + docstring gates,
+# tier-1 tests, the instrumentation-overhead, resilience-overhead,
+# vectorized-speedup and parallel-speedup gates, then the docs gate
+# (the CI job additionally runs the tier-1 suite under pytest-cov with a
+# threshold on repro.core / repro.obs / repro.mg1 / repro.resilience,
+# plus a chaos job — see `make chaos`)
+ci: lint hygiene docstrings
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -x -q
+	python tools/check_docs.py
 
 # the CI chaos job: tier-1 under the pinned drop/delay schedule with
 # generous retries — must pass unchanged while exercising the retry path
@@ -30,6 +33,23 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (pip install -e .[dev])"; \
 	fi
+
+# no compiled bytecode may be tracked (a .gitignore guards new ones)
+hygiene:
+	@tracked=$$(git ls-files | grep -E '(^|/)__pycache__/|\.py[cod]$$' || true); \
+	if [ -n "$$tracked" ]; then \
+		echo "tracked bytecode files:"; echo "$$tracked"; exit 1; \
+	else \
+		echo "hygiene: no tracked bytecode"; \
+	fi
+
+# 100% public-surface docstring coverage on the load-bearing packages
+docstrings:
+	python tools/check_docstrings.py
+
+# the documentation must run: examples + fenced README/TUTORIAL blocks
+docs-check:
+	python tools/check_docs.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -62,15 +62,18 @@ from repro.simulate import (
 )
 from repro.core import (
     ConfigSpace,
+    ExecutionPlan,
     HybridProgramModel,
     ModelInputs,
     ParetoPoint,
     Prediction,
+    ResultCache,
     WhatIf,
     characterize,
     evaluate_space,
     min_energy_within_deadline,
     min_time_within_budget,
+    parallel_plan,
     pareto_frontier,
     ucr_decomposition,
 )
@@ -125,6 +128,10 @@ __all__ = [
     "min_time_within_budget",
     "ucr_decomposition",
     "WhatIf",
+    # parallel execution + persistent result cache
+    "ExecutionPlan",
+    "ResultCache",
+    "parallel_plan",
     # analysis
     "ValidationCampaign",
     "validate_program",

@@ -66,6 +66,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "text format here ('-' for stdout)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard large configuration-space sweeps across N worker "
+        "processes (results stay bit-identical — see docs/SCALING.md)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist configuration-space results in a fingerprinted "
+        "on-disk cache at PATH; warm sweeps are served from it and any "
+        "model/space change invalidates the entry (docs/SCALING.md)",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=None,
@@ -644,6 +660,23 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
+def _dispatch_planned(args: argparse.Namespace) -> int:
+    """Run the command under an execution plan when one is requested.
+
+    ``--workers``/``--cache-dir`` install an ambient
+    :class:`~repro.core.parallel.ExecutionPlan`, so every
+    configuration-space sweep the command performs (pareto, ucr, batch,
+    search, what-if) is sharded across worker processes and/or served
+    from the persistent result cache.
+    """
+    if args.workers == 1 and args.cache_dir is None:
+        return _dispatch_resilient(args)
+    from repro.core.parallel import parallel_plan
+
+    with parallel_plan(workers=args.workers, cache_dir=args.cache_dir):
+        return _dispatch_resilient(args)
+
+
 def _dispatch_resilient(args: argparse.Namespace) -> int:
     """Run the command, optionally inside a resilience context.
 
@@ -689,14 +722,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _run(args: argparse.Namespace) -> int:
     if args.trace is None and args.metrics is None:
-        return _dispatch_resilient(args)
+        return _dispatch_planned(args)
 
     from repro import obs
 
     tracer = obs.enable_tracing() if args.trace is not None else None
     registry = obs.enable_metrics() if args.metrics is not None else None
     try:
-        return _dispatch_resilient(args)
+        return _dispatch_planned(args)
     finally:
         obs.disable()
         if tracer is not None:

@@ -70,6 +70,8 @@ from repro.core.search import (
 from repro.core.calibrate import CalibratedModel, TermCorrections, calibrate
 from repro.core.metrics import edp, ed2p, edp_optimal, throughput_per_watt
 from repro.core.batch import BatchPlan, Job, PlacedJob, plan_batch
+from repro.core.cache import ResultCache
+from repro.core.parallel import ExecutionPlan, parallel_plan
 
 __all__ = [
     "BaselineArtefacts",
@@ -128,4 +130,7 @@ __all__ = [
     "PlacedJob",
     "BatchPlan",
     "plan_batch",
+    "ResultCache",
+    "ExecutionPlan",
+    "parallel_plan",
 ]

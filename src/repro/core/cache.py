@@ -1,0 +1,242 @@
+"""Persistent on-disk cache for configuration-space evaluations.
+
+The in-memory LRU in :mod:`repro.core.vectorized` only helps within one
+process lifetime; batched analyses over the machine × workload matrix
+re-pay every sweep on every invocation.  This module persists whole
+:class:`~repro.core.vectorized.VectorizedEvaluation` results to disk,
+keyed by a **content fingerprint** of everything the result depends on:
+
+* the model fingerprint (program classes, calibration baseline, comm and
+  network characteristics, power tables — see
+  :func:`repro.core.vectorized.model_fingerprint`),
+* the configuration space (grid axes or the explicit config list),
+* the evaluated input class and the time-model options
+  (``queueing``, ``service_overlap``),
+* the on-disk format version.
+
+Change *any* of those and the fingerprint changes, so a stale entry is
+simply never addressed again — there is no TTL and no mtime heuristic.
+Entries are ``.npz`` files written with the same atomic-write idiom as
+:mod:`repro.resilience.checkpoint` (temp file + :func:`os.replace`), so
+concurrent writers race benignly: the last complete rename wins and every
+reader always sees a complete file.  Each entry embeds its full identity
+document; a digest collision or a foreign/torn file is detected by
+comparing that document and rejected as a miss instead of returning wrong
+results.
+
+Cache hits, misses, writes and rejections are mirrored into the
+observability layer (``cache.disk.*`` counters) whenever metrics are
+enabled.  See ``docs/SCALING.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import zipfile
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.vectorized import VectorizedEvaluation, model_fingerprint
+from repro.resilience.checkpoint import fingerprint
+
+#: On-disk format version; bump on any change to the entry layout.  The
+#: version participates in the fingerprint, so old entries are orphaned
+#: (and reported stale on direct lookup) rather than misread.
+FORMAT_VERSION = 1
+
+#: Marker distinguishing repro cache entries from arbitrary npz files.
+KIND = "repro_result_cache"
+
+#: The VectorizedEvaluation arrays persisted per entry, in storage order.
+ARRAY_FIELDS = (
+    "nodes",
+    "cores",
+    "frequencies_hz",
+    "t_cpu_s",
+    "t_mem_s",
+    "t_net_service_s",
+    "t_net_wait_s",
+    "utilization_baseline",
+    "rho_network",
+    "saturated",
+    "cpu_j",
+    "mem_j",
+    "net_j",
+    "idle_j",
+    "times_s",
+    "energies_j",
+    "ucrs",
+)
+
+
+def _space_identity(space: object) -> list:
+    """JSON form of a space: grid axes, or the explicit (n, c, f) list."""
+    if (
+        hasattr(space, "node_counts")
+        and hasattr(space, "core_counts")
+        and hasattr(space, "frequencies_hz")
+    ):
+        return [
+            "grid",
+            list(space.node_counts),
+            list(space.core_counts),
+            list(space.frequencies_hz),
+        ]
+    return [
+        "configs",
+        [[c.nodes, c.cores, c.frequency_hz] for c in space],
+    ]
+
+
+def entry_identity(
+    model,
+    space: object,
+    class_name: str,
+    queueing: str,
+    service_overlap: bool,
+) -> dict[str, Any]:
+    """The full identity document one cache entry is keyed on.
+
+    Any mutation of the machine spec, the workload calibration, the model
+    parameters, the grid, the input class or the evaluation options
+    changes this document, hence the fingerprint, hence the cache key.
+    """
+    return {
+        "kind": KIND,
+        "format_version": FORMAT_VERSION,
+        "model": repr(model_fingerprint(model)),
+        "space": _space_identity(space),
+        "class_name": class_name,
+        "queueing": queueing,
+        "service_overlap": service_overlap,
+    }
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    a.setflags(write=False)
+    return a
+
+
+class ResultCache:
+    """A directory of fingerprinted configuration-space evaluations.
+
+    One ``.npz`` file per entry, named ``<digest>.npz``.  Lookups verify
+    the embedded identity document, so a wrong or torn file degrades to a
+    miss (and is counted as ``rejected``), never to wrong results.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        """Open (creating if needed) the cache rooted at ``directory``."""
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.rejected = 0
+
+    # -- keys ----------------------------------------------------------
+
+    def digest(self, identity: dict[str, Any]) -> str:
+        """The fingerprint addressing ``identity``'s entry file."""
+        return fingerprint(identity)
+
+    def path_for(self, identity: dict[str, Any]) -> pathlib.Path:
+        """The entry file an identity maps to (existing or not)."""
+        return self.directory / f"{self.digest(identity)}.npz"
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, identity: dict[str, Any]) -> VectorizedEvaluation | None:
+        """The cached evaluation for ``identity``, or ``None`` on a miss.
+
+        A file that is unreadable, not a repro cache entry, or whose
+        embedded identity differs from the requested one (fingerprint
+        collision, foreign file) is rejected and treated as a miss.
+        """
+        path = self.path_for(identity)
+        if not path.exists():
+            self.misses += 1
+            obs.add("cache.disk.misses")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["identity"]))
+                if meta != identity:
+                    raise ValueError("identity mismatch")
+                arrays = {
+                    name: _readonly(np.array(data[name]))
+                    for name in ARRAY_FIELDS
+                }
+                class_name = str(data["class_name"])
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+        ):
+            self.rejected += 1
+            self.misses += 1
+            obs.add("cache.disk.rejected")
+            obs.add("cache.disk.misses")
+            return None
+        self.hits += 1
+        obs.add("cache.disk.hits")
+        return VectorizedEvaluation(
+            class_name=class_name, space=None, **arrays
+        )
+
+    # -- store ---------------------------------------------------------
+
+    def put(
+        self, identity: dict[str, Any], result: VectorizedEvaluation
+    ) -> pathlib.Path:
+        """Persist ``result`` under ``identity``'s fingerprint, atomically.
+
+        Concurrent writers of the same entry each build a complete temp
+        file and race on the final :func:`os.replace`; the last rename
+        wins and readers never observe a torn entry.
+        """
+        path = self.path_for(identity)
+        payload = io.BytesIO()
+        np.savez(
+            payload,
+            identity=json.dumps(identity, sort_keys=True),
+            class_name=result.class_name,
+            **{name: getattr(result, name) for name in ARRAY_FIELDS},
+        )
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_bytes(payload.getvalue())
+        os.replace(tmp, path)
+        self.writes += 1
+        obs.add("cache.disk.writes")
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """All entry files currently in the cache directory."""
+        return sorted(self.directory.glob("*.npz"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/write/reject counts plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "rejected": self.rejected,
+            "entries": len(self.entries()),
+        }

@@ -99,7 +99,19 @@ class VectorizedEvaluation:
 
     @cached_property
     def configs(self) -> tuple[Configuration, ...]:
-        """The configurations, aligned with the arrays."""
+        """The configurations, aligned with the arrays.
+
+        ``space`` is ``None`` for evaluations rehydrated from the
+        persistent disk cache (:mod:`repro.core.cache`); the
+        configurations are then rebuilt from the aligned arrays.
+        """
+        if self.space is None:
+            return tuple(
+                Configuration(
+                    nodes=int(n), cores=int(c), frequency_hz=float(f)
+                )
+                for n, c, f in zip(self.nodes, self.cores, self.frequencies_hz)
+            )
         if isinstance(self.space, tuple):
             return self.space
         return tuple(self.space)
@@ -333,6 +345,8 @@ def _evaluate(
     use_cache: bool,
     instrument: bool = True,
 ) -> VectorizedEvaluation:
+    if not _is_grid(space) and not isinstance(space, tuple):
+        space = tuple(space)
     key = (
         cache_key(model, space, class_name, queueing, service_overlap)
         if use_cache
@@ -343,6 +357,47 @@ def _evaluate(
         if cached is not None:
             return cached
 
+    # An ambient ExecutionPlan (repro --workers/--cache-dir, or the
+    # parallel_plan() context manager) reroutes the sweep through the
+    # sharded multiprocess engine and the persistent disk cache.  The
+    # import is deferred: repro.core.parallel imports this module.
+    from repro.core import parallel as _parallel
+
+    plan = _parallel.active_plan()
+    if plan is not None:
+        result = _parallel.evaluate_plan(
+            plan,
+            model,
+            space,
+            class_name,
+            queueing,
+            service_overlap,
+            cacheable=use_cache,
+        )
+    else:
+        result = _compute(
+            model, space, class_name, queueing, service_overlap, instrument
+        )
+    if key is not None:
+        _EVALUATION_CACHE.put(key, result)
+    return result
+
+
+def _compute(
+    model: HybridProgramModel,
+    space: object,
+    class_name: str | None,
+    queueing: str,
+    service_overlap: bool,
+    instrument: bool = True,
+) -> VectorizedEvaluation:
+    """The single-process broadcast engine (no caches, no dispatch).
+
+    This is the reference vectorized path: the ambient-plan dispatch in
+    :func:`_evaluate` and every shard of the multiprocess engine
+    (:mod:`repro.core.parallel`) call exactly this function, which is why
+    sharded results are bit-identical to single-process ones.
+    """
     inputs = model.inputs
     cls_name = class_name or inputs.baseline_class
     scale = model.program.scale_factor(cls_name, inputs.baseline_class)
@@ -556,8 +611,6 @@ def _evaluate(
         energies_j=_readonly(_flat(energies, shape)),
         ucrs=_readonly(_flat(ucrs, shape)),
     )
-    if key is not None:
-        _EVALUATION_CACHE.put(key, result)
     return result
 
 

@@ -1,0 +1,256 @@
+"""Persistent result cache: fingerprint semantics, rejection, atomicity.
+
+The cache's one correctness obligation: it must never return results for
+inputs other than the ones requested.  Staleness is handled by keying —
+any mutation of the machine spec, workload calibration, model parameters
+or grid changes the fingerprint — and residual hazards (collisions,
+foreign files, torn writes) are caught by comparing the embedded identity
+document, degrading to a miss.
+"""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    ARRAY_FIELDS,
+    FORMAT_VERSION,
+    ResultCache,
+    entry_identity,
+)
+from repro.core.configspace import ConfigSpace
+from repro.core.vectorized import _compute, clear_evaluation_cache
+from repro.core.whatif import WhatIf
+from repro.cli.main import main
+from tests.conftest import config
+
+SPACE = ConfigSpace(
+    node_counts=(1, 2, 4),
+    core_counts=(1, 8),
+    frequencies_hz=(1.2e9, 1.8e9),
+)
+
+
+@pytest.fixture(scope="module")
+def model(xeon_sim, model_cache):
+    return model_cache(xeon_sim, "SP")
+
+
+@pytest.fixture(scope="module")
+def arm_model(arm_sim, model_cache):
+    return model_cache(arm_sim, "CP")
+
+
+@pytest.fixture(scope="module")
+def result(model):
+    return _compute(model, SPACE, None, "bracketed", True)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _identity(model, space=SPACE, cls="A", queueing="bracketed", overlap=True):
+    return entry_identity(model, space, cls, queueing, overlap)
+
+
+# ----------------------------------------------------------------------
+# round trip
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_bit_identical(cache, model, result):
+    identity = _identity(model)
+    assert cache.get(identity) is None  # cold
+    path = cache.put(identity, result)
+    assert path.exists() and path.suffix == ".npz"
+    loaded = cache.get(identity)
+    assert loaded is not None
+    assert loaded.class_name == result.class_name
+    for name in ARRAY_FIELDS:
+        assert np.array_equal(getattr(loaded, name), getattr(result, name)), name
+    assert cache.stats() == {
+        "hits": 1, "misses": 1, "writes": 1, "rejected": 0, "entries": 1,
+    }
+
+
+def test_loaded_arrays_are_readonly(cache, model, result):
+    cache.put(_identity(model), result)
+    loaded = cache.get(_identity(model))
+    with pytest.raises(ValueError):
+        loaded.times_s[0] = 0.0
+
+
+def test_rehydrated_configs_match_space(cache, model, result):
+    cache.put(_identity(model), result)
+    loaded = cache.get(_identity(model))
+    assert loaded.space is None
+    assert loaded.configs == tuple(SPACE)
+
+
+# ----------------------------------------------------------------------
+# fingerprint sensitivity: every input mutation re-keys the entry
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_changes_on_model_params(cache, model):
+    """A what-if variant (machine mutation) addresses a different entry."""
+    base = cache.digest(_identity(model))
+    for factor in (2.0, 0.5):
+        tweaked = WhatIf(model).memory_bandwidth(factor)
+        assert cache.digest(_identity(tweaked)) != base
+    assert cache.digest(_identity(WhatIf(model).idle_power(0.5))) != base
+
+
+def test_fingerprint_changes_on_machine_and_workload(cache, model, arm_model):
+    """Different cluster + program calibration → different entry."""
+    assert cache.digest(_identity(arm_model, cls="A")) != cache.digest(
+        _identity(model, cls="A")
+    )
+
+
+def test_fingerprint_changes_on_grid(cache, model):
+    base = cache.digest(_identity(model))
+    wider = ConfigSpace(
+        node_counts=(1, 2, 4, 8),
+        core_counts=SPACE.core_counts,
+        frequencies_hz=SPACE.frequencies_hz,
+    )
+    assert cache.digest(_identity(model, space=wider)) != base
+    # the same points as an explicit list are a different space identity
+    explicit = tuple(SPACE)
+    assert cache.digest(_identity(model, space=explicit)) != base
+
+
+def test_fingerprint_changes_on_options(cache, model):
+    base = cache.digest(_identity(model))
+    assert cache.digest(_identity(model, cls="B")) != base
+    assert cache.digest(_identity(model, queueing="mg1")) != base
+    assert cache.digest(_identity(model, overlap=False)) != base
+
+
+def test_fingerprint_changes_on_format_version(cache, model, monkeypatch):
+    base = cache.digest(_identity(model))
+    monkeypatch.setattr("repro.core.cache.FORMAT_VERSION", FORMAT_VERSION + 1)
+    assert cache.digest(_identity(model)) != base
+
+
+# ----------------------------------------------------------------------
+# rejection: wrong/foreign/torn files degrade to a miss, never to data
+# ----------------------------------------------------------------------
+
+
+def test_stale_entry_rejected(cache, model, result):
+    """A file whose embedded identity differs is rejected as a miss."""
+    identity = _identity(model)
+    other = _identity(model, cls="B")
+    cache.put(other, result)
+    # adversarial setup: plant the wrong entry at this identity's path
+    cache.path_for(other).rename(cache.path_for(identity))
+    assert cache.get(identity) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_corrupt_entry_rejected(cache, model):
+    path = cache.path_for(_identity(model))
+    path.write_bytes(b"this is not an npz archive")
+    assert cache.get(_identity(model)) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_truncated_entry_rejected(cache, model, result):
+    identity = _identity(model)
+    path = cache.put(identity, result)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # simulate a torn write
+    assert cache.get(identity) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_foreign_npz_rejected(cache, model):
+    np.savez(cache.path_for(_identity(model)), unrelated=np.arange(3))
+    assert cache.get(_identity(model)) is None
+    assert cache.stats()["rejected"] == 1
+
+
+# ----------------------------------------------------------------------
+# concurrent writers: atomic rename, last complete write wins
+# ----------------------------------------------------------------------
+
+
+def _concurrent_put(task):
+    directory, identity, result = task
+    return str(ResultCache(directory).put(identity, result))
+
+
+def test_concurrent_writers_race_benignly(tmp_path, model, result):
+    directory = tmp_path / "cache"
+    identity = _identity(model)
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(4) as pool:
+        paths = pool.map(
+            _concurrent_put, [(directory, identity, result)] * 8
+        )
+    assert len(set(paths)) == 1  # everyone addressed the same entry
+    cache = ResultCache(directory)
+    # exactly one complete entry, no temp droppings left behind
+    assert [p.name for p in cache.entries()] == [
+        f"{cache.digest(identity)}.npz"
+    ]
+    assert list(directory.glob(".*tmp*")) == []
+    loaded = cache.get(identity)
+    assert loaded is not None
+    assert np.array_equal(loaded.times_s, result.times_s)
+
+
+def test_clear_removes_entries(cache, model, result):
+    cache.put(_identity(model), result)
+    cache.put(_identity(model, cls="B"), result)
+    assert cache.stats()["entries"] == 2
+    assert cache.clear() == 2
+    assert cache.entries() == []
+
+
+# ----------------------------------------------------------------------
+# CLI round trips: cold → warm → invalidated
+# ----------------------------------------------------------------------
+
+
+def _pareto_args(tmp_path, program="SP"):
+    return [
+        "--cache-dir",
+        str(tmp_path / "cli-cache"),
+        "pareto",
+        "--cluster",
+        "xeon",
+        "--program",
+        program,
+        "--extrapolate",
+    ]
+
+
+def test_cli_cold_warm_invalidated_round_trip(tmp_path, capsys):
+    cache_dir = tmp_path / "cli-cache"
+
+    clear_evaluation_cache()
+    assert main(_pareto_args(tmp_path)) == 0
+    cold_out = capsys.readouterr().out
+    entries_after_cold = sorted(p.name for p in cache_dir.glob("*.npz"))
+    assert len(entries_after_cold) == 1
+
+    # warm: same inputs, fresh process state → served from disk, same text
+    clear_evaluation_cache()
+    assert main(_pareto_args(tmp_path)) == 0
+    warm_out = capsys.readouterr().out
+    assert warm_out == cold_out
+    assert sorted(p.name for p in cache_dir.glob("*.npz")) == entries_after_cold
+
+    # invalidated: a different program re-keys instead of reusing
+    clear_evaluation_cache()
+    assert main(_pareto_args(tmp_path, program="BT")) == 0
+    entries_after_bt = sorted(p.name for p in cache_dir.glob("*.npz"))
+    assert len(entries_after_bt) == 2
+    assert set(entries_after_cold) < set(entries_after_bt)

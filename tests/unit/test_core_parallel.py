@@ -1,0 +1,286 @@
+"""Sharded multiprocess engine: bit-identity, sharding laws, plan plumbing.
+
+The headline guarantee is stronger than the usual 1e-9 tolerance: sharded
+results must equal the single-process broadcast arrays *bit for bit*
+(``np.array_equal``), for both transports, because every shard runs the
+identical reference engine on an order-preserving slice of the space.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+from repro.core.configspace import ConfigSpace, evaluate_space
+from repro.core.parallel import (
+    ExecutionPlan,
+    active_plan,
+    evaluate_plan,
+    parallel_plan,
+    shard_space,
+    shutdown_pool,
+)
+from repro.core.search import search_min_energy_within_deadline
+from repro.core.vectorized import (
+    _compute,
+    clear_evaluation_cache,
+    evaluate_configs,
+)
+from repro.resilience.checkpoint import CheckpointError
+from tests.conftest import config
+
+#: The cache-layer fields compared bit for bit between execution modes.
+from repro.core.cache import ARRAY_FIELDS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    """Shut the persistent pool down once this module is done."""
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lru():
+    """Every test sees an empty space-evaluation LRU."""
+    clear_evaluation_cache()
+    yield
+    clear_evaluation_cache()
+
+
+@pytest.fixture(scope="module")
+def model(xeon_sim, model_cache):
+    return model_cache(xeon_sim, "SP")
+
+
+GRID = ConfigSpace(
+    node_counts=(1, 2, 3, 4, 6, 8),
+    core_counts=(1, 4, 8),
+    frequencies_hz=(1.2e9, 1.8e9),
+)
+
+
+def _assert_bit_identical(a, b):
+    assert len(a) == len(b)
+    for name in ARRAY_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+# ----------------------------------------------------------------------
+# plan validation
+# ----------------------------------------------------------------------
+
+
+def test_plan_rejects_bad_knobs():
+    with pytest.raises(ValueError, match="workers"):
+        ExecutionPlan(workers=0)
+    with pytest.raises(ValueError, match="min_parallel_configs"):
+        ExecutionPlan(min_parallel_configs=0)
+    with pytest.raises(ValueError, match="shards_per_worker"):
+        ExecutionPlan(shards_per_worker=0)
+    with pytest.raises(ValueError, match="transport"):
+        ExecutionPlan(transport="carrier-pigeon")
+
+
+def test_plan_shard_count():
+    assert ExecutionPlan(workers=4, shards_per_worker=2).shards == 8
+
+
+def test_parallel_plan_restores_previous_plan():
+    assert active_plan() is None
+    with parallel_plan(workers=2) as outer:
+        assert active_plan() is outer
+        with parallel_plan(workers=3) as inner:
+            assert active_plan() is inner
+        assert active_plan() is outer
+    assert active_plan() is None
+
+
+def test_parallel_plan_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with parallel_plan(workers=2):
+            raise RuntimeError("boom")
+    assert active_plan() is None
+
+
+# ----------------------------------------------------------------------
+# sharding laws
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 5, 7, 100])
+def test_shard_space_grid_preserves_order(shards):
+    pieces = shard_space(GRID, shards)
+    assert len(pieces) == min(shards, len(GRID.node_counts))
+    # offsets are contiguous and cover the space exactly
+    expected_offset = 0
+    rebuilt = []
+    for offset, length, sub in pieces:
+        assert offset == expected_offset
+        assert length == len(list(sub.node_counts)) * len(GRID.core_counts) * len(
+            GRID.frequencies_hz
+        )
+        expected_offset += length
+        # each sub-grid keeps the full core/frequency axes (grid fast path)
+        assert tuple(sub.core_counts) == GRID.core_counts
+        assert tuple(sub.frequencies_hz) == GRID.frequencies_hz
+        rebuilt.extend(
+            ConfigSpace(
+                node_counts=tuple(sub.node_counts),
+                core_counts=tuple(sub.core_counts),
+                frequencies_hz=tuple(sub.frequencies_hz),
+            )
+        )
+    assert expected_offset == len(GRID)
+    assert rebuilt == list(GRID)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 9])
+def test_shard_space_explicit_preserves_order(shards):
+    cfgs = [config(n, c, 1.8) for n in (1, 2, 4) for c in (1, 2, 8)]
+    pieces = shard_space(cfgs, shards)
+    rebuilt = []
+    expected_offset = 0
+    for offset, length, sub in pieces:
+        assert offset == expected_offset
+        assert length == len(tuple(sub))
+        expected_offset += length
+        rebuilt.extend(sub)
+    assert rebuilt == cfgs
+
+
+def test_shard_space_empty_sequence():
+    assert shard_space([], 4) == [(0, 0, ())]
+
+
+def test_shard_space_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        shard_space(GRID, 0)
+
+
+# ----------------------------------------------------------------------
+# bit-identity: sharded == single-process, both transports
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["memmap", "pickle"])
+def test_sharded_grid_bit_identical(model, transport):
+    reference = _compute(model, GRID, None, "bracketed", True)
+    plan = ExecutionPlan(
+        workers=2, min_parallel_configs=1, transport=transport
+    )
+    sharded = evaluate_plan(plan, model, GRID, None, "bracketed", True)
+    _assert_bit_identical(sharded, reference)
+
+
+@pytest.mark.parametrize("transport", ["memmap", "pickle"])
+def test_sharded_explicit_bit_identical(model, transport):
+    cfgs = tuple(
+        config(n, c, f)
+        for n in (1, 2, 5, 8)
+        for c in (1, 8)
+        for f in (1.2, 1.8)
+    )
+    reference = _compute(model, cfgs, None, "bracketed", True)
+    plan = ExecutionPlan(
+        workers=2, min_parallel_configs=1, transport=transport
+    )
+    sharded = evaluate_plan(plan, model, cfgs, None, "bracketed", True)
+    _assert_bit_identical(sharded, reference)
+
+
+def test_sharded_matches_all_queueing_variants(model):
+    plan = ExecutionPlan(workers=2, min_parallel_configs=1)
+    for queueing in ("bracketed", "mg1", "none"):
+        reference = _compute(model, GRID, None, queueing, True)
+        sharded = evaluate_plan(plan, model, GRID, None, queueing, True)
+        _assert_bit_identical(sharded, reference)
+
+
+def test_evaluate_space_under_plan_matches(model):
+    baseline = evaluate_space(model, GRID)
+    clear_evaluation_cache()
+    with parallel_plan(workers=2, min_parallel_configs=1):
+        planned = evaluate_space(model, GRID)
+    assert np.array_equal(planned.times_s, baseline.times_s)
+    assert np.array_equal(planned.energies_j, baseline.energies_j)
+    assert np.array_equal(planned.ucrs, baseline.ucrs)
+
+
+# ----------------------------------------------------------------------
+# inline threshold + search integration
+# ----------------------------------------------------------------------
+
+
+def test_small_sweep_runs_inline(model, monkeypatch):
+    def _forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+        raise AssertionError("small sweep must not shard")
+
+    monkeypatch.setattr(parallel, "_run_sharded", _forbidden)
+    plan = ExecutionPlan(workers=2, min_parallel_configs=10**9)
+    reference = _compute(model, GRID, None, "bracketed", True)
+    inline = evaluate_plan(plan, model, GRID, None, "bracketed", True)
+    _assert_bit_identical(inline, reference)
+
+
+def test_single_worker_plan_runs_inline(model, monkeypatch):
+    def _forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+        raise AssertionError("workers=1 must not shard")
+
+    monkeypatch.setattr(parallel, "_run_sharded", _forbidden)
+    plan = ExecutionPlan(workers=1, min_parallel_configs=1)
+    evaluate_plan(plan, model, GRID, None, "bracketed", True)
+
+
+def test_search_identical_under_plan(model):
+    space = list(GRID)
+    best_plain, stats_plain = search_min_energy_within_deadline(
+        model, space, deadline_s=1e6
+    )
+    with parallel_plan(workers=2, min_parallel_configs=1):
+        best_plan, stats_plan = search_min_energy_within_deadline(
+            model, space, deadline_s=1e6
+        )
+    assert best_plain is not None and best_plan is not None
+    assert best_plan.config == best_plain.config
+    assert best_plan.energy_j == best_plain.energy_j
+    assert stats_plan.total == stats_plain.total
+
+
+def test_search_checkpoint_pins_chunk_size(model, tmp_path):
+    """A checkpoint written under one worker count refuses another."""
+    ck = tmp_path / "search.ck"
+    space = list(GRID)
+    with parallel_plan(workers=2, min_parallel_configs=1):
+        search_min_energy_within_deadline(
+            model, space, deadline_s=1e6, checkpoint=ck
+        )
+    with pytest.raises(CheckpointError):
+        search_min_energy_within_deadline(
+            model, space, deadline_s=1e6, checkpoint=ck
+        )
+
+
+# ----------------------------------------------------------------------
+# disk cache wiring through the plan
+# ----------------------------------------------------------------------
+
+
+def test_plan_serves_warm_results_from_disk(model, tmp_path):
+    with parallel_plan(workers=1, cache_dir=tmp_path) as plan:
+        cold = evaluate_space(model, GRID)
+        assert plan.cache.stats()["writes"] == 1
+        assert plan.cache.stats()["misses"] == 1
+        clear_evaluation_cache()  # force the disk-cache path
+        warm = evaluate_space(model, GRID)
+        assert plan.cache.stats()["hits"] == 1
+    _assert_bit_identical(warm.vectorized, cold.vectorized)
+    # rehydrated evaluations rebuild their configs from the arrays
+    assert warm.vectorized.configs == tuple(GRID)
+
+
+def test_uncacheable_sweeps_skip_disk(model, tmp_path):
+    cfgs = tuple(config(n, 8, 1.8) for n in (1, 2, 4))
+    with parallel_plan(workers=1, cache_dir=tmp_path) as plan:
+        evaluate_configs(model, cfgs, use_cache=False)
+        assert plan.cache.stats()["writes"] == 0
+        assert plan.cache.entries() == []
