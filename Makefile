@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean ci lint chaos hygiene docstrings docs-check
+.PHONY: install test bench figures examples clean ci lint lint-repro typecheck chaos hygiene docstrings docs-check
 
 install:
 	pip install -e .
@@ -14,7 +14,7 @@ test:
 # (the CI job additionally runs the tier-1 suite under pytest-cov with a
 # threshold on repro.core / repro.obs / repro.mg1 / repro.resilience,
 # plus a chaos job — see `make chaos`)
-ci: lint hygiene docstrings
+ci: lint lint-repro typecheck hygiene docstrings
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -x -q
@@ -32,6 +32,19 @@ lint:
 		ruff check . && ruff format --check .; \
 	else \
 		echo "ruff not installed; skipping lint (pip install -e .[dev])"; \
+	fi
+
+# the repository's own invariant checker (units, determinism, fork
+# safety, atomic IO, observability coverage) — see docs/LINTING.md
+lint-repro:
+	PYTHONPATH=src python -m repro.lint
+
+# strict static typing on the linter and the contract modules it guards
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		PYTHONPATH=src mypy --strict src/repro/lint src/repro/units.py src/repro/rng.py src/repro/mg1.py; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -e .[dev])"; \
 	fi
 
 # no compiled bytecode may be tracked (a .gitignore guards new ones)

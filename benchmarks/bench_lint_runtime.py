@@ -1,0 +1,66 @@
+"""Runtime budget gate for the ``repro.lint`` invariant checker.
+
+The linter is a blocking CI job and a pre-commit-sized local check
+(``make lint-repro``); it only stays in everyone's loop if a full
+repository pass remains interactive.  This gate lints ``src/`` and
+``tools/`` end to end — parse, all five checkers, suppressions,
+baseline — and fails the build if the wall time reaches
+:data:`BUDGET_SECONDS` (10 s, a generous multiple of the expected
+sub-second runtime, so only a complexity regression such as an
+accidentally quadratic call-graph walk can trip it).
+
+The measured runtime and per-file throughput are pinned to
+``benchmarks/out/lint_runtime.json`` for trend tracking.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.config import DEFAULT_BASELINE_NAME
+
+#: Hard ceiling on one full-repository lint pass, in seconds.
+BUDGET_SECONDS = 10.0
+
+_ROOT = pathlib.Path(__file__).parents[1]
+
+
+def _full_repo_lint():
+    """One complete lint pass over src/ and tools/ with the baseline."""
+    baseline = Baseline.load(_ROOT / DEFAULT_BASELINE_NAME)
+    return lint_paths([_ROOT / "src", _ROOT / "tools"], _ROOT, baseline=baseline)
+
+
+def test_lint_runtime_budget(benchmark, artifact_dir):
+    """A full-repository lint must finish well inside the budget."""
+    t0 = time.perf_counter()
+    result = _full_repo_lint()
+    elapsed_s = time.perf_counter() - t0
+
+    # the tree must also be clean — a gate that fails is not measuring
+    # the steady state
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    assert result.files_scanned > 80
+
+    assert elapsed_s < BUDGET_SECONDS, (
+        f"full-repo lint took {elapsed_s:.2f}s "
+        f"(budget {BUDGET_SECONDS:.0f}s) over {result.files_scanned} files"
+    )
+
+    record = {
+        "elapsed_s": round(elapsed_s, 4),
+        "budget_s": BUDGET_SECONDS,
+        "files_scanned": result.files_scanned,
+        "files_per_s": round(result.files_scanned / elapsed_s, 1),
+        "rules": list(result.rules),
+    }
+    (artifact_dir / "lint_runtime.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(
+        f"lint runtime: {elapsed_s:.3f}s for {result.files_scanned} files "
+        f"({record['files_per_s']:.0f} files/s, budget {BUDGET_SECONDS:.0f}s)"
+    )
+
+    benchmark.pedantic(_full_repo_lint, rounds=1)

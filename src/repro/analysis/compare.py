@@ -20,6 +20,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.core.configspace import SpaceEvaluation
 from repro.core.model import Prediction
 from repro.core.pareto import pareto_mask
@@ -63,11 +64,16 @@ class ClusterComparison:
     def combined_frontier(self) -> list[LabeledPrediction]:
         """Pareto frontier over the union of all clusters' spaces."""
         points = self._all_points()
-        times = np.array([p.time_s for p in points])
-        energies = np.array([p.energy_j for p in points])
-        mask = pareto_mask(times, energies)
-        frontier = [p for p, keep in zip(points, mask) if keep]
-        return sorted(frontier, key=lambda p: p.time_s)
+        with obs.span(
+            "combined_frontier",
+            clusters=len(self.evaluations),
+            points=len(points),
+        ):
+            times = np.array([p.time_s for p in points])
+            energies = np.array([p.energy_j for p in points])
+            mask = pareto_mask(times, energies)
+            frontier = [p for p, keep in zip(points, mask) if keep]
+            return sorted(frontier, key=lambda p: p.time_s)
 
     def winner_for_deadline(self, deadline_s: float) -> LabeledPrediction | None:
         """Min-energy point across clusters meeting the deadline."""

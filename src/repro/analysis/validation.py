@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.errors import ErrorSummary, percent_error, summarize_errors
 from repro.core.configspace import ConfigSpace
 from repro.core.model import HybridProgramModel
@@ -137,27 +138,33 @@ def validate_program(
     if model is None:
         model = HybridProgramModel.from_measurements(cluster, program)
     configs = list(space if space is not None else ConfigSpace.validation(cluster.spec))
-    records = []
-    for config in configs:
-        t_meas, e_meas = measure_configuration(
-            cluster, program, config, cls, repetitions=repetitions
-        )
-        pred = model.predict(config, cls)
-        records.append(
-            ValidationRecord(
-                program=program.name,
-                cluster=cluster.spec.name,
-                class_name=cls,
-                config=config,
-                measured_time_s=t_meas,
-                measured_energy_j=e_meas,
-                predicted_time_s=pred.time_s,
-                predicted_energy_j=pred.energy_j,
-                predicted_saturated=pred.time.saturated,
-            )
-        )
-    return ValidationCampaign(
+    with obs.span(
+        "validate_program",
         program=program.name,
         cluster=cluster.spec.name,
-        records=tuple(records),
-    )
+        configs=len(configs),
+    ):
+        records = []
+        for config in configs:
+            t_meas, e_meas = measure_configuration(
+                cluster, program, config, cls, repetitions=repetitions
+            )
+            pred = model.predict(config, cls)
+            records.append(
+                ValidationRecord(
+                    program=program.name,
+                    cluster=cluster.spec.name,
+                    class_name=cls,
+                    config=config,
+                    measured_time_s=t_meas,
+                    measured_energy_j=e_meas,
+                    predicted_time_s=pred.time_s,
+                    predicted_energy_j=pred.energy_j,
+                    predicted_saturated=pred.time.saturated,
+                )
+            )
+        return ValidationCampaign(
+            program=program.name,
+            cluster=cluster.spec.name,
+            records=tuple(records),
+        )

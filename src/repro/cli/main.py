@@ -28,7 +28,7 @@ from repro.machines.registry import get_cluster, list_clusters
 from repro.machines.spec import Configuration
 from repro.measure.netpipe import run_netpipe
 from repro.simulate.cluster import SimulatedCluster
-from repro.units import ghz, joules_to_kj
+from repro.units import ghz, joules_to_kj, to_ghz
 from repro.workloads.registry import get_program, list_programs
 
 
@@ -215,6 +215,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster", choices=list_clusters(), required=True)
     p.add_argument("--program", choices=list_programs(), required=True)
     p.add_argument("--config", type=_parse_config, required=True, metavar="n,c,fGHz")
+
+    # The real parser lives in repro.lint.cli; main() forwards to it
+    # before global options are parsed.  This stub only provides the
+    # --help listing.
+    sub.add_parser(
+        "lint",
+        help="check repository invariants (units, determinism, fork "
+        "safety, atomic IO, observability) — see 'repro lint --help'",
+        add_help=False,
+    )
     return parser
 
 
@@ -463,7 +473,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         f"E={joules_to_kj(static.energy_j):7.2f}kJ"
     )
     print(
-        f"  stall DVFS @ {best.stall_frequency_hz / 1e9:g}GHz: "
+        f"  stall DVFS @ {to_ghz(best.stall_frequency_hz):g}GHz: "
         f"T={best.time_s:8.1f}s E={joules_to_kj(best.energy_j):7.2f}kJ"
     )
     if advice.worthwhile:
@@ -487,7 +497,7 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
     placement = place_workload(spec, program)
     print(
         f"node roofline ({args.cluster}, c={roof.cores}, "
-        f"f={roof.frequency_hz / 1e9:g}GHz):"
+        f"f={to_ghz(roof.frequency_hz):g}GHz):"
     )
     print(f"  compute peak     : {roof.compute_peak:.3g} instr/s")
     print(f"  memory bandwidth : {roof.memory_bandwidth:.3g} B/s")
@@ -707,6 +717,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     from repro.resilience import ResilienceError
     from repro.resilience.checkpoint import CheckpointError
+
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw[:1] == ["lint"]:
+        # The linter has its own option surface (and none of the global
+        # trace/workers/resilience machinery applies to static analysis).
+        from repro.lint.cli import run as lint_run
+
+        return lint_run(raw[1:], prog="repro lint")
 
     args = _build_parser().parse_args(argv)
     try:

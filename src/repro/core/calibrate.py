@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import nnls
 
+from repro import obs
 from repro.core.energy_model import predict_energy
 from repro.core.model import HybridProgramModel, Prediction
 from repro.core.time_model import TimeBreakdown
@@ -161,7 +162,10 @@ def calibrate(
     repetitions: int = 2,
 ) -> CalibratedModel:
     """Fit corrections and wrap the model."""
-    corrections = fit_corrections(
-        model, testbed, probe_configs, class_name, repetitions
-    )
-    return CalibratedModel(base=model, corrections=corrections)
+    with obs.span(
+        "calibrate", program=model.program.name, probes=len(probe_configs)
+    ):
+        corrections = fit_corrections(
+            model, testbed, probe_configs, class_name, repetitions
+        )
+        return CalibratedModel(base=model, corrections=corrections)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.energy_model import EnergyBreakdown
 from repro.core.model import HybridProgramModel, Prediction
 from repro.core.time_model import TimeBreakdown, predict_time
@@ -257,23 +258,26 @@ def advise_stall_dvfs(
     """
     if max_slowdown < 0:
         raise ValueError("max_slowdown must be non-negative")
-    static = model.predict(config, class_name)
-    frequencies = sorted(
-        {key[1] for key in model.inputs.baseline if key[1] <= config.frequency_hz}
-    )
-    best: DvfsPrediction | None = None
-    best_pessimistic = float("inf")
-    for f_s in frequencies:
-        cand = predict_with_stall_dvfs(model, config, f_s, class_name)
-        if cand.time_s > static.time_s * (1.0 + max_slowdown):
-            continue
-        pessimistic = predict_with_stall_dvfs(
-            model, config, f_s, class_name, delta_scale=CONSERVATISM
+    with obs.span(
+        "advise_stall_dvfs", config=str(config), max_slowdown=max_slowdown
+    ):
+        static = model.predict(config, class_name)
+        frequencies = sorted(
+            {key[1] for key in model.inputs.baseline if key[1] <= config.frequency_hz}
         )
-        if f_s < config.frequency_hz and pessimistic.energy_j >= static.energy_j:
-            continue  # marginal saving: not robust to fit uncertainty
-        if best is None or pessimistic.energy_j < best_pessimistic:
-            best = cand
-            best_pessimistic = pessimistic.energy_j
-    assert best is not None  # f_s = f always qualifies
-    return DvfsAdvice(static=static, best=best)
+        best: DvfsPrediction | None = None
+        best_pessimistic = float("inf")
+        for f_s in frequencies:
+            cand = predict_with_stall_dvfs(model, config, f_s, class_name)
+            if cand.time_s > static.time_s * (1.0 + max_slowdown):
+                continue
+            pessimistic = predict_with_stall_dvfs(
+                model, config, f_s, class_name, delta_scale=CONSERVATISM
+            )
+            if f_s < config.frequency_hz and pessimistic.energy_j >= static.energy_j:
+                continue  # marginal saving: not robust to fit uncertainty
+            if best is None or pessimistic.energy_j < best_pessimistic:
+                best = cand
+                best_pessimistic = pessimistic.energy_j
+        assert best is not None  # f_s = f always qualifies
+        return DvfsAdvice(static=static, best=best)

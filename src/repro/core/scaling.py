@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import HybridProgramModel
 from repro.machines.spec import Configuration
 from repro.workloads.base import InputClass
@@ -53,21 +54,22 @@ def strong_scaling(
     counts = sorted(set(int(n) for n in node_counts))
     if not counts:
         raise ValueError("need at least one node count")
-    preds = [
-        model.predict(Configuration(n, cores, frequency_hz), class_name)
-        for n in counts
-    ]
-    t_base = preds[0].time_s * counts[0]  # normalize to 1-node-equivalent
-    return [
-        ScalingPoint(
-            nodes=n,
-            time_s=p.time_s,
-            energy_j=p.energy_j,
-            speedup=t_base / p.time_s,
-            efficiency=t_base / (p.time_s * n),
-        )
-        for n, p in zip(counts, preds)
-    ]
+    with obs.span("strong_scaling", program=model.program.name, points=len(counts)):
+        preds = [
+            model.predict(Configuration(n, cores, frequency_hz), class_name)
+            for n in counts
+        ]
+        t_base = preds[0].time_s * counts[0]  # normalize to 1-node-equivalent
+        return [
+            ScalingPoint(
+                nodes=n,
+                time_s=p.time_s,
+                energy_j=p.energy_j,
+                speedup=t_base / p.time_s,
+                efficiency=t_base / (p.time_s * n),
+            )
+            for n, p in zip(counts, preds)
+        ]
 
 
 def weak_scaling(
@@ -91,29 +93,30 @@ def weak_scaling(
 
     points = []
     t_first = None
-    for n in counts:
-        scaled_name = f"__weak_{n}"
-        scaled = InputClass(
-            name=scaled_name,
-            iterations=base.iterations,
-            size_factor=base.size_factor * n,
-        )
-        grown = replace(
-            model, program=model.program.with_classes(**{scaled_name: scaled})
-        )
-        pred = grown.predict(Configuration(n, cores, frequency_hz), scaled_name)
-        if t_first is None:
-            t_first = pred.time_s
-        points.append(
-            ScalingPoint(
-                nodes=n,
-                time_s=pred.time_s,
-                energy_j=pred.energy_j,
-                speedup=n * t_first / pred.time_s,
-                efficiency=t_first / pred.time_s,
+    with obs.span("weak_scaling", program=model.program.name, points=len(counts)):
+        for n in counts:
+            scaled_name = f"__weak_{n}"
+            scaled = InputClass(
+                name=scaled_name,
+                iterations=base.iterations,
+                size_factor=base.size_factor * n,
             )
-        )
-    return points
+            grown = replace(
+                model, program=model.program.with_classes(**{scaled_name: scaled})
+            )
+            pred = grown.predict(Configuration(n, cores, frequency_hz), scaled_name)
+            if t_first is None:
+                t_first = pred.time_s
+            points.append(
+                ScalingPoint(
+                    nodes=n,
+                    time_s=pred.time_s,
+                    energy_j=pred.energy_j,
+                    speedup=n * t_first / pred.time_s,
+                    efficiency=t_first / pred.time_s,
+                )
+            )
+        return points
 
 
 def fit_amdahl(points: Sequence[ScalingPoint]) -> float:

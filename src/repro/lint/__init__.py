@@ -1,0 +1,51 @@
+"""``repro.lint`` ("reprolint") — AST-based invariant checker.
+
+The model's credibility rests on repository-wide contracts that are
+documented but, before this package, unenforced:
+
+* **Units** — every equation assumes the single unit system of
+  :mod:`repro.units`; a ``1e9`` or ``/ 8`` anywhere else indicates a bug
+  (rule ``RL001``).
+* **Determinism** — every random draw and every timestamp that can reach
+  a result must flow through :mod:`repro.rng` named streams, or cache
+  fingerprints and checkpoint resume silently break (rule ``RL002``).
+* **Fork safety** — worker processes forked by :mod:`repro.core.parallel`
+  must not mutate module-level globals: the mutation is invisible to the
+  parent and to sibling workers (rule ``RL003``).
+* **Atomic IO** — cache entries and checkpoints must be written with the
+  temp-file + :func:`os.replace` idiom so readers never observe a torn
+  file (rule ``RL004``).
+* **Observability** — the public pipeline entry points must be covered
+  by :mod:`repro.obs` span instrumentation (rule ``RL005``).
+
+The framework is plugin-based: checkers register themselves in
+:mod:`repro.lint.registry`, the engine (:mod:`repro.lint.engine`) parses
+every file once into a shared :class:`~repro.lint.project.Project` and
+hands it to each checker, and findings flow through per-line
+``# reprolint: ignore[RULE]`` suppressions and the committed baseline
+file before they reach a reporter.  Run it as ``repro lint`` or
+``python -m repro.lint``; see ``docs/LINTING.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_BASELINE_NAME, LintConfig
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import all_checkers, get_checker, register
+
+# Importing the checkers package registers every built-in rule.
+from repro.lint import checkers as _checkers  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "all_checkers",
+    "get_checker",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,100 @@
+"""The committed findings baseline.
+
+A baseline freezes a set of *known* findings so a newly-adopted rule can
+land as a blocking gate without first fixing the whole tree.  This
+repository ships an **empty** baseline — every true positive the five
+rules found was fixed instead — so the file mostly documents the
+mechanism and keeps the ``--update-baseline`` workflow honest.
+
+Findings are matched by :meth:`repro.lint.findings.Finding.key` (file,
+rule, snippet — deliberately not the line number) with multiplicity: two
+identical violations in one file need two baseline entries, and fixing
+one of them surfaces the other.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+#: Baseline file schema version.
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+class Baseline:
+    """A multiset of accepted findings, loaded from / saved to JSON."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        """Build a baseline accepting exactly ``findings``."""
+        self._counts: Counter[tuple[str, str, str]] = Counter(
+            f.key() for f in findings
+        )
+        self._entries: list[Finding] = list(findings)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def entries(self) -> list[Finding]:
+        """The accepted findings as recorded in the file."""
+        return list(self._entries)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            data = json.loads(p.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BaselineError(f"baseline {p} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("format_version") != FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {p} has unsupported format "
+                f"{data.get('format_version') if isinstance(data, dict) else data!r}"
+            )
+        raw = data.get("findings", [])
+        if not isinstance(raw, list):
+            raise BaselineError(f"baseline {p} findings must be a list")
+        return cls([Finding.from_dict(entry) for entry in raw])
+
+    @classmethod
+    def save(
+        cls, path: str | pathlib.Path, findings: Sequence[Finding]
+    ) -> "Baseline":
+        """Write ``findings`` as the new baseline and return it."""
+        document = {
+            "format_version": FORMAT_VERSION,
+            "findings": [f.to_dict() for f in sorted(findings)],
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        return cls(findings)
+
+    def filter(self, findings: Sequence[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, baselined-count).
+
+        Each baseline entry absorbs at most one matching finding
+        (multiset semantics), so regressions beyond the accepted count
+        still surface.
+        """
+        budget = Counter(self._counts)
+        fresh: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            if budget[finding.key()] > 0:
+                budget[finding.key()] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed

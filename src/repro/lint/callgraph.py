@@ -1,0 +1,351 @@
+"""Best-effort static call graph over a :class:`~repro.lint.project.Project`.
+
+Built once per lint run and shared by the fork-safety (RL003) and
+observability-coverage (RL005) checkers.  Resolution is deliberately
+conservative and purely syntactic:
+
+* ``foo(...)`` resolves to a same-module function, else a from-imported
+  function;
+* ``mod.foo(...)`` resolves through the module's import aliases
+  (``from repro.core import vectorized`` makes ``vectorized._compute``
+  resolve to ``repro.core.vectorized._compute``);
+* ``self.foo(...)`` resolves to a method of the enclosing class;
+* anything else (calls on arbitrary objects, dynamic dispatch) stays
+  unresolved — reachability never guesses.
+
+Each function also records whether it calls the :mod:`repro.obs` facade
+directly, which module-level globals it mutates, and the worker entry
+points it hands to a process pool (``.submit(f, …)``,
+``.apply_async(f, …)`` or ``Process(target=f)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.project import (
+    Module,
+    Project,
+    dotted_parts,
+    import_aliases,
+    resolve_dotted,
+)
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "put",
+    }
+)
+
+#: Executor/pool methods whose first argument runs in a worker process.
+_DISPATCH_METHODS = frozenset({"submit", "apply_async", "map_async"})
+
+
+@dataclass
+class GlobalMutation:
+    """One in-function mutation of a module-level name."""
+
+    name: str  #: the module-level global being mutated
+    line: int  #: 1-indexed line of the mutation
+    how: str  #: human-readable description ("rebinds", "mutates", …)
+
+
+@dataclass
+class FunctionInfo:
+    """Call-graph node for one function or method."""
+
+    qualname: str  #: ``module.func`` or ``module.Class.method``
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: set[str] = field(default_factory=set)
+    has_obs: bool = False
+    mutations: list[GlobalMutation] = field(default_factory=list)
+
+
+class CallGraph:
+    """Functions, their resolved callees, and pool entry points."""
+
+    def __init__(self, project: Project) -> None:
+        """Analyze every module of ``project`` (one AST pass each)."""
+        self.functions: dict[str, FunctionInfo] = {}
+        #: (entry-point qualname, dispatch line, module) triples
+        self.entry_points: list[tuple[str, int, Module]] = []
+        for module in project.modules:
+            self._analyze_module(module)
+
+    # -- construction --------------------------------------------------
+
+    def _analyze_module(self, module: Module) -> None:
+        aliases = import_aliases(module.tree)
+        local_funcs = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_globals = _module_level_names(module.tree)
+
+        def handle(
+            node: ast.FunctionDef | ast.AsyncFunctionDef, class_name: str | None
+        ) -> None:
+            qual = (
+                f"{module.name}.{class_name}.{node.name}"
+                if class_name
+                else f"{module.name}.{node.name}"
+            )
+            info = FunctionInfo(qualname=qual, module=module, node=node)
+            self._analyze_function(
+                info, aliases, local_funcs, module_globals, class_name, module
+            )
+            self.functions[info.qualname] = info
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                handle(node, None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        handle(sub, node.name)
+
+    def _analyze_function(
+        self,
+        info: FunctionInfo,
+        aliases: dict[str, str],
+        local_funcs: set[str],
+        module_globals: set[str],
+        class_name: str | None,
+        module: Module,
+    ) -> None:
+        node = info.node
+        global_decls: set[str] = set()
+        local_bindings = _local_bindings(node)
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Global):
+                global_decls.update(inner.names)
+
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                callee = self._resolve_call(
+                    inner, aliases, local_funcs, class_name, module
+                )
+                if callee is not None:
+                    info.calls.add(callee)
+                    if callee.startswith("repro.obs."):
+                        info.has_obs = True
+                self._record_dispatch(
+                    inner, aliases, local_funcs, module, class_name
+                )
+                self._record_method_mutation(
+                    inner, info, module_globals, global_decls, local_bindings
+                )
+            elif isinstance(inner, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._record_assignment_mutation(
+                    inner, info, module_globals, global_decls, local_bindings
+                )
+
+    def _resolve_call(
+        self,
+        call: ast.Call,
+        aliases: dict[str, str],
+        local_funcs: set[str],
+        class_name: str | None,
+        module: Module,
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in local_funcs:
+                return f"{module.name}.{func.id}"
+            return aliases.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts = dotted_parts(func)
+            if parts is None:
+                return None
+            if parts[0] == "self" and class_name and len(parts) == 2:
+                return f"{module.name}.{class_name}.{parts[1]}"
+            return resolve_dotted(func, aliases)
+        return None
+
+    def _record_dispatch(
+        self,
+        call: ast.Call,
+        aliases: dict[str, str],
+        local_funcs: set[str],
+        module: Module,
+        class_name: str | None,
+    ) -> None:
+        """Remember functions handed to a pool/process as entry points."""
+        target: ast.expr | None = None
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _DISPATCH_METHODS:
+            if call.args:
+                target = call.args[0]
+        else:
+            resolved = (
+                resolve_dotted(func, aliases)
+                if isinstance(func, (ast.Attribute, ast.Name))
+                else None
+            )
+            if resolved in ("multiprocessing.Process", "threading.Thread"):
+                for keyword in call.keywords:
+                    if keyword.arg == "target":
+                        target = keyword.value
+        if target is None:
+            return
+        qual = self._resolve_call(
+            ast.Call(func=target, args=[], keywords=[]),
+            aliases,
+            local_funcs,
+            class_name,
+            module,
+        )
+        if qual is not None:
+            self.entry_points.append((qual, call.lineno, module))
+
+    @staticmethod
+    def _record_method_mutation(
+        call: ast.Call,
+        info: FunctionInfo,
+        module_globals: set[str],
+        global_decls: set[str],
+        local_bindings: set[str],
+    ) -> None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.attr in MUTATING_METHODS
+        ):
+            return
+        name = func.value.id
+        shadowed = name in local_bindings and name not in global_decls
+        if name in module_globals and not shadowed:
+            info.mutations.append(
+                GlobalMutation(
+                    name=name,
+                    line=call.lineno,
+                    how=f"calls mutating method .{func.attr}() on",
+                )
+            )
+
+    @staticmethod
+    def _record_assignment_mutation(
+        stmt: ast.Assign | ast.AugAssign | ast.AnnAssign,
+        info: FunctionInfo,
+        module_globals: set[str],
+        global_decls: set[str],
+        local_bindings: set[str],
+    ) -> None:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        else:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in global_decls and target.id in module_globals:
+                    info.mutations.append(
+                        GlobalMutation(
+                            name=target.id, line=stmt.lineno, how="rebinds"
+                        )
+                    )
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                shadowed = name in local_bindings and name not in global_decls
+                if name in module_globals and not shadowed:
+                    info.mutations.append(
+                        GlobalMutation(
+                            name=name, line=stmt.lineno, how="assigns into"
+                        )
+                    )
+
+    # -- queries -------------------------------------------------------
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """Transitive closure of resolvable callees starting at ``roots``."""
+        seen: set[str] = set()
+        frontier = [root for root in roots if root in self.functions]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for callee in self.functions[current].calls:
+                if callee in self.functions and callee not in seen:
+                    frontier.append(callee)
+        return seen
+
+    def instrumented(self, qualname: str) -> bool:
+        """True when the function calls :mod:`repro.obs` directly, or
+        directly calls a resolvable function that does (one delegation
+        level — the span still opens on every invocation)."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return False
+        if info.has_obs:
+            return True
+        return any(
+            callee in self.functions and self.functions[callee].has_obs
+            for callee in info.calls
+        )
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Names bound by assignment at module top level."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _local_bindings(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Parameter and assignment bindings local to ``func``."""
+    names: set[str] = set()
+    args = func.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    names.add(item.optional_vars.id)
+        elif isinstance(node, ast.comprehension):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names

@@ -1,0 +1,26 @@
+"""Built-in reprolint rules; importing this package registers them all.
+
+========  =====================================================
+RL001     unit-conversion literals outside :mod:`repro.units`
+RL002     entropy/wall-clock sources outside :mod:`repro.rng`
+RL003     module-global mutation reachable from fork workers
+RL004     non-atomic writes of cache/checkpoint files
+RL005     pipeline entry points without :mod:`repro.obs` spans
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.lint.checkers.units import UnitsChecker
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.forksafety import ForkSafetyChecker
+from repro.lint.checkers.atomicio import AtomicIoChecker
+from repro.lint.checkers.obscoverage import ObsCoverageChecker
+
+__all__ = [
+    "UnitsChecker",
+    "DeterminismChecker",
+    "ForkSafetyChecker",
+    "AtomicIoChecker",
+    "ObsCoverageChecker",
+]

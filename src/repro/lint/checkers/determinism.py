@@ -1,0 +1,94 @@
+"""RL002 — entropy and wall-clock sources outside :mod:`repro.rng`.
+
+Bit-for-bit reproducibility of a validation campaign requires every
+random draw to flow through :func:`repro.rng.derive` named streams, and
+every persisted result to be independent of when it was computed.  A
+stray ``random.random()``, ``np.random.default_rng()`` or ``time.time()``
+silently breaks the PR 3/4 guarantees: checkpoint resume is no longer
+bit-identical, and cache fingerprints stop being content-addressed.
+
+Flagged *calls* (annotations such as ``np.random.Generator`` are fine),
+outside ``repro/rng.py`` and the configured allowlist:
+
+* anything in the stdlib ``random`` module;
+* anything in ``numpy.random`` (legacy global state *and*
+  ``default_rng`` — generators must come from named streams);
+* ``time.time``/``time.time_ns`` and ``datetime`` "now" constructors
+  (``time.perf_counter`` is fine: it times, it never keys results);
+* ``os.urandom``, ``uuid.uuid1``/``uuid4`` and the ``secrets`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Module, Project, import_aliases, resolve_dotted
+from repro.lint.registry import register
+
+#: Fully-qualified call prefixes that are banned wholesale.
+_BANNED_PREFIXES = (
+    "random.",
+    "numpy.random.",
+    "secrets.",
+)
+
+#: Fully-qualified call names banned exactly.
+_BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+@register
+class DeterminismChecker:
+    """Flag entropy/wall-clock calls that bypass repro.rng streams."""
+
+    rule = "RL002"
+    title = "random draws and timestamps must flow through repro.rng"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Scan every non-allowlisted module for banned source calls."""
+        for module in project.modules:
+            if config.path_matches(module.rel, config.determinism_allowed):
+                continue
+            aliases = import_aliases(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(module, node, aliases)
+
+    def _check_call(
+        self, module: Module, node: ast.Call, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = aliases.get(func.id)
+        elif isinstance(func, ast.Attribute):
+            resolved = resolve_dotted(func, aliases)
+        else:
+            return
+        if resolved is None:
+            return
+        if resolved in _BANNED_CALLS or resolved.startswith(_BANNED_PREFIXES):
+            yield Finding(
+                path=module.rel,
+                line=node.lineno,
+                rule=self.rule,
+                message=(
+                    f"call to {resolved}() breaks determinism; derive a "
+                    "named stream via repro.rng.derive(...) instead "
+                    "(or pass timestamps in explicitly)"
+                ),
+                snippet=module.line(node.lineno),
+            )

@@ -1,0 +1,58 @@
+"""RL003 — module-global mutation reachable from fork workers.
+
+:mod:`repro.core.parallel` forks a persistent worker pool and promises
+bit-identical results regardless of worker scheduling.  A function that
+runs inside a worker and mutates a module-level global (rebinding via
+``global``, ``NAME[...] = …``, or an in-place method like ``.put()``)
+writes to the worker's copy-on-write page: the parent and sibling
+workers never see it, warm-pool reuse makes it leak *across* sweeps, and
+the single-process path silently diverges from the sharded one.
+
+The checker finds worker entry points syntactically — any function
+handed to ``.submit(f, …)``, ``.apply_async(f, …)`` or
+``Process(target=f)`` — walks the static call graph from them, and flags
+every module-global mutation inside the reachable set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import register
+
+
+@register
+class ForkSafetyChecker:
+    """Flag global mutation on the worker side of the process pool."""
+
+    rule = "RL003"
+    title = "fork workers must not mutate module-level globals"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Walk the call graph from every pool entry point."""
+        graph = CallGraph(project)
+        roots = sorted({qual for qual, _, _ in graph.entry_points})
+        if not roots:
+            return
+        reachable = graph.reachable_from(roots)
+        root_list = ", ".join(r.rsplit(".", 1)[-1] for r in roots)
+        for qualname in sorted(reachable):
+            info = graph.functions[qualname]
+            for mutation in info.mutations:
+                yield Finding(
+                    path=info.module.rel,
+                    line=mutation.line,
+                    rule=self.rule,
+                    message=(
+                        f"{qualname.rsplit('.', 1)[-1]}() {mutation.how} "
+                        f"module-level global '{mutation.name}' while "
+                        f"reachable from worker entry point(s) {root_list}; "
+                        "workers must stay side-effect free (pass state in, "
+                        "return results out)"
+                    ),
+                    snippet=info.module.line(mutation.line),
+                )

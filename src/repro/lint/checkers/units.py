@@ -1,0 +1,151 @@
+"""RL001 — unit-conversion literals outside :mod:`repro.units`.
+
+The whole library computes in one base unit system (seconds, hertz,
+watts, joules, bytes, bytes/second) precisely so the model equations
+(paper Eqs. 1–12) carry no conversion factors.  ``repro/units.py`` owns
+every conversion; its docstring promises that a ``1e9`` or ``/ 8``
+anywhere else indicates a bug.  This rule makes that promise mechanical.
+
+Flagged, outside the allowlisted unit module:
+
+* multiplying/dividing by ``1e6`` or ``1e9`` (GHz/MHz and Mbps/Gbps
+  conversion factors), or comparing against them;
+* multiplying/dividing by ``8`` (bit/byte conversions);
+* ``1024**n`` and ``2**10/20/30/40`` (binary size factors).
+
+Bare magnitudes are deliberately *not* flagged: a workload defining
+``instructions_per_iteration=1.0e9`` states a quantity, not a
+conversion, so only arithmetic/comparison positions count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Module, Project, import_aliases, resolve_dotted
+from repro.lint.registry import register
+
+#: Decimal conversion factors owned by repro.units (GHZ/MHZ, MB/GB, Mbps/Gbps).
+_CONVERSION_VALUES = (1e6, 1e9)
+
+#: The bits-per-byte factor owned by mbps()/gbps()/to_mbps().
+_BITS_PER_BYTE = 8
+
+#: Exponents that make ``2**n`` a binary size factor (KiB/MiB/GiB/TiB).
+_BINARY_EXPONENTS = (10, 20, 30, 40)
+
+
+def _is_number(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+def _value(node: ast.expr) -> float:
+    assert isinstance(node, ast.Constant)
+    return float(node.value)
+
+
+def _is_units_name(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """True when ``node`` is a name imported from :mod:`repro.units`.
+
+    ``8 * GIB`` (a *count* of GiB units) is idiomatic, not a bit/byte
+    conversion — the conversion already went through the units module.
+    """
+    if not isinstance(node, (ast.Name, ast.Attribute)):
+        return False
+    resolved = resolve_dotted(node, aliases)
+    return resolved is not None and resolved.startswith("repro.units.")
+
+
+@register
+class UnitsChecker:
+    """Flag magic unit-conversion literals outside the units module."""
+
+    rule = "RL001"
+    title = "unit conversions must go through repro.units"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Scan every non-allowlisted module for conversion literals."""
+        for module in project.modules:
+            if config.path_matches(module.rel, config.units_allowed):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(module, node, aliases)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node)
+
+    def _check_binop(
+        self, module: Module, node: ast.BinOp, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        if isinstance(node.op, ast.Pow):
+            if (
+                _is_number(node.left)
+                and _value(node.left) == 1024
+                or (
+                    _is_number(node.left)
+                    and _value(node.left) == 2
+                    and _is_number(node.right)
+                    and _value(node.right) in _BINARY_EXPONENTS
+                )
+            ):
+                yield self._finding(
+                    module,
+                    node.lineno,
+                    "binary size factor "
+                    f"{ast.unparse(node)!r}; use repro.units.KIB/MIB/GIB",
+                )
+            return
+        if not isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            return
+        for operand, other in (
+            (node.left, node.right),
+            (node.right, node.left),
+        ):
+            if not _is_number(operand):
+                continue
+            value = _value(operand)
+            if value in _CONVERSION_VALUES:
+                yield self._finding(
+                    module,
+                    node.lineno,
+                    f"arithmetic with conversion factor {operand.value!r}; "  # type: ignore[attr-defined]
+                    "use repro.units helpers (ghz/to_ghz, mbps/gbps, MB/GB)",
+                )
+            elif value == _BITS_PER_BYTE and not _is_units_name(other, aliases):
+                yield self._finding(
+                    module,
+                    node.lineno,
+                    "bit/byte conversion '* 8' or '/ 8'; use "
+                    "repro.units.mbps/gbps/to_mbps",
+                )
+
+    def _check_compare(self, module: Module, node: ast.Compare) -> Iterator[Finding]:
+        for comparator in (node.left, *node.comparators):
+            if _is_number(comparator) and _value(comparator) in _CONVERSION_VALUES:
+                yield self._finding(
+                    module,
+                    node.lineno,
+                    f"comparison against conversion factor "
+                    f"{comparator.value!r}; "  # type: ignore[attr-defined]
+                    "convert through repro.units first",
+                )
+
+    def _finding(self, module: Module, line: int, message: str) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=line,
+            rule=self.rule,
+            message=message,
+            snippet=module.line(line),
+        )

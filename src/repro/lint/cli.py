@@ -1,0 +1,171 @@
+"""Command-line front end: ``repro lint`` and ``python -m repro.lint``.
+
+Exit codes: ``0`` clean, ``1`` findings (or unparsable files), ``2``
+usage or baseline errors — so CI can distinguish "violations" from
+"the linter itself is broken".
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.config import DEFAULT_BASELINE_NAME, LintConfig
+from repro.lint.engine import apply_suppressions, collect_findings, lint_paths
+from repro.lint.project import load_project
+from repro.lint.registry import registered_rules
+from repro.lint.report import render_json, render_text
+
+#: Directories linted when no explicit paths are given.
+DEFAULT_TARGETS = ("src", "tools")
+
+
+def find_repo_root(start: pathlib.Path | None = None) -> pathlib.Path:
+    """Nearest ancestor containing ``pyproject.toml`` or ``.git``."""
+    cursor = (start or pathlib.Path.cwd()).resolve()
+    for candidate in (cursor, *cursor.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return cursor
+
+
+def build_parser(prog: str = "reprolint") -> argparse.ArgumentParser:
+    """The argument parser, reusable by the ``repro`` CLI subcommand."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based invariant checker for this repository: units "
+            "(RL001), determinism (RL002), fork safety (RL003), atomic "
+            "IO (RL004) and observability coverage (RL005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: src/ and tools/ "
+            "under the repository root)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=None,
+        help="repository root (default: auto-detected from the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-snippets",
+        action="store_true",
+        help="omit source snippets from the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _selected_rules(raw: list[str] | None) -> tuple[str, ...] | None:
+    if not raw:
+        return None
+    rules: list[str] = []
+    for chunk in raw:
+        rules.extend(
+            token.strip().upper() for token in chunk.split(",") if token.strip()
+        )
+    return tuple(rules) or None
+
+
+def run(argv: Sequence[str] | None = None, prog: str = "reprolint") -> int:
+    """Parse ``argv``, lint, print a report, return the exit code."""
+    parser = build_parser(prog=prog)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for rule, title in registered_rules():
+            print(f"{rule}  {title}")
+        return 0
+
+    root = (args.root or find_repo_root()).resolve()
+    paths = [pathlib.Path(p) for p in args.paths] or [
+        root / target for target in DEFAULT_TARGETS if (root / target).exists()
+    ]
+    if not paths:
+        print(f"{prog}: nothing to lint under {root}", file=sys.stderr)
+        return 2
+
+    try:
+        config = LintConfig(rules=_selected_rules(args.rules))
+    except ValueError as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+
+    if args.update_baseline:
+        project = load_project(list(paths), root)
+        try:
+            kept, _ = apply_suppressions(project, collect_findings(project, config))
+        except ValueError as exc:
+            print(f"{prog}: {exc}", file=sys.stderr)
+            return 2
+        Baseline.save(baseline_path, kept)
+        print(f"{prog}: wrote {len(kept)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"{prog}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(paths, root, config=config, baseline=baseline)
+    except ValueError as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, show_snippets=not args.no_snippets))
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    return run(argv)

@@ -1,0 +1,82 @@
+"""Repository file discovery shared by reprolint and the repo tools.
+
+Before this module existed, ``tools/check_docstrings.py`` and the linter
+each re-implemented "walk ``src/`` for Python files" with slightly
+different exclusion rules, so a file could be docstring-checked but not
+linted (or vice versa).  Both now call :func:`iter_python_files`; any
+future exclusion change applies to every tool at once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Iterator
+
+#: Directory names never descended into while walking for sources.
+EXCLUDED_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".mypy_cache",
+        "node_modules",
+    }
+)
+
+
+def is_excluded(path: pathlib.Path) -> bool:
+    """True when any path component is an excluded or hidden directory."""
+    return any(
+        part in EXCLUDED_DIRS or (part.startswith(".") and part not in (".", ".."))
+        for part in path.parts
+    )
+
+
+def iter_python_files(
+    targets: Iterable[str | pathlib.Path],
+) -> Iterator[pathlib.Path]:
+    """Yield every Python source file under ``targets``, sorted per target.
+
+    Each target may be a file (yielded as-is when it is a ``.py`` file)
+    or a directory (recursively walked).  Cache, VCS and hidden
+    directories are skipped — the one exclusion policy shared by
+    reprolint and ``tools/check_docstrings.py``.
+    """
+    for target in targets:
+        root = pathlib.Path(target)
+        if root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                if not is_excluded(path.relative_to(root)):
+                    yield path
+        elif root.suffix == ".py":
+            yield root
+
+
+def module_name_for(path: pathlib.Path, root: pathlib.Path) -> str:
+    """Dotted module name of ``path`` relative to the repository ``root``.
+
+    The ``src/`` layout prefix is stripped, so
+    ``src/repro/core/cache.py`` maps to ``repro.core.cache`` and
+    ``tools/check_docs.py`` maps to ``tools.check_docs``.  Package
+    ``__init__.py`` files map to the package name itself.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = pathlib.Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else rel.stem
+
+
+def relative_posix(path: pathlib.Path, root: pathlib.Path) -> str:
+    """Repository-relative POSIX form of ``path`` (used in findings)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

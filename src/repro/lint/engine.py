@@ -1,0 +1,105 @@
+"""The lint engine: parse once, run every checker, filter, summarize.
+
+:func:`lint_paths` is the single entry point used by the CLI, the test
+suite and the benchmark.  It loads a :class:`~repro.lint.project.Project`
+(one parse per file), runs the registered checkers over it, then applies
+the two escape hatches in order: per-line ``# reprolint: ignore[...]``
+suppressions, then the committed baseline.  Files that fail to parse are
+not skipped silently — they surface as rule ``RL000`` findings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project, load_project
+from repro.lint.registry import all_checkers
+from repro.lint.suppress import is_suppressed
+
+#: Pseudo-rule id for files the engine could not parse.
+PARSE_RULE = "RL000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]  #: violations after suppression + baseline
+    files_scanned: int  #: files parsed (including unparsable ones)
+    suppressed: int = 0  #: findings dropped by per-line markers
+    baselined: int = 0  #: findings absorbed by the baseline
+    rules: tuple[str, ...] = field(default_factory=tuple)  #: rule ids run
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding survived the filters."""
+        return not self.findings
+
+
+def lint_paths(
+    paths: Iterable[str | pathlib.Path],
+    root: str | pathlib.Path,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and return the result.
+
+    ``root`` anchors repository-relative finding paths and dotted module
+    names.  ``baseline=None`` disables baseline filtering (per-line
+    suppressions always apply).
+    """
+    cfg = config if config is not None else LintConfig()
+    project = load_project(list(paths), pathlib.Path(root))
+    raw = collect_findings(project, cfg)
+    kept, suppressed = apply_suppressions(project, raw)
+    baselined = 0
+    if baseline is not None:
+        kept, baselined = baseline.filter(kept)
+    checkers = all_checkers(cfg.rules)
+    return LintResult(
+        findings=kept,
+        files_scanned=len(project.modules) + len(project.broken),
+        suppressed=suppressed,
+        baselined=baselined,
+        rules=tuple(checker.rule for checker in checkers),
+    )
+
+
+def collect_findings(project: Project, config: LintConfig) -> list[Finding]:
+    """Run every selected checker over ``project``; sorted, unfiltered."""
+    findings: list[Finding] = []
+    for checker in all_checkers(config.rules):
+        findings.extend(checker.check(project, config))
+    for rel, error, line in project.broken:
+        findings.append(
+            Finding(
+                path=rel,
+                line=line,
+                rule=PARSE_RULE,
+                message=f"file could not be parsed: {error}",
+            )
+        )
+    return sorted(findings)
+
+
+def apply_suppressions(
+    project: Project, findings: Sequence[Finding]
+) -> tuple[list[Finding], int]:
+    """Drop findings covered by ``# reprolint: ignore`` markers.
+
+    Returns the surviving findings and the number suppressed.
+    """
+    tables = {module.rel: module.suppressions for module in project.modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if is_suppressed(finding, tables.get(finding.path, {})):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

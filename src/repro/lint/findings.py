@@ -1,0 +1,55 @@
+"""The :class:`Finding` record every checker emits.
+
+A finding pins one contract violation to a file and line.  Its
+:meth:`Finding.key` deliberately excludes the line number: the baseline
+matches findings by *content* (file, rule, snippet), so unrelated edits
+that shift line numbers do not resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+#: Finding severities, in increasing order of concern.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repository-relative POSIX path of the offending file
+    line: int  #: 1-indexed line of the violation
+    rule: str  #: rule identifier, e.g. ``"RL001"``
+    message: str  #: human-readable description of the violation
+    severity: str = "error"  #: ``"error"`` or ``"warning"``
+    snippet: str = ""  #: stripped source line, for reports and baselining
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.path, self.rule, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            snippet=str(data.get("snippet", "")),
+        )
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line: RULE message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

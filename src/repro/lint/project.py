@@ -1,0 +1,145 @@
+"""Parsed-source model shared by every checker.
+
+The engine parses each file exactly once into a :class:`Module` (source,
+AST, suppression table) and bundles them as a :class:`Project`, so five
+checkers cost one parse per file.  The import-alias helpers here give
+checkers a common way to resolve ``np.random.default_rng`` or
+``vectorized._compute`` back to fully-qualified dotted names without
+executing any project code.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.lint import discovery
+from repro.lint.suppress import suppressions_for
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: pathlib.Path  #: absolute path on disk
+    rel: str  #: repository-relative POSIX path (finding coordinates)
+    name: str  #: dotted module name, e.g. ``repro.core.cache``
+    source: str  #: raw file contents
+    tree: ast.Module  #: parsed AST
+    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    def line(self, lineno: int) -> str:
+        """The stripped source line at 1-indexed ``lineno``."""
+        lines = self.source.splitlines()
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+
+@dataclass
+class Project:
+    """Every module of one lint run, indexed by dotted name."""
+
+    root: pathlib.Path
+    modules: list[Module]
+    #: files that failed to parse: (rel path, error message, line)
+    broken: list[tuple[str, str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_name: dict[str, Module] = {m.name: m for m in self.modules}
+
+    def module(self, name: str) -> Module | None:
+        """The module registered under dotted ``name``, or ``None``."""
+        return self.by_name.get(name)
+
+
+def load_project(
+    targets: list[str | pathlib.Path], root: pathlib.Path
+) -> Project:
+    """Parse every Python file under ``targets`` into a :class:`Project`.
+
+    Unparsable files do not abort the run; they are recorded in
+    :attr:`Project.broken` and surfaced by the engine as findings (a
+    syntax error is never a reason to skip enforcement silently).
+    """
+    modules: list[Module] = []
+    broken: list[tuple[str, str, int]] = []
+    for path in discovery.iter_python_files(targets):
+        rel = discovery.relative_posix(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            broken.append((rel, f"{type(exc).__name__}: {exc}", int(line)))
+            continue
+        modules.append(
+            Module(
+                path=path,
+                rel=rel,
+                name=discovery.module_name_for(path, root),
+                source=source,
+                tree=tree,
+                suppressions=suppressions_for(source),
+            )
+        )
+    return Project(root=root, modules=modules, broken=broken)
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name → fully-dotted target for a module's imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from repro import
+    obs`` maps ``obs`` to ``repro.obs``; ``from repro.rng import derive``
+    maps ``derive`` to ``repro.rng.derive``.  Relative imports are left
+    out — the repository uses absolute imports throughout.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """``["np", "random", "default_rng"]`` for nested attribute access.
+
+    Returns ``None`` when the expression is not a plain name/attribute
+    chain (calls, subscripts, …).
+    """
+    parts: list[str] = []
+    cursor: ast.expr = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    return parts
+
+
+def resolve_dotted(
+    node: ast.expr, aliases: dict[str, str]
+) -> str | None:
+    """Fully-qualified dotted name of an attribute chain, or ``None``.
+
+    The chain's leftmost name is resolved through the module's import
+    aliases, so ``np.random.seed`` resolves to ``numpy.random.seed`` and
+    ``rng_mod.derive`` to ``repro.rng.derive``.
+    """
+    parts = dotted_parts(node)
+    if parts is None:
+        return None
+    head, rest = parts[0], parts[1:]
+    resolved_head = aliases.get(head, head)
+    return ".".join([resolved_head, *rest])

@@ -1,0 +1,81 @@
+"""Checker registry — the plugin point of the lint framework.
+
+A checker is a class with a ``rule`` id, a one-line ``title``, and a
+``check(project, config)`` method yielding
+:class:`~repro.lint.findings.Finding` objects.  Decorating it with
+:func:`register` makes the engine run it; the built-in rules live in
+:mod:`repro.lint.checkers` and register themselves on import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Protocol, TypeVar
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+
+class Checker(Protocol):
+    """Structural interface every registered checker satisfies."""
+
+    rule: str
+    title: str
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``project``."""
+        ...  # pragma: no cover - protocol definition
+
+
+_REGISTRY: dict[str, type[Any]] = {}
+
+C = TypeVar("C", bound=type[Any])
+
+
+def register(cls: C) -> C:
+    """Class decorator adding a checker to the global registry.
+
+    The class must define a unique ``rule`` id; re-registering an id
+    raises so two plugins cannot silently shadow each other.
+    """
+    rule = getattr(cls, "rule", None)
+    if not isinstance(rule, str) or not rule:
+        raise ValueError(f"checker {cls.__name__} must define a rule id")
+    if rule in _REGISTRY and _REGISTRY[rule] is not cls:
+        raise ValueError(f"rule {rule} is already registered")
+    _REGISTRY[rule] = cls
+    return cls
+
+
+def all_checkers(rules: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate the registered checkers, optionally a subset of rules."""
+    wanted = None if rules is None else {r.upper() for r in rules}
+    selected: list[Checker] = []
+    for rule in sorted(_REGISTRY):
+        if wanted is None or rule.upper() in wanted:
+            selected.append(_REGISTRY[rule]())
+    if wanted is not None:
+        unknown = wanted - {r.upper() for r in _REGISTRY}
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return selected
+
+
+def get_checker(rule: str) -> Checker:
+    """Instantiate the checker registered for ``rule``."""
+    try:
+        return _REGISTRY[rule]()
+    except KeyError:
+        raise ValueError(f"unknown rule {rule!r}") from None
+
+
+def registered_rules() -> list[tuple[str, str]]:
+    """(rule id, title) for every registered checker, sorted by id."""
+    return [(rule, _REGISTRY[rule].title) for rule in sorted(_REGISTRY)]
+
+
+def checker_factory(rule: str) -> Callable[[], Checker]:
+    """The class registered for ``rule`` (for tests and tooling)."""
+    if rule not in _REGISTRY:
+        raise ValueError(f"unknown rule {rule!r}")
+    return _REGISTRY[rule]

@@ -1,0 +1,75 @@
+"""Text and JSON reporters for a :class:`~repro.lint.engine.LintResult`.
+
+The text form is for humans and CI logs; the JSON form is a stable
+machine interface (``repro lint --json``) whose findings round-trip
+through :func:`parse_json` — the docs/CI self-check depends on that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+#: Schema version of the ``--json`` report document.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, show_snippets: bool = True) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if show_snippets and finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    if result.ok:
+        return (
+            f"reprolint: clean — {result.files_scanned} files scanned, "
+            f"0 findings{suffix}"
+        )
+    return (
+        f"reprolint: {count} {noun} in {result.files_scanned} files "
+        f"scanned{suffix}"
+    )
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, see :data:`REPORT_VERSION`)."""
+    document: dict[str, Any] = {
+        "report_version": REPORT_VERSION,
+        "summary": {
+            "ok": result.ok,
+            "files_scanned": result.files_scanned,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "rules": list(result.rules),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Findings from a :func:`render_json` document (round-trip helper)."""
+    document = json.loads(text)
+    if document.get("report_version") != REPORT_VERSION:
+        raise ValueError(
+            f"unsupported report version {document.get('report_version')!r}"
+        )
+    return [Finding.from_dict(entry) for entry in document["findings"]]

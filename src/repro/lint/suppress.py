@@ -1,0 +1,54 @@
+"""Per-line ``# reprolint: ignore[RULE]`` suppression comments.
+
+A finding is suppressed when the line it points at carries a marker::
+
+    frames = size * 8  # reprolint: ignore[RL001] — protocol framing bits
+
+``ignore[RL001,RL004]`` suppresses the listed rules only; a bare
+``ignore`` (no bracket) suppresses every rule on that line.  Markers are
+parsed from the raw source (comments never reach the AST), so they work
+on any line a checker can point at.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lint.findings import Finding
+
+_MARKER = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def suppressions_for(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-indexed line numbers to the rules suppressed on that line.
+
+    A value of ``None`` means *all* rules are suppressed (bare
+    ``ignore``); otherwise the frozenset lists the rule ids.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        match = _MARKER.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                token.strip().upper() for token in rules.split(",") if token.strip()
+            )
+    return table
+
+
+def is_suppressed(
+    finding: Finding, table: dict[int, frozenset[str] | None]
+) -> bool:
+    """True when ``finding`` is covered by a suppression in ``table``."""
+    rules = table.get(finding.line, frozenset())
+    if finding.line not in table:
+        return False
+    return rules is None or finding.rule.upper() in rules

@@ -27,7 +27,7 @@ from repro.machines.spec import (
     NodeSpec,
     SwitchSpec,
 )
-from repro.units import GIB, gbps, ghz
+from repro.units import GIB, KIB, gbps, ghz
 
 #: DVFS operating points (P-states, coarse).
 EPYC_FREQUENCIES_GHZ = (1.5, 2.0, 2.5, 3.0, 3.5)
@@ -56,8 +56,8 @@ def epyc_cluster(max_nodes: int = 16) -> ClusterSpec:
         capacity_bytes=128 * GIB,
         bandwidth_bytes_per_s=80.0e9,
         latency_s=85e-9,
-        l2_kb=8 * 1024,
-        l3_kb=64 * 1024,
+        l2_kb=8 * KIB,
+        l3_kb=64 * KIB,
         channels=8,
     )
     nic = NetworkSpec(

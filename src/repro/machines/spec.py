@@ -16,7 +16,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Sequence
 
-from repro.units import to_ghz
+from repro.units import GIB, to_gbps, to_ghz, to_mbps
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.machines.power import NodePowerModel
@@ -411,10 +411,10 @@ class ClusterSpec:
             "L1 data cache": f"{self.node.core.l1_kb}kB / core",
             "L2 cache": f"{mem.l2_kb // 1024}MB / node" if mem.l2_kb >= 1024 else f"{mem.l2_kb}kB / node",
             "L3 cache": f"{mem.l3_kb // 1024}MB / node" if mem.l3_kb else "NA",
-            "Memory": f"{mem.capacity_bytes / 2**30:g}GB",
+            "Memory": f"{mem.capacity_bytes / GIB:g}GB",
             "I/O bandwidth": (
-                f"{self.node.nic.link_bytes_per_s * 8 / 1e9:g}Gbps"
-                if self.node.nic.link_bytes_per_s * 8 >= 1e9
-                else f"{self.node.nic.link_bytes_per_s * 8 / 1e6:g}Mbps"
+                f"{to_gbps(self.node.nic.link_bytes_per_s):g}Gbps"
+                if to_gbps(self.node.nic.link_bytes_per_s) >= 1.0
+                else f"{to_mbps(self.node.nic.link_bytes_per_s):g}Mbps"
             ),
         }

@@ -24,7 +24,7 @@ from repro import resilience
 from repro import rng as rng_mod
 from repro.machines.spec import ClusterSpec
 from repro.simulate.engine import FifoServer, Simulator
-from repro.units import to_mbps
+from repro.units import mbps, to_mbps
 
 #: Default NetPIPE sweep: 1 B to 16 MiB, powers of two.
 DEFAULT_SIZES = tuple(2**k for k in range(0, 25))
@@ -45,7 +45,7 @@ class NetpipeResult:
 
     def achievable_bandwidth_bytes_per_s(self) -> float:
         """Peak throughput converted to bytes/s for the model."""
-        return self.peak_throughput_mbps * 1e6 / 8.0
+        return mbps(self.peak_throughput_mbps)
 
     def latency_floor_s(self) -> float:
         """Small-message one-way latency floor."""

@@ -42,7 +42,16 @@ or ``rho_max=None`` to get ``inf`` at ρ ≥ 1 (the theory convention).
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
+from numpy.typing import NDArray
+
+#: Scalar-or-array input/output type: every helper below is elementwise.
+FloatLike = float | NDArray[np.float64]
+
+#: Elementwise boolean result of :func:`mg1_saturated`.
+BoolLike = bool | NDArray[np.bool_]
 
 #: Utilization clamp used by the predictor: an offered load above this
 #: stretches T through the fixed point rather than producing a negative
@@ -50,32 +59,34 @@ import numpy as np
 RHO_MAX = 0.985
 
 
-def exponential_second_moment(mean_service):
+def exponential_second_moment(mean_service: FloatLike) -> FloatLike:
     """``E[y²] = 2·ŷ²`` for exponentially distributed service times.
 
     This is the convention the paper's Eq. 5 corresponds to (see the
     module docstring); the model call sites use it so the P-K form below
     reproduces the paper's ``λ·ŷ²/(1−ρ)`` exactly.
     """
-    return 2.0 * mean_service**2
+    return cast("FloatLike", 2.0 * mean_service**2)
 
 
-def mg1_utilization(arrival_rate, mean_service):
+def mg1_utilization(arrival_rate: FloatLike, mean_service: FloatLike) -> FloatLike:
     """Offered load ``ρ = λ·E[y]`` (unclamped; works elementwise)."""
-    return arrival_rate * mean_service
+    return cast("FloatLike", arrival_rate * mean_service)
 
 
-def mg1_saturated(arrival_rate, mean_service, rho_max: float = RHO_MAX):
+def mg1_saturated(
+    arrival_rate: FloatLike, mean_service: FloatLike, rho_max: float = RHO_MAX
+) -> BoolLike:
     """True where the offered load reaches the clamp (``ρ ≥ rho_max``)."""
-    return mg1_utilization(arrival_rate, mean_service) >= rho_max
+    return cast("BoolLike", mg1_utilization(arrival_rate, mean_service) >= rho_max)
 
 
 def mg1_mean_wait(
-    arrival_rate,
-    mean_service,
-    second_moment,
+    arrival_rate: FloatLike,
+    mean_service: FloatLike,
+    second_moment: FloatLike,
     rho_max: float | None = None,
-):
+) -> FloatLike:
     """Pollaczek-Khinchine M/G/1 mean waiting time (paper Eq. 5).
 
     ``T_w = λ·E[y²] / (2·(1−ρ))`` with ``ρ = λ·E[y]``.  Accepts floats or
@@ -113,4 +124,4 @@ def mg1_mean_wait(
         wait = np.where(saturated, np.inf, lam * m2 / (2.0 * (1.0 - safe_rho)))
     if wait.ndim == 0:
         return float(wait)
-    return wait
+    return cast("NDArray[np.float64]", wait)

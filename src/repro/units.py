@@ -57,6 +57,11 @@ def to_mbps(bytes_per_s: float) -> float:
     return bytes_per_s * 8.0 / 1e6
 
 
+def to_gbps(bytes_per_s: float) -> float:
+    """Convert a bandwidth in bytes/s to gigabits/s."""
+    return bytes_per_s * 8.0 / 1e9
+
+
 def joules_to_kj(j: float) -> float:
     """Convert energy in joules to kilojoules (the paper's reporting unit)."""
     return j / 1e3

@@ -25,6 +25,7 @@ from repro.core.optimizer import (
 from repro.core.pareto import ParetoPoint, pareto_frontier
 from repro.core.ucr import UCRDecomposition, ucr_decomposition
 from repro.simulate.cluster import SimulatedCluster
+from repro.units import joules_to_kj, to_ghz
 from repro.workloads.base import HybridProgram
 
 
@@ -58,14 +59,14 @@ class Recommendation:
         c = self.choice
         lines = [
             f"run at {c.config} ({self.objective}):",
-            f"  T = {c.time_s:.1f} s, E = {c.energy_j / 1e3:.2f} kJ, "
+            f"  T = {c.time_s:.1f} s, E = {joules_to_kj(c.energy_j):.2f} kJ, "
             f"UCR = {c.ucr:.2f}",
             f"  binding resource: {self.binding_resource}",
         ]
         if self.dvfs.worthwhile:
             lines.append(
                 f"  stall-phase DVFS at "
-                f"{self.dvfs.best.stall_frequency_hz / 1e9:g} GHz saves a "
+                f"{to_ghz(self.dvfs.best.stall_frequency_hz):g} GHz saves a "
                 f"further {self.dvfs.energy_saving_j:.0f} J "
                 f"({self.dvfs.slowdown:+.1%} time)"
             )

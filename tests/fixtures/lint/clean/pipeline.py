@@ -1,0 +1,54 @@
+"""Clean fixture: a module compliant with every reprolint rule.
+
+Unit conversions go through :mod:`repro.units`, randomness through
+:mod:`repro.rng`, checkpoint writes use tmp+rename, and no module-level
+global is mutated from a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro import rng
+from repro.units import GIB, ghz, to_ghz
+
+
+def frequency_label(frequency_hz: float) -> str:
+    """Format a frequency using the units helpers (RL001-clean)."""
+    return f"{to_ghz(frequency_hz):g} GHz"
+
+
+def default_frequency() -> float:
+    """A nominal 2.5 GHz clock, converted through repro.units."""
+    return ghz(2.5)
+
+
+def memory_budget_bytes(gib: int) -> float:
+    """A count of GiB units is not a conversion (RL001-clean)."""
+    return gib * GIB
+
+
+def draw(seed: int, n: int) -> list[float]:
+    """Deterministic draws from a named stream (RL002-clean)."""
+    stream = rng.derive(seed, "fixture.draw")
+    return [float(x) for x in stream.random(n)]
+
+
+def save_checkpoint(checkpoint_path: str, payload: dict[str, float]) -> None:
+    """Atomic checkpoint write: temp file, then rename (RL004-clean)."""
+    tmp = pathlib.Path(str(checkpoint_path) + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, checkpoint_path)
+
+
+def shard_sum(shard: list[float]) -> float:
+    """Worker entry point: pure, state in / result out (RL003-clean)."""
+    return sum(shard)
+
+
+def run_sharded(pool: object, shards: list[list[float]]) -> list[float]:
+    """Dispatch pure workers over a pool."""
+    futures = [pool.submit(shard_sum, shard) for shard in shards]  # type: ignore[attr-defined]
+    return [f.result() for f in futures]

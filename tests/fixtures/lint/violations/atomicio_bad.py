@@ -1,0 +1,17 @@
+"""Violation fixture for RL004: non-atomic checkpoint writes."""
+
+from __future__ import annotations
+
+import json
+
+
+def save_checkpoint(checkpoint_path: str, payload: dict[str, float]) -> None:
+    """Bare truncating write straight onto the checkpoint (flagged)."""
+    with open(checkpoint_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def append_cache_entry(cache_file: str, line: str) -> None:
+    """Append-mode write onto a cache file (flagged)."""
+    with open(cache_file, "a", encoding="utf-8") as fh:
+        fh.write(line)

@@ -1,0 +1,24 @@
+"""Violation fixture for RL002: entropy and wall-clock sources."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    """Stdlib global generator (flagged)."""
+    return random.random()
+
+
+def noise(n: int) -> list[float]:
+    """Unseeded numpy generator (flagged)."""
+    gen = np.random.default_rng()
+    return [float(x) for x in gen.random(n)]
+
+
+def stamp() -> float:
+    """Wall-clock timestamp that can key results (flagged)."""
+    return time.time()

@@ -1,0 +1,25 @@
+"""Violation fixture for RL003: worker-side global mutation."""
+
+from __future__ import annotations
+
+_RESULTS: dict[int, float] = {}
+_CALLS: list[int] = []
+
+
+def _record(key: int, value: float) -> None:
+    """Helper reachable from the worker (both mutations flagged)."""
+    _RESULTS[key] = value
+    _CALLS.append(key)
+
+
+def worker_shard(shard: list[float]) -> float:
+    """Worker entry point that leaks state into module globals."""
+    total = sum(shard)
+    _record(len(shard), total)
+    return total
+
+
+def run(pool: object, shards: list[list[float]]) -> list[float]:
+    """Dispatch the impure worker over a pool."""
+    futures = [pool.submit(worker_shard, shard) for shard in shards]  # type: ignore[attr-defined]
+    return [f.result() for f in futures]

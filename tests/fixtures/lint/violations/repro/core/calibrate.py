@@ -1,0 +1,14 @@
+"""Violation fixture for RL005: a package-shaped ``repro.core.calibrate``.
+
+Linted with this fixture tree as the root, this file's dotted module
+name is ``repro.core.calibrate``, so the default
+``DEFAULT_OBS_ENTRY_POINTS`` contract applies — and ``calibrate`` below
+carries no :mod:`repro.obs` span, which must be flagged.
+"""
+
+from __future__ import annotations
+
+
+def calibrate(model: object, probes: list[object]) -> object:
+    """Uninstrumented pipeline entry point (flagged by RL005)."""
+    return {"model": model, "probes": len(probes)}

@@ -1,0 +1,23 @@
+"""Violation fixture for RL001: raw conversion literals."""
+
+from __future__ import annotations
+
+
+def to_hz(ghz_value: float) -> float:
+    """Convert GHz to Hz with a magic literal (flagged)."""
+    return ghz_value * 1e9
+
+
+def to_megabits(bytes_per_s: float) -> float:
+    """Bit/byte conversion with magic literals (flagged twice)."""
+    return bytes_per_s * 8 / 1e6
+
+
+def capacity_gib(capacity_bytes: float) -> float:
+    """Binary size factor spelled as a power (flagged)."""
+    return capacity_bytes / 2**30
+
+
+def is_gigabit(bits_per_s: float) -> bool:
+    """Comparison against a conversion factor (flagged)."""
+    return bits_per_s >= 1e9

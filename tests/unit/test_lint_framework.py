@@ -1,0 +1,207 @@
+"""Framework-level tests for repro.lint: findings, suppressions, baseline,
+registry, discovery, engine plumbing and the JSON report round-trip."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintConfig, all_checkers, lint_paths
+from repro.lint.baseline import BaselineError
+from repro.lint.config import DEFAULT_OBS_ENTRY_POINTS
+from repro.lint.discovery import iter_python_files, module_name_for
+from repro.lint.engine import PARSE_RULE
+from repro.lint.registry import checker_factory, register, registered_rules
+from repro.lint.report import parse_json, render_json, render_text
+from repro.lint.suppress import is_suppressed, suppressions_for
+
+
+def _write(root: pathlib.Path, rel: str, source: str) -> pathlib.Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestFinding:
+    def test_round_trip(self):
+        f = Finding(path="a.py", line=3, rule="RL001", message="m", snippet="x = 1")
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_key_excludes_line(self):
+        a = Finding(path="a.py", line=3, rule="RL001", message="m", snippet="s")
+        b = Finding(path="a.py", line=9, rule="RL001", message="m", snippet="s")
+        assert a.key() == b.key()
+
+    def test_render(self):
+        f = Finding(path="a.py", line=3, rule="RL001", message="bad")
+        assert f.render() == "a.py:3: RL001 bad"
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Finding(path="a.py", line=1, rule="R", message="m", severity="nope")
+
+
+class TestSuppressions:
+    def test_rule_list_and_bare_ignore(self):
+        table = suppressions_for(
+            "x = 1  # reprolint: ignore[RL001, RL004]\n"
+            "y = 2  # reprolint: ignore\n"
+            "z = 3\n"
+        )
+        assert table[1] == frozenset({"RL001", "RL004"})
+        assert table[2] is None
+        assert 3 not in table
+
+    def test_is_suppressed(self):
+        table = suppressions_for("x = 1  # reprolint: ignore[RL001]\n")
+        hit = Finding(path="a.py", line=1, rule="RL001", message="m")
+        miss_rule = Finding(path="a.py", line=1, rule="RL002", message="m")
+        miss_line = Finding(path="a.py", line=2, rule="RL001", message="m")
+        assert is_suppressed(hit, table)
+        assert not is_suppressed(miss_rule, table)
+        assert not is_suppressed(miss_line, table)
+
+    def test_engine_applies_suppressions(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            def f(x):
+                return x * 1e9  # reprolint: ignore[RL001]
+            """,
+        )
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL001",)))
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "none.json")) == 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        f = Finding(path="a.py", line=3, rule="RL001", message="m", snippet="s")
+        path = tmp_path / "base.json"
+        Baseline.save(path, [f])
+        loaded = Baseline.load(path)
+        assert loaded.entries == [f]
+
+    def test_multiset_filtering(self):
+        f = Finding(path="a.py", line=3, rule="RL001", message="m", snippet="s")
+        dup = Finding(path="a.py", line=9, rule="RL001", message="m", snippet="s")
+        baseline = Baseline([f])
+        fresh, absorbed = baseline.filter([f, dup])
+        assert absorbed == 1
+        assert fresh == [dup]  # only one entry: the second occurrence surfaces
+
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"format_version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        rules = [rule for rule, _ in registered_rules()]
+        assert rules == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_subset_selection(self):
+        selected = all_checkers(["rl001", "RL003"])
+        assert [c.rule for c in selected] == ["RL001", "RL003"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            all_checkers(["RL999"])
+
+    def test_duplicate_registration_raises(self):
+        factory = checker_factory("RL001")
+
+        class Impostor:
+            rule = factory.rule
+            title = "shadow"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(Impostor)
+
+
+class TestDiscovery:
+    def test_excludes_cache_and_hidden_dirs(self, tmp_path):
+        _write(tmp_path, "pkg/mod.py", "x = 1\n")
+        _write(tmp_path, "pkg/__pycache__/mod.py", "x = 1\n")
+        _write(tmp_path, ".hidden/mod.py", "x = 1\n")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["mod.py"]
+
+    def test_module_name_strips_src_and_init(self, tmp_path):
+        root = tmp_path
+        init = _write(root, "src/repro/core/__init__.py", "")
+        mod = _write(root, "src/repro/core/cache.py", "")
+        tool = _write(root, "tools/check_docs.py", "")
+        assert module_name_for(init, root) == "repro.core"
+        assert module_name_for(mod, root) == "repro.core.cache"
+        assert module_name_for(tool, root) == "tools.check_docs"
+
+
+class TestEngine:
+    def test_broken_file_becomes_parse_finding(self, tmp_path):
+        _write(tmp_path, "bad.py", "def broken(:\n")
+        result = lint_paths([tmp_path], tmp_path)
+        assert [f.rule for f in result.findings] == [PARSE_RULE]
+        assert not result.ok
+
+    def test_baseline_absorbs_findings(self, tmp_path):
+        _write(tmp_path, "mod.py", "def f(x):\n    return x * 1e9\n")
+        config = LintConfig(rules=("RL001",))
+        first = lint_paths([tmp_path], tmp_path, config=config)
+        assert len(first.findings) == 1
+        baseline = Baseline(first.findings)
+        second = lint_paths([tmp_path], tmp_path, config=config, baseline=baseline)
+        assert second.ok
+        assert second.baselined == 1
+
+
+class TestReport:
+    def _result(self, tmp_path):
+        _write(tmp_path, "mod.py", "def f(x):\n    return x * 1e9\n")
+        return lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL001",)))
+
+    def test_json_round_trip(self, tmp_path):
+        result = self._result(tmp_path)
+        recovered = parse_json(render_json(result))
+        assert recovered == result.findings
+
+    def test_json_summary(self, tmp_path):
+        document = json.loads(render_json(self._result(tmp_path)))
+        assert document["summary"]["ok"] is False
+        assert document["summary"]["findings"] == 1
+        assert document["summary"]["rules"] == ["RL001"]
+
+    def test_text_report_mentions_rule_and_summary(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "RL001" in text
+        assert "reprolint: 1 finding" in text
+
+    def test_parse_json_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            parse_json(json.dumps({"report_version": 99, "findings": []}))
+
+
+def test_default_entry_points_exist():
+    """The RL005 contract list may not rot: every entry resolves in src/."""
+    root = pathlib.Path(__file__).resolve().parents[2]
+    result = lint_paths(
+        [root / "src"], root, config=LintConfig(rules=("RL005",))
+    )
+    assert result.ok, [f.render() for f in result.findings]
+    assert len(DEFAULT_OBS_ENTRY_POINTS) >= 10

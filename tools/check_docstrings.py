@@ -24,12 +24,16 @@ import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint.discovery import iter_python_files  # noqa: E402
 
 #: Packages whose public surface must be 100% documented.
 ENFORCED = (
     "src/repro/core",
     "src/repro/obs",
     "src/repro/resilience",
+    "src/repro/lint",
     "src/repro/mg1.py",
 )
 
@@ -91,16 +95,14 @@ def main(argv: list[str]) -> int:
     documented = required = 0
     missing: list[str] = []
     files = 0
-    for target in targets:
-        paths = (
-            sorted(target.rglob("*.py")) if target.is_dir() else [target]
-        )
-        for path in paths:
-            files += 1
-            d, r, m = audit(path)
-            documented += d
-            required += r
-            missing.extend(m)
+    # one shared file-discovery policy with reprolint: a module the
+    # linter scans is a module this gate audits, and vice versa
+    for path in iter_python_files(targets):
+        files += 1
+        d, r, m = audit(path)
+        documented += d
+        required += r
+        missing.extend(m)
 
     coverage = 100.0 * documented / required if required else 100.0
     print(
