@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean ci lint lint-repro typecheck chaos hygiene docstrings docs-check
+.PHONY: install test bench figures examples clean ci lint lint-repro typecheck chaos hygiene bench-hygiene docstrings docs-check
 
 install:
 	pip install -e .
@@ -10,16 +10,19 @@ test:
 
 # mirror of .github/workflows/ci.yml: lint + hygiene + docstring gates,
 # tier-1 tests, the instrumentation-overhead, resilience-overhead,
-# vectorized-speedup and parallel-speedup gates, then the docs gate
-# (the CI job additionally runs the tier-1 suite under pytest-cov with a
-# threshold on repro.core / repro.obs / repro.mg1 / repro.resilience,
-# plus a chaos job — see `make chaos`)
-ci: lint lint-repro typecheck hygiene docstrings
+# vectorized-speedup, parallel-speedup and sim-throughput gates, the
+# benchmark trend gate, then the docs gate (the CI job additionally runs
+# the tier-1 suite under pytest-cov with a threshold on repro.core /
+# repro.obs / repro.mg1 / repro.resilience / repro.simulate, plus a
+# chaos job — see `make chaos`)
+ci: lint lint-repro typecheck hygiene bench-hygiene docstrings
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -x -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -x -q
+	python tools/bench_trend.py
 	python tools/check_docs.py
 
 # the CI chaos job: tier-1 under the pinned drop/delay schedule with
@@ -55,6 +58,10 @@ hygiene:
 	else \
 		echo "hygiene: no tracked bytecode"; \
 	fi
+
+# every committed benchmarks/out/*.txt needs its .json report sibling
+bench-hygiene:
+	python tools/check_bench_artifacts.py
 
 # 100% public-surface docstring coverage on the load-bearing packages
 docstrings:

@@ -41,7 +41,7 @@ def _mean_error(sim, model, program, configs):
 
 
 def test_ablation_comm_scaling_fit(
-    benchmark, xeon_sim, model_cache, write_artifact
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
 ):
     fmax = xeon_sim.spec.node.core.fmax
     configs = [Configuration(n, 8, fmax) for n in (2, 4, 8)]
@@ -72,6 +72,15 @@ def test_ablation_comm_scaling_fit(
             "Ablation: mpiP two-point scaling fit vs n-invariant assumption "
             "(Xeon, n in {2,4,8}, c=8, fmax)",
         ),
+    )
+
+    write_report(
+        "ablation_comm_fit",
+        {
+            f"{name.lower()}_{kind}_mean_abs_err_pct": (value, "%")
+            for name, (fit, naive) in results.items()
+            for kind, value in (("fitted", fit), ("naive", naive))
+        },
     )
 
     cp_fit, cp_naive = results["CP"]

@@ -27,7 +27,9 @@ from repro.simulate.noise import NoiseModel
 from repro.workloads.registry import get_program
 
 
-def test_ablation_power_error(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ablation_power_error(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     program = get_program("BT")
     model = model_cache(xeon_sim, "BT")
     fmax = xeon_sim.spec.node.core.fmax
@@ -61,12 +63,21 @@ def test_ablation_power_error(benchmark, xeon_sim, model_cache, write_artifact):
             "error (BT on Xeon)",
         ),
     )
+    write_report(
+        "ablation_power_error",
+        {
+            f"offset_{k:g}x_energy_mean_abs_err_pct": (v, "%")
+            for k, v in results.items()
+        },
+    )
     # a 6x-worse meter must visibly degrade energy accuracy
     assert results[6.0] > results[0.0]
     assert results[1.0] < 15.0
 
 
-def test_ablation_os_noise(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ablation_os_noise(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     program = get_program("SP")
     model = model_cache(xeon_sim, "SP")
     fmax = xeon_sim.spec.node.core.fmax
@@ -113,6 +124,13 @@ def test_ablation_os_noise(benchmark, xeon_sim, model_cache, write_artifact):
             "Sensitivity: OS-noise level -> time prediction error "
             "(SP on Xeon; model characterized at 1x noise)",
         ),
+    )
+    write_report(
+        "ablation_os_noise",
+        {
+            f"noise_{k:g}x_time_mean_abs_err_pct": (v, "%")
+            for k, v in results.items()
+        },
     )
     assert results[4.0] > results[0.0]
     assert results[1.0] < 15.0

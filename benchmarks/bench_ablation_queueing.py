@@ -39,7 +39,9 @@ def _errors(sim, model, program, variant_kwargs, configs):
 PROGRAMS = ("SP", "CP", "LB")
 
 
-def test_ablation_network_terms(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ablation_network_terms(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     fmax = xeon_sim.spec.node.core.fmax
     configs = [
         Configuration(n, c, fmax) for n in (2, 4, 8) for c in (1, 4, 8)
@@ -88,6 +90,28 @@ def test_ablation_network_terms(benchmark, xeon_sim, model_cache, write_artifact
             "Ablation: Eq. 5/6 network terms on Xeon (multi-node grid, "
             "mean over SP+CP+LB)",
         ),
+    )
+
+    write_report(
+        "ablation_queueing",
+        {
+            "full_model_mean_abs_err_pct": (
+                results["full model (bracketed + overlap)"][0],
+                "%",
+            ),
+            "raw_mg1_mean_abs_err_pct": (
+                results["raw M/G/1 (no burst bracket)"][0],
+                "%",
+            ),
+            "no_wait_term_mean_abs_err_pct": (
+                results["no waiting term"][0],
+                "%",
+            ),
+            "no_overlap_mean_abs_err_pct": (
+                results["no Eq.6 overlap (additive wire)"][0],
+                "%",
+            ),
+        },
     )
 
     full_mean = results["full model (bracketed + overlap)"][0]

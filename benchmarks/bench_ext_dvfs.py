@@ -16,7 +16,9 @@ from repro.machines.spec import Configuration
 from repro.workloads.registry import get_program
 
 
-def test_ext_dvfs_advice(benchmark, arm_sim, model_cache, write_artifact):
+def test_ext_dvfs_advice(
+    benchmark, arm_sim, model_cache, write_artifact, write_report
+):
     program = get_program("CP")
     model = model_cache(arm_sim, "CP")
     configs = [
@@ -79,6 +81,17 @@ def test_ext_dvfs_advice(benchmark, arm_sim, model_cache, write_artifact):
     throttled = [r for r in rows if r[1] < r[0].frequency_hz]
     assert throttled, "the advisor should throttle somewhere on this grid"
     confirmed = [r for r in throttled if r[4] > 0]
+    write_report(
+        "ext_dvfs_advice",
+        {
+            "advised_configs": (len(throttled), "count"),
+            "confirmed_configs": (len(confirmed), "count"),
+            "testbed_energy_saved_j": (
+                sum(r[4] for r in throttled),
+                "J",
+            ),
+        },
+    )
     # the testbed confirms the saving on the clear majority of advised
     # configurations; near-break-even points may flip sign by a couple of
     # percent of total energy (model imprecision), never more

@@ -28,7 +28,9 @@ from repro.units import joules_to_kj
 from repro.workloads.registry import get_program
 
 
-def test_ext_modern_machine(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ext_modern_machine(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     program = get_program("SP")
     modern_sim = SimulatedCluster(epyc_cluster())
 
@@ -85,6 +87,13 @@ def test_ext_modern_machine(benchmark, xeon_sim, model_cache, write_artifact):
         )
     )
     write_artifact("ext_modern_machine.txt", artifact)
+    write_report(
+        "ext_modern_machine",
+        {
+            "spot_check_time_mean_abs_err_pct": (float(np.mean(errs)), "%"),
+            "frontier_points": (len(frontier), "count"),
+        },
+    )
 
     # methodology transfers: accuracy within the paper bound
     assert float(np.mean(errs)) < 15.0

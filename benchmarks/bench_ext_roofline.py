@@ -15,7 +15,7 @@ from repro.workloads.registry import PAPER_ORDER, get_program
 
 
 def test_ext_roofline_bounds(
-    benchmark, xeon_sim, arm_sim, model_cache, write_artifact
+    benchmark, xeon_sim, arm_sim, model_cache, write_artifact, write_report
 ):
     sims = {"xeon": xeon_sim, "arm": arm_sim}
 
@@ -71,6 +71,14 @@ def test_ext_roofline_bounds(
             "Extension: roofline placement at (1, cmax, fmax); balance "
             f"points: xeon {balance['xeon']:.2f}, arm {balance['arm']:.2f}",
         ),
+    )
+
+    write_report(
+        "ext_roofline",
+        {
+            "xeon_balance_ai": (balance["xeon"], "instr/B"),
+            "arm_balance_ai": (balance["arm"], "instr/B"),
+        },
     )
 
     for cluster, name, placement, predicted, measured in rows:

@@ -20,7 +20,9 @@ from repro.units import joules_to_kj
 NODES = (1, 2, 4, 8, 16, 32)
 
 
-def test_ext_scaling_diagnostics(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ext_scaling_diagnostics(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     def run_all():
         out = {}
         for name in ("SP", "CP"):
@@ -56,6 +58,13 @@ def test_ext_scaling_diagnostics(benchmark, xeon_sim, model_cache, write_artifac
             + ", ".join(f"n={p.nodes}: {p.time_s:.1f}" for p in weak)
         )
     write_artifact("ext_scaling.txt", "\n\n".join(sections))
+    write_report(
+        "ext_scaling",
+        {
+            "sp_amdahl_serial_fraction": (results["SP"][2], "ratio"),
+            "cp_amdahl_serial_fraction": (results["CP"][2], "ratio"),
+        },
+    )
 
     for name, (strong, weak, amdahl, kf) in results.items():
         # sane diagnostics

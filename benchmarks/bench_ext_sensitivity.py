@@ -11,7 +11,9 @@ from repro.analysis.sensitivity import render_tornado, tornado
 from repro.machines.spec import Configuration
 
 
-def test_ext_sensitivity_tornado(benchmark, xeon_sim, model_cache, write_artifact):
+def test_ext_sensitivity_tornado(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     model = model_cache(xeon_sim, "SP")
     single = Configuration(1, 8, 1.8e9)
     multi = Configuration(8, 8, 1.8e9)
@@ -47,4 +49,18 @@ def test_ext_sensitivity_tornado(benchmark, xeon_sim, model_cache, write_artifac
     # idle power is a first-order energy driver on the Xeon node (its
     # 48 W floor dominates the energy bill)
     idle = next(r for r in res_single if "P_idle" in r.parameter)
+    write_report(
+        "ext_sensitivity_tornado",
+        {
+            "single_node_top_time_swing": (
+                max(r.time_swing for r in res_single),
+                "ratio",
+            ),
+            "multi_node_top_time_swing": (
+                max(r.time_swing for r in res_multi),
+                "ratio",
+            ),
+            "idle_power_energy_swing": (idle.energy_swing, "ratio"),
+        },
+    )
     assert idle.energy_swing > 0.03

@@ -12,7 +12,7 @@ from repro.machines.xeon import xeon_cluster
 from repro.measure.netpipe import run_netpipe
 
 
-def test_fig03_network_characterization(benchmark, write_artifact):
+def test_fig03_network_characterization(benchmark, write_artifact, write_report):
     result = benchmark.pedantic(
         lambda: run_netpipe(arm_cluster()), rounds=1, iterations=1
     )
@@ -46,11 +46,18 @@ def test_fig03_network_characterization(benchmark, write_artifact):
         f"latency floor:   {result.latency_floor_s() * 1e6:.0f} us",
     ]
     write_artifact("fig03_netpipe.txt", "\n".join(sections))
+    write_report(
+        "fig03_netpipe",
+        {
+            "peak_throughput_mbps": (result.peak_throughput_mbps, "Mbps"),
+            "latency_floor_us": (result.latency_floor_s() * 1e6, "us"),
+        },
+    )
 
     assert 85.0 <= result.peak_throughput_mbps <= 95.0
 
 
-def test_fig03_xeon_reference(benchmark, write_artifact):
+def test_fig03_xeon_reference(benchmark, write_artifact, write_report):
     """Companion sweep on the Xeon cluster's gigabit link."""
     result = benchmark.pedantic(
         lambda: run_netpipe(xeon_cluster()), rounds=1, iterations=1
@@ -64,5 +71,9 @@ def test_fig03_xeon_reference(benchmark, write_artifact):
             unit="Mbps",
         )
         + f"\npeak throughput: {result.peak_throughput_mbps:.0f} Mbps",
+    )
+    write_report(
+        "fig03_netpipe_xeon",
+        {"peak_throughput_mbps": (result.peak_throughput_mbps, "Mbps")},
     )
     assert result.peak_throughput_mbps < 1000.0

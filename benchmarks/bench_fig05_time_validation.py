@@ -8,7 +8,9 @@ must track measured times within the paper's error bounds.
 from validation_common import campaign_table, run_campaign
 
 
-def test_fig05_xeon_bt_sp(benchmark, xeon_sim, model_cache, write_artifact):
+def test_fig05_xeon_bt_sp(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     def campaigns():
         return [
             run_campaign(xeon_sim, name, model_cache) for name in ("BT", "SP")
@@ -20,11 +22,20 @@ def test_fig05_xeon_bt_sp(benchmark, xeon_sim, model_cache, write_artifact):
         + [campaign_table(c, "time") for c in (bt, sp)]
     )
     write_artifact("fig05_time_validation_xeon.txt", artifact)
+    write_report(
+        "fig05_time_validation_xeon",
+        {
+            "bt_time_mean_abs_err_pct": (bt.time_errors.mean_abs, "%"),
+            "sp_time_mean_abs_err_pct": (sp.time_errors.mean_abs, "%"),
+        },
+    )
     assert bt.time_errors.mean_abs < 15.0
     assert sp.time_errors.mean_abs < 15.0
 
 
-def test_fig05_arm_lb_cp(benchmark, arm_sim, model_cache, write_artifact):
+def test_fig05_arm_lb_cp(
+    benchmark, arm_sim, model_cache, write_artifact, write_report
+):
     def campaigns():
         return [
             run_campaign(arm_sim, name, model_cache) for name in ("LB", "CP")
@@ -36,5 +47,12 @@ def test_fig05_arm_lb_cp(benchmark, arm_sim, model_cache, write_artifact):
         + [campaign_table(c, "time") for c in (lb, cp)]
     )
     write_artifact("fig05_time_validation_arm.txt", artifact)
+    write_report(
+        "fig05_time_validation_arm",
+        {
+            "lb_time_mean_abs_err_pct": (lb.time_errors.mean_abs, "%"),
+            "cp_time_mean_abs_err_pct": (cp.time_errors.mean_abs, "%"),
+        },
+    )
     assert lb.time_errors.mean_abs < 15.0
     assert cp.time_errors.mean_abs < 15.0

@@ -12,7 +12,9 @@ from validation_common import campaign_table, run_campaign
 FIG7_GRID = [(n, c) for n in (1, 2, 4, 8) for c in (1, 2, 4, 8)]
 
 
-def test_fig07_lu_class_c(benchmark, xeon_sim, model_cache, write_artifact):
+def test_fig07_lu_class_c(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     fmax = xeon_sim.spec.node.core.fmax
     configs = [Configuration(n, c, fmax) for n, c in FIG7_GRID]
 
@@ -33,6 +35,16 @@ def test_fig07_lu_class_c(benchmark, xeon_sim, model_cache, write_artifact):
         ]
     )
     write_artifact("fig07_scaleout_lu.txt", artifact)
+    write_report(
+        "fig07_scaleout_lu",
+        {
+            "lu_c_time_mean_abs_err_pct": (campaign.time_errors.mean_abs, "%"),
+            "lu_c_energy_mean_abs_err_pct": (
+                campaign.energy_errors.mean_abs,
+                "%",
+            ),
+        },
+    )
 
     assert campaign.time_errors.mean_abs < 15.0
     assert campaign.energy_errors.mean_abs < 15.0

@@ -17,7 +17,9 @@ from repro.machines.xeon import xeon_cluster
 from repro.units import joules_to_kj
 
 
-def test_fig08_pareto_xeon_sp(benchmark, xeon_sim, model_cache, write_artifact):
+def test_fig08_pareto_xeon_sp(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     model = model_cache(xeon_sim, "SP")
     space = ConfigSpace.xeon_pareto(xeon_cluster())
 
@@ -51,6 +53,16 @@ def test_fig08_pareto_xeon_sp(benchmark, xeon_sim, model_cache, write_artifact):
         ]
     )
     write_artifact("fig08_pareto_xeon_sp.txt", artifact)
+    ucrs = [p.ucr for p in frontier]
+    write_report(
+        "fig08_pareto_xeon_sp",
+        {
+            "configurations": (len(evaluation), "count"),
+            "frontier_points": (len(frontier), "count"),
+            "ucr_min": (min(ucrs), "ratio"),
+            "ucr_max": (max(ucrs), "ratio"),
+        },
+    )
 
     # paper structure checks
     assert len(evaluation) == 216
@@ -58,7 +70,6 @@ def test_fig08_pareto_xeon_sp(benchmark, xeon_sim, model_cache, write_artifact):
     nodes = [p.prediction.config.nodes for p in frontier]
     assert max(nodes) >= 64, "fast end of the frontier uses many nodes"
     assert min(nodes) == 1, "relaxed end of the frontier is a single node"
-    ucrs = [p.ucr for p in frontier]
     assert min(ucrs) < 0.25 and max(ucrs) > 0.6, "UCR spans a wide range"
     # energy decreases monotonically as the deadline relaxes (claim 1)
     energies = [p.energy_j for p in frontier]

@@ -15,7 +15,9 @@ from repro.machines.spec import Configuration
 from repro.units import joules_to_kj
 
 
-def test_fig09_pareto_arm_cp(benchmark, arm_sim, model_cache, write_artifact):
+def test_fig09_pareto_arm_cp(
+    benchmark, arm_sim, model_cache, write_artifact, write_report
+):
     model = model_cache(arm_sim, "CP")
     space = ConfigSpace.arm_pareto(arm_cluster())
 
@@ -52,6 +54,15 @@ def test_fig09_pareto_arm_cp(benchmark, arm_sim, model_cache, write_artifact):
         ]
     )
     write_artifact("fig09_pareto_arm_cp.txt", artifact)
+    serial_ucr = model.predict(Configuration(1, 1, 0.2e9)).ucr
+    write_report(
+        "fig09_pareto_arm_cp",
+        {
+            "configurations": (len(evaluation), "count"),
+            "frontier_points": (len(frontier), "count"),
+            "serial_fmin_ucr": (serial_ucr, "ratio"),
+        },
+    )
 
     assert len(evaluation) == 400
     assert len(frontier) >= 5
@@ -65,5 +76,4 @@ def test_fig09_pareto_arm_cp(benchmark, arm_sim, model_cache, write_artifact):
         for p in frontier
     )
     # UCR anchor at the serial / fmin corner
-    serial = model.predict(Configuration(1, 1, 0.2e9))
-    assert abs(serial.ucr - 0.48) < 0.08
+    assert abs(serial_ucr - 0.48) < 0.08

@@ -14,7 +14,9 @@ from repro.workloads.registry import PAPER_ORDER
 from ucr_common import ucr_figure
 
 
-def test_fig10_ucr_xeon(benchmark, xeon_sim, model_cache, write_artifact):
+def test_fig10_ucr_xeon(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     table, evaluations = benchmark.pedantic(
         lambda: ucr_figure(xeon_sim, model_cache, time_unit="s"),
         rounds=1,
@@ -24,6 +26,7 @@ def test_fig10_ucr_xeon(benchmark, xeon_sim, model_cache, write_artifact):
 
     # BT has the highest UCR upper bound, ~0.96
     bt = model_cache(xeon_sim, "BT").predict(Configuration(1, 1, 1.2e9))
+    write_report("fig10_ucr_xeon", {"bt_serial_ucr": (bt.ucr, "ratio")})
     assert abs(bt.ucr - 0.96) < 0.04
     for name in PAPER_ORDER:
         model = model_cache(xeon_sim, name)

@@ -11,7 +11,9 @@ from repro.workloads.registry import PAPER_ORDER
 from ucr_common import ucr_figure
 
 
-def test_fig11_ucr_arm(benchmark, arm_sim, model_cache, write_artifact):
+def test_fig11_ucr_arm(
+    benchmark, arm_sim, model_cache, write_artifact, write_report
+):
     table, evaluations = benchmark.pedantic(
         lambda: ucr_figure(arm_sim, model_cache, time_unit="min"),
         rounds=1,
@@ -21,6 +23,7 @@ def test_fig11_ucr_arm(benchmark, arm_sim, model_cache, write_artifact):
 
     # ARM BT upper bound ~0.54 (paper §V-B)
     bt = model_cache(arm_sim, "BT").predict(Configuration(1, 1, 0.2e9))
+    write_report("fig11_ucr_arm", {"bt_serial_ucr": (bt.ucr, "ratio")})
     assert abs(bt.ucr - 0.54) < 0.07
 
     # every program's ARM UCR stays well below its Xeon counterpart's cap

@@ -13,7 +13,6 @@ The measured runtime and per-file throughput are pinned to
 ``benchmarks/out/lint_runtime.json`` for trend tracking.
 """
 
-import json
 import pathlib
 import time
 
@@ -32,7 +31,7 @@ def _full_repo_lint():
     return lint_paths([_ROOT / "src", _ROOT / "tools"], _ROOT, baseline=baseline)
 
 
-def test_lint_runtime_budget(benchmark, artifact_dir):
+def test_lint_runtime_budget(benchmark, write_report):
     """A full-repository lint must finish well inside the budget."""
     t0 = time.perf_counter()
     result = _full_repo_lint()
@@ -48,19 +47,20 @@ def test_lint_runtime_budget(benchmark, artifact_dir):
         f"(budget {BUDGET_SECONDS:.0f}s) over {result.files_scanned} files"
     )
 
-    record = {
-        "elapsed_s": round(elapsed_s, 4),
-        "budget_s": BUDGET_SECONDS,
-        "files_scanned": result.files_scanned,
-        "files_per_s": round(result.files_scanned / elapsed_s, 1),
-        "rules": list(result.rules),
-    }
-    (artifact_dir / "lint_runtime.json").write_text(
-        json.dumps(record, indent=2) + "\n"
+    files_per_s = result.files_scanned / elapsed_s
+    write_report(
+        "lint_runtime",
+        {
+            "elapsed_s": (elapsed_s, "s"),
+            "budget_s": (BUDGET_SECONDS, "s"),
+            "files_scanned": (result.files_scanned, "count"),
+            "files_per_s": (files_per_s, "files/s"),
+        },
+        extra={"rules": list(result.rules)},
     )
     print(
         f"lint runtime: {elapsed_s:.3f}s for {result.files_scanned} files "
-        f"({record['files_per_s']:.0f} files/s, budget {BUDGET_SECONDS:.0f}s)"
+        f"({files_per_s:.0f} files/s, budget {BUDGET_SECONDS:.0f}s)"
     )
 
     benchmark.pedantic(_full_repo_lint, rounds=1)

@@ -31,7 +31,6 @@ Two modes:
 The < 2% ceiling applies in both modes.
 """
 
-import json
 import os
 import statistics
 import time
@@ -103,7 +102,9 @@ def _measure_overhead_pct(run) -> float:
     return 100.0 * (ratio - 1.0)
 
 
-def test_obs_overhead(benchmark, xeon_sim, model_cache, write_artifact, artifact_dir):
+def test_obs_overhead(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report, artifact_dir
+):
     model = model_cache(xeon_sim, "SP")
     space = _synthetic_space()
     configs = list(space)
@@ -140,19 +141,21 @@ def test_obs_overhead(benchmark, xeon_sim, model_cache, write_artifact, artifact
         prom_text = registry.to_prometheus_text()
     tracer.write_jsonl(str(artifact_dir / "obs_trace.jsonl"))
 
-    record = {
-        "mode": "smoke" if SMOKE else "full",
-        "configs": len(configs),
-        "pairs_per_attempt": _PAIRS,
-        "attempts_pct": attempts,
-        "overhead_pct": overhead_pct,
-        "ceiling_pct": OVERHEAD_CEILING_PCT,
-        "span_names": span_names,
-        "cache_hits": cache_hits,
-        "cache_misses": cache_misses,
-    }
-    (artifact_dir / "obs_overhead.json").write_text(
-        json.dumps(record, indent=2) + "\n"
+    write_report(
+        "obs_overhead",
+        {
+            "overhead_pct": (overhead_pct, "%"),
+            "ceiling_pct": (OVERHEAD_CEILING_PCT, "%"),
+            "distinct_spans": (len(span_names), "count"),
+            "cache_hits": (cache_hits, "count"),
+            "cache_misses": (cache_misses, "count"),
+        },
+        extra={
+            "configs": len(configs),
+            "pairs_per_attempt": _PAIRS,
+            "attempts_pct": attempts,
+            "span_names": span_names,
+        },
     )
     write_artifact("obs_metrics.prom", prom_text.rstrip("\n"))
     print(

@@ -20,7 +20,6 @@ Either way the warm cache must not be slower than recomputing, and the
 sharded arrays must equal the single-process arrays exactly.
 """
 
-import json
 import os
 import time
 
@@ -62,7 +61,7 @@ def _best_of(fn, repeats: int = _REPEATS) -> tuple[float, object]:
 
 
 def test_parallel_speedup(
-    benchmark, xeon_sim, model_cache, write_artifact, artifact_dir, tmp_path
+    benchmark, xeon_sim, model_cache, write_artifact, write_report, tmp_path
 ):
     model = model_cache(xeon_sim, "SP")
     space = _synthetic_space()
@@ -115,24 +114,26 @@ def test_parallel_speedup(
     )
 
     record = {
-        "smoke": SMOKE,
         "workers": WORKERS,
         "cpu_count": cpu_count,
         "configs": len(space),
         "single_process_s": single_s,
         "sharded_s": sharded_s,
-        "speedup_x": single_s / sharded_s,
         "cache_put_s": put_s,
         "cache_warm_s": warm_s,
-        "warm_speedup_x": single_s / warm_s,
-        "bit_identical": bit_identical,
         "speedup_floor_x": FULL_SPEEDUP_FLOOR,
         "floor_enforced": floor_enforced,
         "floor_reason": reason,
     }
-    path = artifact_dir / "parallel_speedup.json"
-    path.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\n[artifact] {path}")
+    write_report(
+        "parallel_speedup",
+        {
+            "speedup_x": (single_s / sharded_s, "x"),
+            "warm_cache_speedup_x": (single_s / warm_s, "x"),
+            "bit_identical": (1.0 if bit_identical else 0.0, "bool"),
+        },
+        extra=record,
+    )
 
     write_artifact(
         "parallel_speedup.txt",
@@ -164,6 +165,7 @@ def test_parallel_speedup(
         # near-instant warm reads: at least 2x faster than recomputing
         assert warm_s <= single_s / 2
     if floor_enforced:
-        assert record["speedup_x"] >= FULL_SPEEDUP_FLOOR, (
-            f"parallel speedup regressed: {record['speedup_x']:.2f}x"
+        speedup = single_s / sharded_s
+        assert speedup >= FULL_SPEEDUP_FLOOR, (
+            f"parallel speedup regressed: {speedup:.2f}x"
         )

@@ -24,7 +24,6 @@ medians, and the gate takes the best of a few independent attempts so a
 scheduler-noise spike cannot fail a healthy build.
 """
 
-import json
 import pathlib
 import statistics
 import time
@@ -70,7 +69,7 @@ def _measure_overhead_pct(run, policy, chaos=None) -> float:
     return 100.0 * (ratio - 1.0)
 
 
-def test_resilience_overhead(benchmark, arm_sim, artifact_dir):
+def test_resilience_overhead(benchmark, arm_sim, write_report):
     program = get_program("CP")
 
     def run():
@@ -104,16 +103,18 @@ def test_resilience_overhead(benchmark, arm_sim, artifact_dir):
     t_chaos = time.perf_counter() - t0
     chaos_recovery_pct = 100.0 * (t_chaos / t_clean - 1.0)
 
-    record = {
-        "pairs_per_attempt": _PAIRS,
-        "attempts_pct": attempts,
-        "overhead_pct": overhead_pct,
-        "ceiling_pct": OVERHEAD_CEILING_PCT,
-        "chaos_recovery_pct": chaos_recovery_pct,
-        "chaos_schedule": str(_CI_SCHEDULE.name),
-    }
-    (artifact_dir / "resilience_overhead.json").write_text(
-        json.dumps(record, indent=2) + "\n"
+    write_report(
+        "resilience_overhead",
+        {
+            "overhead_pct": (overhead_pct, "%"),
+            "ceiling_pct": (OVERHEAD_CEILING_PCT, "%"),
+            "chaos_recovery_pct": (chaos_recovery_pct, "%"),
+        },
+        extra={
+            "pairs_per_attempt": _PAIRS,
+            "attempts_pct": attempts,
+            "chaos_schedule": str(_CI_SCHEDULE.name),
+        },
     )
     print(
         f"\n[resilience] overhead={overhead_pct:+.2f}% "

@@ -35,7 +35,7 @@ def _full_campaigns(sim, model_cache):
 
 
 def test_table2_validation_errors(
-    benchmark, xeon_sim, arm_sim, model_cache, write_artifact
+    benchmark, xeon_sim, arm_sim, model_cache, write_artifact, write_report
 ):
     def run_all():
         return _full_campaigns(xeon_sim, model_cache), _full_campaigns(
@@ -83,6 +83,27 @@ def test_table2_validation_errors(
         + "\n(paper bound: all means below 15%)"
     )
     write_artifact("table2_validation_errors.txt", artifact)
+    write_report(
+        "table2_validation_errors",
+        {
+            "worst_time_mean_abs_err_pct": (
+                max(
+                    c.time_errors.mean_abs
+                    for campaigns in (xeon, arm)
+                    for c in campaigns.values()
+                ),
+                "%",
+            ),
+            "worst_energy_mean_abs_err_pct": (
+                max(
+                    c.energy_errors.mean_abs
+                    for campaigns in (xeon, arm)
+                    for c in campaigns.values()
+                ),
+                "%",
+            ),
+        },
+    )
 
     for campaigns in (xeon, arm):
         for name, campaign in campaigns.items():

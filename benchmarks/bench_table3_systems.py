@@ -9,7 +9,7 @@ from repro.machines.arm import arm_cluster
 from repro.machines.xeon import xeon_cluster
 
 
-def test_table3_systems(benchmark, write_artifact):
+def test_table3_systems(benchmark, write_artifact, write_report):
     def build():
         xeon = xeon_cluster().spec_table()
         arm = arm_cluster().spec_table()
@@ -26,6 +26,16 @@ def test_table3_systems(benchmark, write_artifact):
 
     xeon = xeon_cluster()
     arm = arm_cluster()
+    write_report(
+        "table3_systems",
+        {
+            "xeon_max_parallelism": (
+                xeon.max_nodes * xeon.node.max_cores,
+                "count",
+            ),
+            "arm_max_parallelism": (arm.max_nodes * arm.node.max_cores, "count"),
+        },
+    )
     assert xeon.max_nodes == 8 and arm.max_nodes == 8
     assert xeon.node.max_cores == 8 and arm.node.max_cores == 4
     assert min(xeon.frequencies_hz) == 1.2e9 and max(xeon.frequencies_hz) == 1.8e9

@@ -4,7 +4,9 @@ Times the per-config scalar reference (``model.predict`` in a loop) against
 the broadcast engine (``evaluate_configs``) on the paper's two Pareto spaces
 — Fig. 8 (216 Xeon configs) and Fig. 9 (400 ARM configs) — plus a synthetic
 ~10k-config space, and writes a machine-readable record to
-``benchmarks/out/vectorized_speedup.json`` for CI trend tracking.
+``benchmarks/out/vectorized_speedup.json`` for CI trend tracking (the
+standard report envelope of ``benchmarks/report.py``; the per-case detail
+rides in ``extra``).
 
 Two modes:
 
@@ -19,7 +21,6 @@ Either way the engine's results must match the scalar reference within
 implementation.
 """
 
-import json
 import os
 import time
 
@@ -89,7 +90,7 @@ def _measure_case(name: str, model, space: ConfigSpace) -> dict:
 
 
 def test_vectorized_speedup(
-    benchmark, xeon_sim, arm_sim, model_cache, write_artifact, artifact_dir
+    benchmark, xeon_sim, arm_sim, model_cache, write_artifact, write_report
 ):
     xeon_model = model_cache(xeon_sim, "SP")
     arm_model = model_cache(arm_sim, "CP")
@@ -114,15 +115,19 @@ def test_vectorized_speedup(
         iterations=1,
     )
 
-    record = {
-        "smoke": SMOKE,
-        "speedup_floor_x": SMOKE_SPEEDUP_FLOOR if SMOKE else FULL_SPEEDUP_FLOOR,
-        "rtol": RTOL,
-        "cases": cases,
-    }
-    path = artifact_dir / "vectorized_speedup.json"
-    path.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"\n[artifact] {path}")
+    write_report(
+        "vectorized_speedup",
+        {
+            "fig08_xeon_sp_speedup_x": (cases[0]["speedup_x"], "x"),
+            "fig09_arm_cp_speedup_x": (cases[1]["speedup_x"], "x"),
+            "synthetic_speedup_x": (cases[2]["speedup_x"], "x"),
+            "speedup_floor_x": (
+                SMOKE_SPEEDUP_FLOOR if SMOKE else FULL_SPEEDUP_FLOOR,
+                "x",
+            ),
+        },
+        extra={"rtol": RTOL, "cases": cases},
+    )
 
     lines = [
         "Vectorized configuration-space evaluation: scalar vs. broadcast",

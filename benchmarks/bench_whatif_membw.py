@@ -12,7 +12,9 @@ from repro.machines.spec import Configuration
 from repro.units import joules_to_kj
 
 
-def test_whatif_memory_bandwidth(benchmark, xeon_sim, model_cache, write_artifact):
+def test_whatif_memory_bandwidth(
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
+):
     model = model_cache(xeon_sim, "SP")
     cfg = Configuration(1, 8, 1.8e9)
 
@@ -42,6 +44,15 @@ def test_whatif_memory_bandwidth(benchmark, xeon_sim, model_cache, write_artifac
         + "\n(paper: UCR 0.67 -> 0.81, -7 s, -590 J)"
     )
     write_artifact("whatif_membw.txt", artifact)
+    write_report(
+        "whatif_membw",
+        {
+            "base_ucr": (base.ucr, "ratio"),
+            "tuned_ucr": (tuned.ucr, "ratio"),
+            "time_saved_s": (base.time_s - tuned.time_s, "s"),
+            "energy_saved_j": (base.energy_j - tuned.energy_j, "J"),
+        },
+    )
 
     assert abs(base.ucr - 0.67) < 0.06
     assert abs(tuned.ucr - 0.81) < 0.05
@@ -50,7 +61,7 @@ def test_whatif_memory_bandwidth(benchmark, xeon_sim, model_cache, write_artifac
 
 
 def test_whatif_network_bandwidth_counterpart(
-    benchmark, xeon_sim, model_cache, write_artifact
+    benchmark, xeon_sim, model_cache, write_artifact, write_report
 ):
     """Companion study: network bandwidth x2 helps multi-node SP but not
     the single-node configuration — contrast that locates the bottleneck."""
@@ -78,6 +89,13 @@ def test_whatif_network_bandwidth_counterpart(
         ]
     )
     write_artifact("whatif_netbw.txt", artifact)
+    write_report(
+        "whatif_netbw",
+        {
+            "single_node_time_saved_s": (s_base.time_s - s_tuned.time_s, "s"),
+            "multi_node_time_saved_s": (m_base.time_s - m_tuned.time_s, "s"),
+        },
+    )
 
     assert s_tuned.time_s == s_base.time_s  # no network on one node
     assert m_tuned.time_s < m_base.time_s

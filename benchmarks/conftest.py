@@ -45,6 +45,27 @@ def write_artifact(artifact_dir):
 
 
 @pytest.fixture(scope="session")
+def write_report(artifact_dir):
+    """Write one machine-readable JSON report beside a ``.txt`` artifact.
+
+    ``metrics`` maps metric name to ``(value, unit)``; the envelope adds
+    the smoke/full mode and git SHA (see ``benchmarks/report.py``).
+    ``tools/bench_trend.py`` aggregates the reports and enforces the
+    tolerance bands committed in ``benchmarks/baseline.json``.
+    """
+    import report
+
+    def write(name, metrics, mode=None, extra=None):
+        path = report.write_report(
+            OUT_DIR, name, metrics, mode=mode, extra=extra
+        )
+        print(f"\n[report] {path}")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
 def xeon_sim() -> SimulatedCluster:
     """The simulated Xeon testbed."""
     return SimulatedCluster(xeon_cluster())

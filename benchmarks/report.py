@@ -1,0 +1,114 @@
+"""Machine-readable benchmark reports — the JSON sibling of every artifact.
+
+Each ``bench_*`` module writes a human-readable ``.txt`` artifact under
+``benchmarks/out/``; this helper gives every one of them a uniform JSON
+sibling (``<name>.json``) so the numbers survive as *data*:
+
+* ``metrics`` — flat name → ``{"value": float, "unit": str}`` map, the
+  only part trend tooling reads;
+* ``mode`` — ``smoke`` (CI gate, reduced sizes) or ``full`` (nightly /
+  local regeneration), so a trend diff never compares across modes
+  blindly;
+* ``git_sha`` — the tree that produced the numbers;
+* ``extra`` — optional bench-specific detail (cases, raw samples) kept
+  out of the trend-tracked namespace.
+
+``tools/bench_trend.py`` aggregates these files into one trend report and
+checks every metric against the committed tolerance bands in
+``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+
+#: Envelope version — bump on breaking changes to the JSON layout.
+SCHEMA_VERSION = 1
+
+#: Environment flag the CI smoke gates set (reduced problem sizes).
+SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
+
+
+def bench_mode() -> str:
+    """``smoke`` when the CI smoke flag is set, else ``full``."""
+    return "smoke" if os.environ.get(SMOKE_ENV_VAR) else "full"
+
+
+def git_sha() -> str:
+    """The commit SHA of the working tree, or ``unknown`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def render_report(
+    name: str,
+    metrics: "dict[str, tuple[float, str]]",
+    mode: "str | None" = None,
+    extra: "dict | None" = None,
+) -> dict:
+    """Build the report envelope (pure; no IO) for one benchmark.
+
+    ``metrics`` maps metric name to ``(value, unit)``; units are free-form
+    but should match what the ``.txt`` artifact prints (``s``, ``%``,
+    ``x``, ``count``, ...).
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "mode": mode if mode is not None else bench_mode(),
+        "git_sha": git_sha(),
+        "metrics": {
+            key: {"value": float(value), "unit": unit}
+            for key, (value, unit) in metrics.items()
+        },
+    }
+    if extra:
+        payload["extra"] = extra
+    return payload
+
+
+def write_report(
+    out_dir: pathlib.Path,
+    name: str,
+    metrics: "dict[str, tuple[float, str]]",
+    mode: "str | None" = None,
+    extra: "dict | None" = None,
+) -> pathlib.Path:
+    """Write ``<out_dir>/<name>.json`` and return the path."""
+    path = pathlib.Path(out_dir) / f"{name}.json"
+    payload = render_report(name, metrics, mode=mode, extra=extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_report(path: pathlib.Path) -> "dict | None":
+    """Parse one report file; ``None`` if it is not a report envelope.
+
+    ``benchmarks/out/`` also holds non-envelope JSON (historical records,
+    trace dumps); the trend tool uses this to skip them gracefully.
+    """
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    # the full envelope is required: this is what distinguishes a report
+    # from legacy records and from the aggregated bench_report.json
+    if "schema" not in payload or "name" not in payload:
+        return None
+    if not isinstance(payload.get("metrics"), dict):
+        return None
+    return payload

@@ -27,6 +27,7 @@ from repro.core.whatif import WhatIf
 from repro.machines.registry import get_cluster, list_clusters
 from repro.machines.spec import Configuration
 from repro.measure.netpipe import run_netpipe
+from repro.simulate.backend import SIM_BACKENDS
 from repro.simulate.cluster import SimulatedCluster
 from repro.units import ghz, joules_to_kj, to_ghz
 from repro.workloads.registry import get_program, list_programs
@@ -80,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist configuration-space results in a fingerprinted "
         "on-disk cache at PATH; warm sweeps are served from it and any "
         "model/space change invalidates the entry (docs/SCALING.md)",
+    )
+    parser.add_argument(
+        "--sim-backend",
+        choices=SIM_BACKENDS,
+        default="auto",
+        help="simulator execution core: 'batched' stacks replication runs "
+        "through one NumPy pipeline, 'scalar' loops the reference core, "
+        "'auto' picks per call — results are bit-identical either way "
+        "(docs/SIMULATOR.md)",
     )
     parser.add_argument(
         "--retries",
@@ -251,12 +261,18 @@ def _cmd_netpipe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulated(cluster_name: str, backend: str = "auto") -> SimulatedCluster:
+    """A simulated cluster honoring the global ``--sim-backend`` choice."""
+    return SimulatedCluster(get_cluster(cluster_name), sim_backend=backend)
+
+
 def _model_for(
     cluster_name: str,
     program_name: str,
     inputs_path: str | None = None,
+    backend: str = "auto",
 ) -> tuple[SimulatedCluster, HybridProgramModel]:
-    sim = SimulatedCluster(get_cluster(cluster_name))
+    sim = _simulated(cluster_name, backend)
     program = get_program(program_name)
     if inputs_path is not None:
         from repro.io import load_model_inputs
@@ -277,7 +293,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.io import save_model_inputs
     from repro.resilience.pipeline import coverage_report
 
-    sim = SimulatedCluster(get_cluster(args.cluster))
+    sim = _simulated(args.cluster, args.sim_backend)
     inputs = characterize(
         sim,
         get_program(args.program),
@@ -310,7 +326,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             )
         model = _Model(program=get_program(args.program), inputs=inputs)
     else:
-        _, model = _model_for(args.cluster, args.program)
+        _, model = _model_for(args.cluster, args.program, backend=args.sim_backend)
     pred = model.predict(args.config, args.input_class)
     t = pred.time
     print(f"configuration {pred.config}: class {pred.class_name}")
@@ -324,7 +340,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    sim = SimulatedCluster(get_cluster(args.cluster))
+    sim = _simulated(args.cluster, args.sim_backend)
     program = get_program(args.program)
     campaign = validate_program(sim, program, repetitions=args.repetitions)
     rows = [
@@ -352,7 +368,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
-    sim, model = _model_for(args.cluster, args.program, getattr(args, "inputs", None))
+    sim, model = _model_for(
+        args.cluster, args.program, getattr(args, "inputs", None), args.sim_backend
+    )
     if args.extrapolate:
         space = (
             ConfigSpace.xeon_pareto(sim.spec)
@@ -419,7 +437,9 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
 
 
 def _cmd_ucr(args: argparse.Namespace) -> int:
-    sim, model = _model_for(args.cluster, args.program, getattr(args, "inputs", None))
+    sim, model = _model_for(
+        args.cluster, args.program, getattr(args, "inputs", None), args.sim_backend
+    )
     space = ConfigSpace.physical(sim.spec)
     evaluation = evaluate_space(model, space)
     rows = [
@@ -437,7 +457,7 @@ def _cmd_ucr(args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
-    _, model = _model_for(args.cluster, args.program)
+    _, model = _model_for(args.cluster, args.program, backend=args.sim_backend)
     base = model.predict(args.config)
     tuned = model
     if args.mem_bandwidth != 1.0:
@@ -462,7 +482,9 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.dvfs import advise_stall_dvfs
 
-    _, model = _model_for(args.cluster, args.program, getattr(args, "inputs", None))
+    _, model = _model_for(
+        args.cluster, args.program, getattr(args, "inputs", None), args.sim_backend
+    )
     advice = advise_stall_dvfs(
         model, args.config, max_slowdown=args.max_slowdown
     )
@@ -516,7 +538,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     evaluations = {}
     for name in list_clusters():
-        sim, model = _model_for(name, args.program)
+        sim, model = _model_for(name, args.program, backend=args.sim_backend)
         evaluations[name] = evaluate_space(model, ConfigSpace.physical(sim.spec))
     comparison = ClusterComparison(evaluations)
     rows = [
@@ -571,7 +593,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     spec = get_cluster(args.cluster)
     total_nodes = args.nodes if args.nodes is not None else spec.max_nodes
-    sim = SimulatedCluster(spec)
+    sim = SimulatedCluster(spec, sim_backend=args.sim_backend)
     jobs = []
     for i, text in enumerate(args.job):
         try:
@@ -615,7 +637,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.measure.powertrace import synthesize_power_trace
 
-    sim = SimulatedCluster(get_cluster(args.cluster))
+    sim = _simulated(args.cluster, args.sim_backend)
     run = sim.run(get_program(args.program), args.config, collect_trace=True)
     trace = run.trace
     assert trace is not None

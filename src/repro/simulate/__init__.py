@@ -13,9 +13,16 @@ model-vs-simulator validation error is a real quantity.
 Entry point: :class:`SimulatedCluster` (``cluster.py``), which returns
 :class:`RunResult` records carrying wall time, a per-component energy
 breakdown, hardware-counter totals and an mpiP-style message log.
+
+Two execution cores back it: the scalar reference
+(:mod:`repro.simulate.runtime`) and the lane-stacked batched core
+(:mod:`repro.simulate.batched`), selected per call through
+:func:`resolve_backend` — bit-identical per run, so the choice is purely
+a throughput knob (see ``docs/SIMULATOR.md``).
 """
 
-from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.backend import SIM_BACKENDS, resolve_backend
+from repro.simulate.cluster import RunRequest, SimulatedCluster
 from repro.simulate.results import (
     ComponentEnergy,
     CounterTotals,
@@ -28,6 +35,9 @@ from repro.simulate.faults import FaultModel, degraded_memory, degraded_network
 
 __all__ = [
     "SimulatedCluster",
+    "RunRequest",
+    "SIM_BACKENDS",
+    "resolve_backend",
     "RunResult",
     "ComponentEnergy",
     "CounterTotals",

@@ -1,0 +1,49 @@
+"""Simulator backend selection (``auto`` / ``scalar`` / ``batched``).
+
+Mirrors the scalar/vectorized split of the analytical model (PR 1): the
+scalar backend (:func:`repro.simulate.runtime.execute`) is the readable
+bit-exact reference, the batched backend
+(:mod:`repro.simulate.batched`) stacks replication lanes through one
+NumPy pipeline.  Because the two are bit-identical lane for lane, the
+selector is a pure performance knob — ``auto`` picks the batched core
+whenever a call supplies more than one lane.
+
+Selection precedence: explicit argument > ``REPRO_SIM_BACKEND``
+environment variable > ``auto``.  The environment override exists for
+CI and for A/B-ing a whole campaign without threading a flag through
+every entry point.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SIM_BACKENDS", "resolve_backend"]
+
+#: The recognized backend names.
+SIM_BACKENDS = ("auto", "scalar", "batched")
+
+#: Environment override consulted when no explicit backend is requested.
+ENV_VAR = "REPRO_SIM_BACKEND"
+
+
+def resolve_backend(requested: str | None = None, lanes: int = 1) -> str:
+    """Resolve a backend request to ``"scalar"`` or ``"batched"``.
+
+    ``requested`` is an entry-point setting (``None``/``"auto"`` defer to
+    the ``REPRO_SIM_BACKEND`` environment variable, then to the lane
+    heuristic); ``lanes`` is how many runs the call site wants at once —
+    ``auto`` only picks the batched core when stacking is possible
+    (``lanes > 1``), since a single lane gains nothing from it.
+    """
+    name = requested if requested not in (None, "auto") else None
+    if name is None:
+        env = os.environ.get(ENV_VAR, "").strip().lower()
+        name = env if env and env != "auto" else None
+    if name is None:
+        return "batched" if lanes > 1 else "scalar"
+    if name not in ("scalar", "batched"):
+        raise ValueError(
+            f"unknown sim backend {name!r}; expected one of {SIM_BACKENDS}"
+        )
+    return name

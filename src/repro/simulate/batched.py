@@ -1,0 +1,322 @@
+"""Batched simulator core: lane-stacked runs over one NumPy pipeline.
+
+A validation campaign executes the same program at many ``(config,
+run_index)`` points; the scalar :func:`repro.simulate.runtime.execute`
+pays the fixed cost of every NumPy call (~1600 per run) once *per run*.
+This core executes a whole replication batch at once by stacking runs as
+**lanes** along a leading axis:
+
+* draws are consumed per lane from each lane's own named
+  :mod:`repro.rng` stream, in exactly the scalar order — lane ``k`` of a
+  batch therefore sees the *identical* variates as a standalone run;
+* the resolve stages (:func:`repro.simulate.cpu.demand_from_draws`,
+  :func:`repro.simulate.memory.memory_from_draws`,
+  :func:`repro.simulate.network.network_from_draws`) are shared with the
+  scalar backend and operate on ``(L, S, n, c)`` stacks — every
+  operation is row-independent (elementwise, per-row stable sort,
+  per-row Lindley scan), so each lane's floats are **bit-identical** to
+  the scalar backend, not merely close;
+* value-dependent tail draws (OS daemon preemptions, whose Poisson
+  parameter is the lane's own ``process_end``) resume each lane's
+  generator after the stacked resolve, keeping the stream aligned for
+  the barrier-skew and startup draws that follow.
+
+Bit-identity is a hard requirement, not a nicety: the resilience layer
+keys chaos decisions and cache fingerprints by exact float values
+(``resilience.value_token``), so a backend that was "only" 1e-9-close
+would silently divert chaos schedules and invalidate golden pins.
+
+Lanes may mix frequencies, DVFS throttle points and fault models freely;
+lanes with different ``(program, class, n, c)`` shapes are grouped, and
+each group is resolved in cache-sized chunks (see :func:`_lanes_per_chunk`)
+— stacking beyond the last-level-cache working set trades the NumPy
+call-overhead savings for DRAM-bound element work and loses.  Results
+come back in request order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.machines.spec import ClusterSpec, Configuration
+from repro.simulate.cpu import ComputeDemand, ComputeDraws, demand_from_draws, draw_compute
+from repro.simulate.faults import FaultModel
+from repro.simulate.memory import BATCHES, MemoryOutcome, draw_memory, memory_from_draws
+from repro.simulate.network import (
+    NetworkOutcome,
+    _message_counts,
+    draw_network,
+    network_from_draws,
+)
+from repro.simulate.noise import NoiseModel
+from repro.simulate.results import RunResult
+from repro.simulate.runtime import (
+    _startup_time_s,
+    apply_straggler,
+    execute,
+    finalize_run,
+)
+from repro.workloads.base import HybridProgram
+
+__all__ = ["LaneRequest", "execute_batch"]
+
+#: Target byte size of the largest per-chunk work array (the memory stage's
+#: ``(chunk, S, n, c*BATCHES)`` float64 stack).  Roughly the effective
+#: per-core cache budget: beyond it, elementwise throughput on this class
+#: of host drops ~2-3x (DRAM-bound), which outweighs any call-overhead
+#: amortization from stacking more lanes.
+CHUNK_TARGET_BYTES = 1 << 20
+
+#: Environment override for lanes-per-chunk (perf tuning / benchmarks).
+CHUNK_ENV_VAR = "REPRO_SIM_CHUNK_LANES"
+
+
+def _lanes_per_chunk(s_iters: int, nodes: int, cores: int) -> int:
+    """How many lanes to stack per resolve pass for this run shape.
+
+    Sized so the widest stacked array (the memory stage's request matrix)
+    stays near :data:`CHUNK_TARGET_BYTES` — small shapes stack tens of
+    lanes (amortizing fixed NumPy call costs, where the batched core
+    wins), big shapes fall back toward one lane per pass (where the
+    element work already dominates and bigger stacks only thrash cache).
+    ``REPRO_SIM_CHUNK_LANES`` overrides the heuristic when set.
+    """
+    override = os.environ.get(CHUNK_ENV_VAR)
+    if override:
+        return max(1, int(override))
+    float64_bytes = np.dtype(np.float64).itemsize
+    lane_bytes = float64_bytes * s_iters * nodes * cores * BATCHES
+    return max(1, CHUNK_TARGET_BYTES // max(1, lane_bytes))
+
+
+@dataclass(frozen=True)
+class LaneRequest:
+    """One lane of a batch: a fully specified run plus its RNG stream.
+
+    ``rng`` must be the same named stream a scalar
+    :meth:`repro.simulate.cluster.SimulatedCluster.run` would use for
+    this run — the determinism contract is per lane, not per batch.
+    """
+
+    program: HybridProgram
+    class_name: str
+    config: Configuration
+    rng: np.random.Generator
+    stall_frequency_hz: float | None = None
+    faults: FaultModel | None = None
+    collect_trace: bool = False
+
+
+def _lane_demand(demand: ComputeDemand, i: int) -> ComputeDemand:
+    """Lane ``i``'s contiguous ``(S, n, c)`` view of a stacked demand."""
+    return ComputeDemand(
+        instructions=demand.instructions[i],
+        work_cycles=demand.work_cycles[i],
+        hazard_cycles=demand.hazard_cycles[i],
+        cache_stall_cycles=demand.cache_stall_cycles[i],
+        dram_bytes=demand.dram_bytes[i],
+        compute_time_s=demand.compute_time_s[i],
+    )
+
+
+def _lane_memory(mem: MemoryOutcome, i: int) -> MemoryOutcome:
+    """Lane ``i``'s view of a stacked memory outcome."""
+    return MemoryOutcome(
+        stall_time_s=mem.stall_time_s[i],
+        wait_time_s=mem.wait_time_s[i],
+        service_time_s=mem.service_time_s[i],
+        stall_cycles=mem.stall_cycles[i],
+    )
+
+
+def _lane_network(net: NetworkOutcome, i: int) -> NetworkOutcome:
+    """Lane ``i``'s view of a stacked network outcome."""
+    return NetworkOutcome(
+        complete_s=net.complete_s[i],
+        net_time_s=net.net_time_s[i],
+        cpu_cost_s=net.cpu_cost_s[i],
+        port_wait_s=net.port_wait_s[i],
+        wire_time_s=net.wire_time_s[i],
+        messages=net.messages[i],
+        bytes_sent=net.bytes_sent[i],
+    )
+
+
+def _group_key(lane: LaneRequest) -> tuple[str, str, int, int]:
+    """Lanes sharing this key stack into one ``(L, S, n, c)`` resolve."""
+    return (
+        lane.program.name,
+        lane.class_name,
+        lane.config.nodes,
+        lane.config.cores,
+    )
+
+
+def _execute_group(
+    cluster: ClusterSpec, lanes: list[LaneRequest], noise: NoiseModel
+) -> list[RunResult]:
+    """Resolve one shape-homogeneous group of lanes in a single pass."""
+    if len(lanes) == 1:
+        # a single-lane chunk gains nothing from stacking (and would pay
+        # the stack copies); the scalar core is the same arithmetic
+        lane = lanes[0]
+        return [
+            execute(
+                lane.program,
+                lane.class_name,
+                cluster,
+                lane.config,
+                lane.rng,
+                noise,
+                stall_frequency_hz=lane.stall_frequency_hz,
+                collect_trace=lane.collect_trace,
+                faults=lane.faults,
+            )
+        ]
+    program = lanes[0].program
+    class_name = lanes[0].class_name
+    n, c = lanes[0].config.nodes, lanes[0].config.cores
+    s_iters = program.iterations(class_name)
+    lane_count = len(lanes)
+
+    # --- per-lane draws, each in the exact scalar generator order -------
+    cpu_draws = [
+        draw_compute(program, class_name, lane.config, noise, lane.rng)
+        for lane in lanes
+    ]
+    mem_u = [draw_memory(lane.rng, s_iters, n, c) for lane in lanes]
+    msgs = _message_counts(program, n)
+    sizes = offsets = None
+    if msgs > 0:
+        nu = program.bytes_per_message(class_name, n)
+        net_draws = [
+            draw_network(lane.rng, s_iters, n, msgs, nu) for lane in lanes
+        ]
+        sizes = np.stack([d[0] for d in net_draws])
+        offsets = np.stack([d[1] for d in net_draws])
+
+    draws = ComputeDraws(
+        proc_shares=np.stack([d.proc_shares for d in cpu_draws]),
+        thread_shares=np.stack([d.thread_shares for d in cpu_draws]),
+        jitter=np.stack([d.jitter for d in cpu_draws]),
+    )
+    # lane frequencies (and DVFS throttle points) broadcast over (L,S,n,c)
+    freqs = np.array(
+        [lane.config.frequency_hz for lane in lanes]
+    ).reshape(lane_count, 1, 1, 1)
+    stall_freqs = np.array(
+        [
+            lane.stall_frequency_hz
+            if lane.stall_frequency_hz is not None
+            else lane.config.frequency_hz
+            for lane in lanes
+        ]
+    ).reshape(lane_count, 1, 1, 1)
+
+    # --- stacked resolve: one NumPy pipeline across all lanes -----------
+    demand = demand_from_draws(
+        program, class_name, cluster, n, c, freqs, draws
+    )
+    arrival_fractions = np.stack(mem_u, axis=1)  # (n, L, S, c*B)
+    mem = memory_from_draws(
+        demand, cluster, n, c, freqs, stall_freqs, arrival_fractions
+    )
+
+    for i, lane in enumerate(lanes):
+        apply_straggler(
+            demand.compute_time_s[i], mem.stall_time_s[i], lane.faults, n
+        )
+
+    thread_time = demand.compute_time_s + mem.stall_time_s  # (L, S, n, c)
+    compute_end = thread_time.max(axis=-1)  # (L, S, n)
+    net = network_from_draws(cluster, n, msgs, compute_end, sizes, offsets)
+    process_end = net.complete_s + net.cpu_cost_s  # (L, S, n)
+
+    # --- per-lane tails: value-dependent draws resume each stream -------
+    results = []
+    for i, lane in enumerate(lanes):
+        lane_end = process_end[i] + noise.daemon_time(lane.rng, process_end[i])
+        iteration_time = lane_end.max(axis=1) + noise.barrier_skews(
+            lane.rng, (s_iters,)
+        )
+        wall_time = float(iteration_time.sum()) + _startup_time_s(
+            lane.config, lane.rng, noise
+        )
+        results.append(
+            finalize_run(
+                program,
+                class_name,
+                cluster,
+                lane.config,
+                _lane_demand(demand, i),
+                _lane_memory(mem, i),
+                _lane_network(net, i),
+                thread_time[i],
+                iteration_time,
+                wall_time,
+                lane.stall_frequency_hz,
+                lane.collect_trace,
+            )
+        )
+    return results
+
+
+def execute_batch(
+    cluster: ClusterSpec,
+    lanes: "list[LaneRequest] | tuple[LaneRequest, ...]",
+    noise: NoiseModel | None = None,
+) -> list[RunResult]:
+    """Execute every lane and return results in request order.
+
+    Lanes are grouped by ``(program, class, nodes, cores)``; each group
+    resolves as stacked NumPy passes over cache-sized lane chunks, so
+    throughput grows with batch homogeneity while results stay
+    bit-identical to the scalar backend lane by lane.
+    """
+    noise = noise if noise is not None else NoiseModel()
+    for lane in lanes:
+        cluster.validate_configuration(lane.config)
+        if lane.stall_frequency_hz is not None:
+            cluster.validate_configuration(
+                Configuration(
+                    lane.config.nodes, lane.config.cores, lane.stall_frequency_hz
+                )
+            )
+
+    groups: dict[tuple[str, str, int, int], list[int]] = {}
+    for idx, lane in enumerate(lanes):
+        groups.setdefault(_group_key(lane), []).append(idx)
+
+    with obs.span(
+        "sim_batch",
+        cluster=cluster.name,
+        lanes=len(lanes),
+        groups=len(groups),
+    ):
+        results: list[RunResult | None] = [None] * len(lanes)
+        chunk_count = 0
+        for indices in groups.values():
+            first = lanes[indices[0]]
+            per = _lanes_per_chunk(
+                first.program.iterations(first.class_name),
+                first.config.nodes,
+                first.config.cores,
+            )
+            for start in range(0, len(indices), per):
+                chunk = indices[start : start + per]
+                chunk_results = _execute_group(
+                    cluster, [lanes[i] for i in chunk], noise
+                )
+                chunk_count += 1
+                for i, result in zip(chunk, chunk_results):
+                    results[i] = result
+        if obs.metrics_enabled():
+            obs.add("sim.batched.lanes", len(lanes))
+            obs.add("sim.batched.groups", len(groups))
+            obs.add("sim.batched.chunks", chunk_count)
+            obs.add("sim.batched.batches")
+    return [r for r in results if r is not None]

@@ -10,14 +10,36 @@ message log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro import rng as rng_mod
 from repro.machines.spec import ClusterSpec, Configuration
+from repro.simulate.backend import resolve_backend
+from repro.simulate.batched import LaneRequest, execute_batch
 from repro.simulate.faults import FaultModel
 from repro.simulate.noise import NoiseModel
 from repro.simulate.results import RunResult
 from repro.simulate.runtime import execute
 from repro.workloads.base import HybridProgram
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One run of a batch submission (see `SimulatedCluster.run_batch`).
+
+    The same knobs as `SimulatedCluster.run`, as data — a batch is a
+    list of these, freely mixing configurations, repetition indices and
+    DVFS throttle points.
+    """
+
+    program: HybridProgram
+    config: Configuration
+    class_name: str | None = None
+    run_index: int = 0
+    stall_frequency_hz: float | None = None
+    collect_trace: bool = False
 
 
 @dataclass
@@ -29,12 +51,34 @@ class SimulatedCluster:
     return identical results while distinct ``run_index`` values model
     genuinely different executions (the paper's §IV-C "different runs of
     the same program" irregularity).
+
+    ``sim_backend`` selects the execution core (``auto``/``scalar``/
+    ``batched``, see :mod:`repro.simulate.backend`); the backends are
+    bit-identical per run, so the knob only affects throughput.
     """
 
     spec: ClusterSpec
     noise: NoiseModel = field(default_factory=NoiseModel)
     root_seed: int = rng_mod.DEFAULT_ROOT_SEED
     faults: "FaultModel | None" = None
+    sim_backend: str = "auto"
+
+    def _stream(
+        self,
+        program: HybridProgram,
+        class_name: str,
+        config: Configuration,
+        run_index: int,
+    ) -> np.random.Generator:
+        """The named RNG stream owning this run's randomness."""
+        return rng_mod.derive(
+            self.root_seed,
+            self.spec.name,
+            program.name,
+            class_name,
+            f"n={config.nodes},c={config.cores},f={config.frequency_hz:.0f}",
+            f"run={run_index}",
+        )
 
     def run(
         self,
@@ -51,17 +95,10 @@ class SimulatedCluster:
         ``collect_trace`` attaches the per-iteration phase timeline.
         """
         cls = class_name or program.reference_class
-        stream = rng_mod.derive(
-            self.root_seed,
-            self.spec.name,
-            program.name,
-            cls,
-            f"n={config.nodes},c={config.cores},f={config.frequency_hz:.0f}",
-            f"run={run_index}",
-        )
         # the DVFS knob deliberately does NOT enter the stream name: a
         # throttled and an unthrottled run with the same run_index share
         # identical workload randomness, so schedule comparisons are paired
+        stream = self._stream(program, cls, config, run_index)
         return execute(
             program,
             cls,
@@ -74,6 +111,50 @@ class SimulatedCluster:
             faults=self.faults,
         )
 
+    def run_batch(
+        self,
+        requests: Sequence[RunRequest],
+        backend: str | None = None,
+    ) -> list[RunResult]:
+        """Execute a batch of runs, results in request order.
+
+        Routes through the backend selector: the batched core stacks
+        shape-compatible requests into one NumPy pipeline, the scalar
+        core loops — either way each run is bit-identical to the
+        equivalent `run` call (same named stream, same arithmetic).
+        """
+        resolved = resolve_backend(
+            backend if backend is not None else self.sim_backend,
+            lanes=len(requests),
+        )
+        if resolved == "scalar":
+            return [
+                self.run(
+                    r.program,
+                    r.config,
+                    r.class_name,
+                    run_index=r.run_index,
+                    stall_frequency_hz=r.stall_frequency_hz,
+                    collect_trace=r.collect_trace,
+                )
+                for r in requests
+            ]
+        lanes = []
+        for r in requests:
+            cls = r.class_name or r.program.reference_class
+            lanes.append(
+                LaneRequest(
+                    program=r.program,
+                    class_name=cls,
+                    config=r.config,
+                    rng=self._stream(r.program, cls, r.config, r.run_index),
+                    stall_frequency_hz=r.stall_frequency_hz,
+                    faults=self.faults,
+                    collect_trace=r.collect_trace,
+                )
+            )
+        return execute_batch(self.spec, lanes, self.noise)
+
     def run_many(
         self,
         program: HybridProgram,
@@ -82,13 +163,18 @@ class SimulatedCluster:
         repetitions: int = 3,
     ) -> list[RunResult]:
         """Repeat a run with independent noise draws (measurement practice)."""
-        return [
-            self.run(program, config, class_name, run_index=i)
-            for i in range(repetitions)
-        ]
+        return self.run_batch(
+            [
+                RunRequest(program, config, class_name, run_index=i)
+                for i in range(repetitions)
+            ]
+        )
 
     def deterministic(self) -> "SimulatedCluster":
         """A noise-free copy (unit tests / debugging)."""
         return SimulatedCluster(
-            spec=self.spec, noise=NoiseModel.disabled(), root_seed=self.root_seed
+            spec=self.spec,
+            noise=NoiseModel.disabled(),
+            root_seed=self.root_seed,
+            sim_backend=self.sim_backend,
         )

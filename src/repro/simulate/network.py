@@ -92,6 +92,131 @@ def _destinations(nodes: int, msgs: int) -> np.ndarray:
     return (senders + 1 + (k % (nodes - 1))) % nodes
 
 
+def draw_network(
+    rng: np.random.Generator,
+    s_iters: int,
+    nodes: int,
+    msgs: int,
+    nu: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consume one run's communication draws from ``rng``.
+
+    Returns ``(sizes, offsets)``, both ``(S, n, M)``: lognormal message
+    sizes around the mean ``nu`` and sorted posting offsets within the
+    compute-burst tail.  Only called when the run communicates
+    (``msgs > 0``) — a single-node run consumes nothing, exactly like
+    the historical inline draws.
+    """
+    sizes = nu * rng.lognormal(
+        mean=-0.5 * np.log1p(SIZE_CV**2),
+        sigma=np.sqrt(np.log1p(SIZE_CV**2)),
+        size=(s_iters, nodes, msgs),
+    )
+    offsets = np.sort(
+        rng.uniform(1.0 - POST_WINDOW, 1.0, size=(s_iters, nodes, msgs)),
+        axis=-1,
+    )
+    return sizes, offsets
+
+
+def network_from_draws(
+    cluster: ClusterSpec,
+    nodes: int,
+    msgs: int,
+    compute_end_s: np.ndarray,
+    sizes: np.ndarray | None,
+    offsets: np.ndarray | None,
+) -> NetworkOutcome:
+    """Pure arithmetic of the communication phase, shape-agnostic over lanes.
+
+    ``compute_end_s`` is ``(..., S, n)`` and ``sizes``/``offsets`` are
+    ``(..., S, n, M)`` (``None`` when ``msgs == 0``); leading axes are
+    independent lanes.  All operations are row-independent, so a lane of
+    a stacked batch is bit-identical to a standalone scalar run.
+    """
+    nic = cluster.node.nic
+    switch = cluster.switch
+    n = nodes
+
+    if msgs == 0:
+        zeros = np.zeros(compute_end_s.shape)
+        return NetworkOutcome(
+            complete_s=compute_end_s.copy(),
+            net_time_s=zeros,
+            cpu_cost_s=zeros.copy(),
+            port_wait_s=zeros.copy(),
+            wire_time_s=zeros.copy(),
+            messages=zeros.copy(),
+            bytes_sent=zeros.copy(),
+        )
+    assert sizes is not None and offsets is not None
+
+    # --- posting times: sends issued during the tail of the compute burst
+    span = compute_end_s[..., None]
+    posts = span * offsets
+
+    # --- NIC egress serialization (per-sender FIFO) ----------------------
+    nic_service = nic.per_message_overhead_s + sizes / nic.effective_bandwidth
+    posts_flat = posts.reshape(-1, msgs)
+    nic_service_flat = nic_service.reshape(-1, msgs)
+    nic_waits = lindley_waits(posts_flat, nic_service_flat)
+    egress = (posts_flat + nic_waits + nic_service_flat).reshape(posts.shape)
+    send_complete = egress.max(axis=-1)  # (..., S, n): last send accepted
+
+    # --- output-port queueing at the switch ------------------------------
+    dests_flat = _destinations(n, msgs).ravel()  # (n*M,)
+    port_service = switch.forwarding_latency_s + sizes / switch.port_bytes_per_s
+    egress_flat = egress.reshape(egress.shape[:-2] + (n * msgs,))
+    service_flat = port_service.reshape(egress_flat.shape)
+
+    receive_complete = np.zeros(compute_end_s.shape)
+    port_wait = np.zeros(compute_end_s.shape)
+    wire_time = np.zeros(compute_end_s.shape)
+    # Ports are independent queues; round-robin traffic gives (almost)
+    # every port the same message count, so ports with equal occupancy
+    # stack as extra rows of one Lindley pass.  Each port's messages are
+    # gathered in ascending flat (sender, message) order — exactly the
+    # order a per-port boolean mask would produce — so per-row results
+    # are bit-identical to resolving ports one at a time.
+    port_indices = [np.nonzero(dests_flat == q)[0] for q in range(n)]
+    by_count: dict[int, list[int]] = {}
+    for q, idx in enumerate(port_indices):
+        if idx.size:
+            by_count.setdefault(idx.size, []).append(q)
+    for ports in by_count.values():
+        gather = np.stack([port_indices[q] for q in ports])  # (P, K)
+        arr_q = egress_flat[..., gather]  # (..., S, P, K)
+        svc_q = service_flat[..., gather]
+        order = np.argsort(arr_q, axis=-1, kind="stable")
+        sorted_arr = np.take_along_axis(arr_q, order, axis=-1)
+        sorted_svc = np.take_along_axis(svc_q, order, axis=-1)
+        waits = lindley_waits(sorted_arr, sorted_svc)
+        completions = sorted_arr + waits + sorted_svc
+        receive_complete[..., ports] = completions.max(axis=-1)
+        port_wait[..., ports] = waits.sum(axis=-1)
+        wire_time[..., ports] = sorted_svc.sum(axis=-1)
+
+    complete = np.maximum(
+        np.maximum(send_complete, receive_complete), compute_end_s
+    )
+
+    cpu_cost = (
+        msgs * nic.cpu_cost_per_message_s
+        + sizes.sum(axis=-1) * nic.cpu_cost_per_byte_s
+    )
+
+    net_time = complete - compute_end_s
+    return NetworkOutcome(
+        complete_s=complete,
+        net_time_s=net_time,
+        cpu_cost_s=cpu_cost,
+        port_wait_s=port_wait,
+        wire_time_s=wire_time,
+        messages=np.full(compute_end_s.shape, float(msgs)),
+        bytes_sent=sizes.sum(axis=-1),
+    )
+
+
 def resolve_network(
     program: HybridProgram,
     class_name: str,
@@ -107,82 +232,9 @@ def resolve_network(
     (including memory stalls) relative to the iteration start.
     """
     s_iters, n = compute_end_s.shape
-    nic = cluster.node.nic
-    switch = cluster.switch
-
     msgs = _message_counts(program, n)
-    if msgs == 0:
-        zeros = np.zeros((s_iters, n))
-        return NetworkOutcome(
-            complete_s=compute_end_s.copy(),
-            net_time_s=zeros,
-            cpu_cost_s=zeros.copy(),
-            port_wait_s=zeros.copy(),
-            wire_time_s=zeros.copy(),
-            messages=zeros.copy(),
-            bytes_sent=zeros.copy(),
-        )
-
-    nu = program.bytes_per_message(class_name, n)
-    sizes = nu * rng.lognormal(
-        mean=-0.5 * np.log1p(SIZE_CV**2),
-        sigma=np.sqrt(np.log1p(SIZE_CV**2)),
-        size=(s_iters, n, msgs),
-    )
-
-    # --- posting times: sends issued during the tail of the compute burst
-    span = compute_end_s[:, :, None]
-    offsets = np.sort(
-        rng.uniform(1.0 - POST_WINDOW, 1.0, size=(s_iters, n, msgs)), axis=2
-    )
-    posts = span * offsets
-
-    # --- NIC egress serialization (per-sender FIFO) ----------------------
-    nic_service = nic.per_message_overhead_s + sizes / nic.effective_bandwidth
-    posts_flat = posts.reshape(s_iters * n, msgs)
-    nic_service_flat = nic_service.reshape(s_iters * n, msgs)
-    nic_waits = lindley_waits(posts_flat, nic_service_flat)
-    egress = (posts_flat + nic_waits + nic_service_flat).reshape(s_iters, n, msgs)
-    send_complete = egress.max(axis=2)  # (S, n): last send accepted
-
-    # --- output-port queueing at the switch ------------------------------
-    dests = _destinations(n, msgs)  # (n, M)
-    port_service = switch.forwarding_latency_s + sizes / switch.port_bytes_per_s
-
-    receive_complete = np.zeros((s_iters, n))
-    port_wait = np.zeros((s_iters, n))
-    wire_time = np.zeros((s_iters, n))
-    for q in range(n):
-        mask = dests == q  # (n, M) senders' messages to q
-        if not mask.any():
-            continue
-        arr_q = egress[:, mask]  # (S, Kq)
-        svc_q = port_service[:, mask]
-        order = np.argsort(arr_q, axis=1, kind="stable")
-        sorted_arr = np.take_along_axis(arr_q, order, axis=1)
-        sorted_svc = np.take_along_axis(svc_q, order, axis=1)
-        waits = lindley_waits(sorted_arr, sorted_svc)
-        completions = sorted_arr + waits + sorted_svc
-        receive_complete[:, q] = completions.max(axis=1)
-        port_wait[:, q] = waits.sum(axis=1)
-        wire_time[:, q] = sorted_svc.sum(axis=1)
-
-    complete = np.maximum(
-        np.maximum(send_complete, receive_complete), compute_end_s
-    )
-
-    cpu_cost = (
-        msgs * nic.cpu_cost_per_message_s
-        + sizes.sum(axis=2) * nic.cpu_cost_per_byte_s
-    )
-
-    net_time = complete - compute_end_s
-    return NetworkOutcome(
-        complete_s=complete,
-        net_time_s=net_time,
-        cpu_cost_s=cpu_cost,
-        port_wait_s=port_wait,
-        wire_time_s=wire_time,
-        messages=np.full((s_iters, n), float(msgs)),
-        bytes_sent=sizes.sum(axis=2),
-    )
+    sizes = offsets = None
+    if msgs > 0:
+        nu = program.bytes_per_message(class_name, n)
+        sizes, offsets = draw_network(rng, s_iters, n, msgs, nu)
+    return network_from_draws(cluster, n, msgs, compute_end_s, sizes, offsets)

@@ -34,11 +34,39 @@ from repro.mg1 import mg1_mean_wait
 
 __all__ = [
     "lindley_waits",
+    "lindley_wait_sums",
     "lindley_waits_loop",
     "merge_request_streams",
     "per_owner_totals",
     "mg1_mean_wait",
 ]
+
+
+def _lindley_cumulative(
+    arrivals: np.ndarray, services: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix sums ``C`` and running minima for the closed-form recursion.
+
+    ``W[k] = C[k] - min(0, running_min(C)[k])`` for ``k >= 1``; the first
+    request of every row never waits.  Rows are independent queues; any
+    leading batch axes are flattened into rows, so the per-row arithmetic
+    (and therefore the bit pattern of every wait) is identical no matter
+    how many lanes are stacked in front.
+
+    Also validates arrival ordering (on the gaps it needs anyway) and
+    reuses the gap buffer for the scan — the kernel sits on the hot path
+    of every simulated run, so it is one diff, one cumsum, one
+    accumulate, with no extra temporaries.
+    """
+    gaps = np.diff(arrivals, axis=-1)
+    if np.any(gaps < -1e-12):
+        raise ValueError("each arrival row must be sorted ascending")
+    # X[k] = S[k-1] - A_gap[k]; first request never waits.
+    np.subtract(services[..., :-1], gaps, out=gaps)
+    c = np.cumsum(gaps, axis=-1, out=gaps)
+    running_min = np.minimum(c, 0.0)
+    np.minimum.accumulate(running_min, axis=-1, out=running_min)
+    return c, running_min
 
 
 def lindley_waits(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
@@ -47,8 +75,10 @@ def lindley_waits(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
     Parameters
     ----------
     arrivals:
-        Arrival times, shape ``(R,)`` or ``(B, R)``.  Each row must be
-        sorted ascending (requests are served in arrival order).
+        Arrival times, shape ``(R,)``, ``(B, R)`` or any ``(..., R)`` —
+        the last axis is the request axis, every leading axis an
+        independent batch lane.  Each row must be sorted ascending
+        (requests are served in arrival order).
     services:
         Service times aligned with ``arrivals``.
 
@@ -62,26 +92,42 @@ def lindley_waits(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
         raise ValueError("arrivals and services must have identical shapes")
     if arrivals.size == 0:
         return np.zeros_like(arrivals)
-    squeeze = arrivals.ndim == 1
-    if squeeze:
-        arrivals = arrivals[None, :]
-        services = services[None, :]
-    if arrivals.ndim != 2:
-        raise ValueError("arrivals must be 1-D or 2-D")
-    if np.any(np.diff(arrivals, axis=1) < -1e-12):
-        raise ValueError("each arrival row must be sorted ascending")
+    if arrivals.ndim == 0:
+        raise ValueError("arrivals must have a request axis")
 
-    # X[k] = S[k-1] - A_gap[k]; first request never waits.
-    gaps = np.diff(arrivals, axis=1)
-    x = services[:, :-1] - gaps
-    c = np.cumsum(x, axis=1)
-    # W[k] = C[k] - min(0, running_min(C)[k])  for k >= 1
-    running_min = np.minimum.accumulate(np.minimum(c, 0.0), axis=1)
-    waits = np.zeros_like(arrivals)
-    waits[:, 1:] = c - running_min
+    c, running_min = _lindley_cumulative(arrivals, services)
+    np.subtract(c, running_min, out=c)
     # guard fp noise: waits are non-negative by construction
-    np.maximum(waits, 0.0, out=waits)
-    return waits[0] if squeeze else waits
+    np.maximum(c, 0.0, out=c)
+    waits = np.zeros_like(arrivals)
+    waits[..., 1:] = c
+    return waits
+
+
+def lindley_wait_sums(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Per-row total waiting time — ``lindley_waits(...).sum(axis=-1)``.
+
+    The memory-controller queue only consumes the *total* wait of each
+    (iteration, node) row (it is re-attributed to threads by traffic
+    share), so the full wait matrix never needs to materialize.  The sum
+    is taken over the same per-element values the full recursion yields
+    (each ``max(0, C[k] - running_min)`` term), keeping results
+    bit-identical to summing :func:`lindley_waits` along the last axis.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    services = np.asarray(services, dtype=np.float64)
+    if arrivals.shape != services.shape:
+        raise ValueError("arrivals and services must have identical shapes")
+    if arrivals.size == 0 or arrivals.shape[-1] < 2:
+        return np.zeros(arrivals.shape[:-1], dtype=np.float64)
+    c, running_min = _lindley_cumulative(arrivals, services)
+    np.subtract(c, running_min, out=c)
+    np.maximum(c, 0.0, out=c)
+    # mirror lindley_waits(...).sum(axis=-1): the leading zero of every
+    # row participates in the pairwise sum there, so keep it here too
+    full = np.zeros(arrivals.shape, dtype=np.float64)
+    full[..., 1:] = c
+    return full.sum(axis=-1)
 
 
 def lindley_waits_loop(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:

@@ -60,9 +60,22 @@ class TestLindley:
         with pytest.raises(ValueError, match="sorted"):
             lindley_waits(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
 
-    def test_rejects_3d(self):
+    def test_nd_lanes_match_rows(self):
+        # the batched core stacks lanes as leading axes: any (..., R)
+        # shape resolves, each row independently
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(rng.uniform(0, 10, size=(2, 3, 20)), axis=-1)
+        services = rng.exponential(0.3, size=(2, 3, 20))
+        stacked = lindley_waits(arrivals, services)
+        for i in range(2):
+            for j in range(3):
+                assert np.array_equal(
+                    stacked[i, j], lindley_waits(arrivals[i, j], services[i, j])
+                )
+
+    def test_rejects_scalar(self):
         with pytest.raises(ValueError):
-            lindley_waits(np.zeros((2, 2, 2)), np.zeros((2, 2, 2)))
+            lindley_waits(np.float64(1.0), np.float64(1.0))
 
 
 class TestMergeAndAggregate:

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate: aggregate JSON reports and enforce baselines.
+
+Every ``bench_*`` module writes a machine-readable report to
+``benchmarks/out/<name>.json`` (the envelope of ``benchmarks/report.py``)
+beside its human-readable ``.txt`` artifact.  This tool turns those
+per-bench files into one trend record and a regression verdict:
+
+1. **aggregate** — collect every report envelope under ``benchmarks/out/``
+   into a single ``bench_report.json`` (metrics flattened to
+   ``<report>.<metric>``), suitable for uploading as a CI artifact and
+   diffing across commits;
+2. **check** — compare each flattened metric against the tolerance band
+   committed in ``benchmarks/baseline.json``.  A metric outside its
+   ``[min, max]`` band is a regression and the exit status is non-zero.
+   Metrics without a band, and bands without a metric, are reported as
+   warnings only — new benchmarks should not break the build before a
+   baseline is agreed, and full-mode-only metrics are legitimately absent
+   from smoke runs.
+
+Bands are deliberately wide: they must hold in both smoke and full modes
+and across noisy virtualized CI hosts, so they catch order-of-magnitude
+breakage (a gate asserting 1.1x suddenly reporting 0.2x, an error metric
+jumping past its paper bound), not percent-level drift.  The drift story
+is the aggregated artifact's job — ``bench_report.json`` carries exact
+values, units, mode, and git SHA for offline comparison.
+
+Usage::
+
+    python tools/bench_trend.py                 # aggregate + check
+    python tools/bench_trend.py --out trend.json
+    python tools/bench_trend.py --no-check      # aggregate only
+
+CI runs this right after the benchmark smoke gates; the nightly workflow
+runs it after the full-mode benches and uploads the trend artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_DIR = ROOT / "benchmarks" / "out"
+BASELINE = ROOT / "benchmarks" / "baseline.json"
+
+#: Filename of the aggregated record — never re-ingested as a report.
+AGGREGATE_NAME = "bench_report.json"
+
+sys.path.insert(0, str(ROOT / "benchmarks"))
+from report import load_report  # noqa: E402  (repo-local import)
+
+
+def aggregate(out_dir: pathlib.Path) -> dict:
+    """Collect every report envelope in ``out_dir`` into one record.
+
+    Returns ``{"reports": {...}, "metrics": {...}}`` where ``metrics``
+    flattens every report's metrics to ``<report>.<metric>`` entries
+    (each still a ``{"value", "unit"}`` dict, plus the report's mode).
+    Non-envelope JSON files (legacy records, trace dumps) are skipped.
+    """
+    reports: dict[str, dict] = {}
+    flat: dict[str, dict] = {}
+    for path in sorted(out_dir.glob("*.json")):
+        if path.name == AGGREGATE_NAME:
+            continue  # never re-ingest our own output
+        payload = load_report(path)
+        if payload is None:
+            continue
+        name = payload.get("name", path.stem)
+        reports[name] = payload
+        for metric, entry in payload["metrics"].items():
+            flat[f"{name}.{metric}"] = {**entry, "mode": payload.get("mode")}
+    return {"reports": reports, "metrics": flat}
+
+
+def check(metrics: dict, baseline: dict) -> tuple[list[str], list[str]]:
+    """Compare flattened metrics against baseline bands.
+
+    Returns ``(failures, warnings)``.  A failure is a metric whose value
+    falls outside its committed ``[min, max]`` band; a warning is a
+    metric with no band or a band with no metric (informational only).
+    """
+    bands = baseline.get("metrics", {})
+    failures: list[str] = []
+    warnings: list[str] = []
+    for key, entry in sorted(metrics.items()):
+        band = bands.get(key)
+        if band is None:
+            warnings.append(f"no baseline band for {key} (value {entry['value']:g})")
+            continue
+        lo, hi = band.get("min"), band.get("max")
+        value = entry["value"]
+        if lo is not None and value < lo:
+            failures.append(
+                f"{key} = {value:g} {entry.get('unit', '')} "
+                f"below baseline min {lo:g}"
+            )
+        if hi is not None and value > hi:
+            failures.append(
+                f"{key} = {value:g} {entry.get('unit', '')} "
+                f"above baseline max {hi:g}"
+            )
+    for key in sorted(set(bands) - set(metrics)):
+        warnings.append(f"baseline band {key} has no measured metric this run")
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Aggregate the reports, write the trend record, enforce the bands."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        type=pathlib.Path,
+        default=OUT_DIR,
+        help="directory holding the per-bench report JSONs",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=BASELINE,
+        help="committed tolerance bands (benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=OUT_DIR / "bench_report.json",
+        help="where to write the aggregated trend record",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="aggregate only; skip the baseline comparison",
+    )
+    args = parser.parse_args(argv)
+
+    record = aggregate(args.out_dir)
+    if not record["metrics"]:
+        print(f"bench_trend: no report envelopes found under {args.out_dir}")
+        return 1
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"bench_trend: aggregated {len(record['reports'])} reports "
+        f"({len(record['metrics'])} metrics) -> {args.out}"
+    )
+
+    if args.no_check:
+        return 0
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except FileNotFoundError:
+        print(f"bench_trend: baseline {args.baseline} missing")
+        return 1
+    failures, warnings = check(record["metrics"], baseline)
+    for line in warnings:
+        print(f"  warn: {line}")
+    for line in failures:
+        print(f"  FAIL: {line}")
+    if failures:
+        print(f"bench_trend: {len(failures)} metric(s) outside baseline bands")
+        return 1
+    print(
+        f"bench_trend: all banded metrics within baseline "
+        f"({len(warnings)} warnings)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

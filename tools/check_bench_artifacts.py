@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Benchmark artifact hygiene gate: every ``.txt`` needs a ``.json`` twin.
+
+The benchmark harness writes each regenerated table/figure twice: a
+human-readable ``.txt`` artifact and a machine-readable ``.json`` report
+(the envelope of ``benchmarks/report.py``) that feeds
+``tools/bench_trend.py``.  A committed ``.txt`` without its sibling means
+a bench was added or renamed without wiring the trend pipeline — the
+numbers would render for humans but silently vanish from regression
+tracking.  This gate fails the build on any such orphan.
+
+Only *committed* artifacts are checked (``git ls-files``), so local
+scratch output never trips it.  Aggregates (``bench_report.json``) and
+non-tabular artifacts (``.prom`` metric dumps, ``.jsonl`` traces) are
+exempt: they are not bench tables and carry no metrics to band.
+
+CI runs this in the lint job; locally: ``python tools/check_bench_artifacts.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_PREFIX = "benchmarks/out/"
+
+
+def committed_artifacts() -> list[str]:
+    """Paths of committed files under ``benchmarks/out/``."""
+    proc = subprocess.run(
+        ["git", "ls-files", OUT_PREFIX],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def find_orphans(paths: list[str]) -> list[str]:
+    """Committed ``.txt`` artifacts with no committed ``.json`` sibling."""
+    committed = set(paths)
+    return sorted(
+        path
+        for path in committed
+        if path.endswith(".txt")
+        and path[: -len(".txt")] + ".json" not in committed
+    )
+
+
+def main() -> int:
+    """Exit non-zero listing every ``.txt`` artifact missing its report."""
+    paths = committed_artifacts()
+    if not paths:
+        print(f"check_bench_artifacts: nothing committed under {OUT_PREFIX}")
+        return 0
+    orphans = find_orphans(paths)
+    if orphans:
+        print(
+            "check_bench_artifacts: committed .txt artifacts missing their "
+            ".json report sibling (add a write_report call to the bench):"
+        )
+        for path in orphans:
+            print(f"  {path}")
+        return 1
+    txt_count = sum(1 for p in paths if p.endswith(".txt"))
+    print(
+        f"check_bench_artifacts: ok — {txt_count} .txt artifacts all have "
+        "their .json reports"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
