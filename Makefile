@@ -10,11 +10,11 @@ test:
 
 # mirror of .github/workflows/ci.yml: lint + hygiene + docstring gates,
 # tier-1 tests, the instrumentation-overhead, resilience-overhead,
-# vectorized-speedup, parallel-speedup and sim-throughput gates, the
-# benchmark trend gate, then the docs gate (the CI job additionally runs
-# the tier-1 suite under pytest-cov with a threshold on repro.core /
-# repro.obs / repro.mg1 / repro.resilience / repro.simulate, plus a
-# chaos job — see `make chaos`)
+# vectorized-speedup, parallel-speedup, sim-throughput and
+# serve-throughput gates, the benchmark trend gate, then the docs gate
+# (the CI job additionally runs the tier-1 suite under pytest-cov with a
+# threshold on repro.core / repro.obs / repro.mg1 / repro.resilience /
+# repro.simulate / repro.serve, plus a chaos job — see `make chaos`)
 ci: lint lint-repro typecheck hygiene bench-hygiene docstrings
 	PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
@@ -22,6 +22,7 @@ ci: lint lint-repro typecheck hygiene bench-hygiene docstrings
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_parallel_speedup.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -x -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -x -q
 	python tools/bench_trend.py
 	python tools/check_docs.py
 

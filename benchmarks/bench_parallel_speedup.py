@@ -66,7 +66,8 @@ def test_parallel_speedup(
     model = model_cache(xeon_sim, "SP")
     space = _synthetic_space()
     plan = ExecutionPlan(
-        workers=WORKERS, min_parallel_configs=1, transport="memmap"
+        workers=WORKERS, min_parallel_configs=1, transport="memmap",
+        clamp_workers=False,
     )
 
     try:

@@ -226,6 +226,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--program", choices=list_programs(), required=True)
     p.add_argument("--config", type=_parse_config, required=True, metavar="n,c,fGHz")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP/JSON prediction service "
+        "(evaluate_space/search/pareto/whatif/ucr — see docs/SERVING.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="REQ_PER_S",
+        help="sustained admission rate for the token bucket "
+        "(0 = unlimited); excess requests get 429 + Retry-After",
+    )
+    p.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+
     # The real parser lives in repro.lint.cli; main() forwards to it
     # before global options are parsed.  This stub only provides the
     # --help listing.
@@ -662,6 +685,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import run_server
+
+    # The service owns its warm tier directly (the global --cache-dir is
+    # reused as its ResultCache directory); --workers still installs the
+    # ambient plan around it, so large per-request sweeps shard as usual.
+    return run_server(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        burst=args.burst,
+        cache_dir=args.cache_dir,
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "systems":
         return _cmd_systems()
@@ -689,6 +727,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_batch(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

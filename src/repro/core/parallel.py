@@ -43,6 +43,7 @@ import os
 import pathlib
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -88,6 +89,12 @@ class ExecutionPlan:
     ``cache`` persists results on disk keyed by content fingerprint.
     Install a plan with :func:`parallel_plan` (context manager) or
     :func:`activate`.
+
+    ``workers`` is a *request*: by default the dispatch clamps it to the
+    CPUs actually available (:func:`effective_workers`) because sharding
+    past the core count is a measured pessimization.  Tests and
+    benchmarks that exercise the shard machinery itself on small hosts
+    set ``clamp_workers=False``.
     """
 
     workers: int = 1
@@ -95,6 +102,7 @@ class ExecutionPlan:
     min_parallel_configs: int = DEFAULT_MIN_PARALLEL_CONFIGS
     shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER
     transport: str = "memmap"
+    clamp_workers: bool = True
 
     def __post_init__(self) -> None:
         """Validate the knobs (worker/shard counts, transport name)."""
@@ -156,29 +164,74 @@ def parallel_plan(
 
 
 # ----------------------------------------------------------------------
+# host capacity
+# ----------------------------------------------------------------------
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers the scheduling affinity mask (``sched_getaffinity``), which
+    respects cgroup/container and ``taskset`` restrictions that
+    ``os.cpu_count()`` ignores; falls back to the raw count on platforms
+    without affinity support.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def effective_workers(requested: int) -> int:
+    """``requested`` workers clamped to the CPUs actually available.
+
+    Sharding across more processes than cores is a recorded pessimization
+    (0.67x at 4 workers on a 1-CPU host, ``parallel_speedup.json``):
+    every extra process adds dispatch and serialization cost but no
+    parallel compute.  :func:`evaluate_plan` routes through this clamp
+    and falls back to the inline single-process engine when it yields 1.
+    """
+    return max(1, min(requested, available_cpus()))
+
+
+# ----------------------------------------------------------------------
 # the worker pool (persistent, lazily created)
 # ----------------------------------------------------------------------
 
 _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS = 0
 
+#: Guards the pool globals: concurrent sweeps (the ``repro serve`` layer
+#: dispatches engine calls from a thread pool) must never observe a
+#: half-swapped pool or leak a superseded one.
+_POOL_LOCK = threading.Lock()
+
 
 def _pool(workers: int) -> ProcessPoolExecutor:
-    """The shared pool, (re)created when the worker count changes."""
+    """The shared pool, (re)created when the worker count changes.
+
+    Thread-safe: without the lock, two threads requesting a pool
+    concurrently could each create one and silently replace the other's
+    (leaking its worker processes).  A superseded pool is always shut
+    down before the swap.
+    """
     global _POOL, _POOL_WORKERS
-    if _POOL is None or _POOL_WORKERS != workers:
-        shutdown_pool()
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platform without fork
-            context = multiprocessing.get_context()
-        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        _POOL_WORKERS = workers
-    return _POOL
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS != workers:
+            _shutdown_pool_locked()
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - platform without fork
+                context = multiprocessing.get_context()
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+            _POOL_WORKERS = workers
+        return _POOL
 
 
-def shutdown_pool() -> None:
-    """Shut the persistent worker pool down (tests, interpreter exit)."""
+def _shutdown_pool_locked() -> None:
+    """Shut the current pool down; caller must hold ``_POOL_LOCK``."""
     global _POOL, _POOL_WORKERS
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
@@ -186,6 +239,14 @@ def shutdown_pool() -> None:
         _POOL_WORKERS = 0
 
 
+def shutdown_pool() -> None:
+    """Shut the persistent worker pool down (tests, interpreter exit)."""
+    with _POOL_LOCK:
+        _shutdown_pool_locked()
+
+
+# The pool must not outlive the interpreter: without this hook a live
+# fork pool at exit leaves worker processes to be reaped by timeout.
 atexit.register(shutdown_pool)
 
 
@@ -318,14 +379,19 @@ def _scratch_dir() -> str:
 
 def _run_sharded(
     plan: ExecutionPlan,
+    workers: int,
     model,
     space: object,
     class_name: str,
     queueing: str,
     service_overlap: bool,
 ) -> vectorized.VectorizedEvaluation:
-    """Fan a sweep out across the worker pool and reassemble in order."""
-    shards = shard_space(space, plan.shards)
+    """Fan a sweep out across the worker pool and reassemble in order.
+
+    ``workers`` is the *effective* (CPU-clamped) worker count — the
+    plan's requested count is only an upper bound.
+    """
+    shards = shard_space(space, workers * plan.shards_per_worker)
     total = sum(length for _, length, _ in shards)
 
     scratch: str | None = None
@@ -345,7 +411,7 @@ def _run_sharded(
             scratch = None
 
     try:
-        pool = _pool(plan.workers)
+        pool = _pool(workers)
         futures = [
             pool.submit(
                 _worker_shard,
@@ -427,20 +493,34 @@ def evaluate_plan(
             return cached
 
     size = _space_size(space)
-    if plan.workers > 1 and size >= plan.min_parallel_configs:
+    workers = (
+        effective_workers(plan.workers) if plan.clamp_workers else plan.workers
+    )
+    if workers < plan.workers:
+        # sharding beyond the CPUs available is the recorded 0.67x
+        # pessimization; record the clamp so operators can see it
+        obs.add("parallel.worker_clamps")
+    if workers > 1 and size >= plan.min_parallel_configs:
         if not obs.active():
             result = _run_sharded(
-                plan, model, space, cls, queueing, service_overlap
+                plan, workers, model, space, cls, queueing, service_overlap
             )
         else:
             with obs.span(
-                "parallel_evaluate", workers=plan.workers, configs=size
+                "parallel_evaluate",
+                workers=workers,
+                workers_requested=plan.workers,
+                configs=size,
             ) as sp:
                 result = _run_sharded(
-                    plan, model, space, cls, queueing, service_overlap
+                    plan, workers, model, space, cls, queueing, service_overlap
                 )
                 sp.set(transport=plan.transport)
     else:
+        if plan.workers > 1 and size >= plan.min_parallel_configs:
+            # the sweep was big enough to shard but the host is not:
+            # fall back to the inline single-process engine
+            obs.add("parallel.clamped_inline_sweeps")
         obs.add("parallel.inline_sweeps")
         result = vectorized._compute(
             model, space, cls, queueing, service_overlap

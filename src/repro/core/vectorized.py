@@ -27,6 +27,7 @@ Two properties are deliberately preserved:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -166,50 +167,67 @@ class CacheInfo(NamedTuple):
     evictions: int = 0
 
 
+_MISSING = object()
+
+
 class _LRUCache:
     """A small explicit LRU (model fingerprints are not lru_cache-able).
 
+    All dict mutation and the ``hits``/``misses``/``evictions`` stats are
+    guarded by a lock: `repro serve` calls into the engine from worker
+    threads, so ``get``/``put`` race once requests run concurrently.
     Hit/miss/eviction events are mirrored into the observability layer
-    (``vectorized.cache.*`` counters) whenever metrics are enabled.
+    (``vectorized.cache.*`` counters, reported outside the lock) whenever
+    metrics are enabled.
     """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self._data: OrderedDict[object, VectorizedEvaluation] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: object) -> VectorizedEvaluation | None:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+        if value is _MISSING:
             obs.add("vectorized.cache.misses")
             return None
-        self._data.move_to_end(key)
-        self.hits += 1
         obs.add("vectorized.cache.hits")
-        return value
+        return value  # type: ignore[return-value]
 
     def put(self, key: object, value: VectorizedEvaluation) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             obs.add("vectorized.cache.evictions")
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            self.hits, self.misses, self.maxsize, len(self._data), self.evictions
-        )
+        with self._lock:
+            return CacheInfo(
+                self.hits, self.misses, self.maxsize, len(self._data),
+                self.evictions,
+            )
 
 
 _EVALUATION_CACHE = _LRUCache(maxsize=64)

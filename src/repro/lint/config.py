@@ -33,6 +33,7 @@ DEFAULT_OBS_ENTRY_POINTS: tuple[str, ...] = (
     "repro.core.search.search_min_energy_within_deadline",
     "repro.core.search.search_min_time_within_budget",
     "repro.core.whatif.WhatIf.compare",
+    "repro.serve.app.ServeApp.handle",
 )
 
 

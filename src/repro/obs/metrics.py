@@ -11,6 +11,7 @@ No background threads, no global state — the enabled registry lives in
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 #: Default histogram buckets (seconds): spans µs-scale predictions to
@@ -98,12 +99,19 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Creation-only lock: the hit path stays lock-free (a plain dict
+        # read), but concurrent first-use of the same name must not build
+        # two Counter/Histogram objects and silently drop one's updates.
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create the counter ``name``."""
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name=name, help=help)
+            with self._create_lock:
+                c = self._counters.get(name)
+                if c is None:
+                    c = self._counters[name] = Counter(name=name, help=help)
         return c
 
     def histogram(
@@ -115,9 +123,12 @@ class MetricsRegistry:
         """Get or create the histogram ``name``."""
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = Histogram(
-                name=name, help=help, buckets=tuple(buckets)
-            )
+            with self._create_lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    h = self._histograms[name] = Histogram(
+                        name=name, help=help, buckets=tuple(buckets)
+                    )
         return h
 
     def counter_value(self, name: str) -> float:

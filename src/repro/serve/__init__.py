@@ -1,0 +1,37 @@
+"""``repro serve`` — an asyncio HTTP/JSON prediction service.
+
+The package turns the vectorized configuration-space engine into an
+online query service: the endpoints mirror the CLI's analyses
+(``evaluate_space`` / ``search`` / ``pareto`` / ``whatif`` / ``ucr``)
+but answer concurrent requests from a single process.
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.schemas` — strict JSON request parsing into a
+  canonical, fingerprintable :class:`~repro.serve.schemas.Query`.
+* :mod:`repro.serve.coalesce` — asyncio single-flight: concurrent
+  identical queries share one in-flight computation and every caller
+  receives the same (bit-identical) response bytes.
+* :mod:`repro.serve.limits` — a token-bucket rate limiter backing the
+  429 + ``Retry-After`` admission path.
+* :mod:`repro.serve.app` — the :class:`~repro.serve.app.ServeApp`
+  request core (routing, caching tiers, graceful drain), the minimal
+  HTTP/1.1 transport and :func:`~repro.serve.app.run_server`.
+
+See ``docs/SERVING.md`` for endpoint semantics and operations notes.
+"""
+
+from repro.serve.app import ServeApp, run_server
+from repro.serve.coalesce import Coalescer
+from repro.serve.limits import TokenBucket
+from repro.serve.schemas import Query, SchemaError, parse_query
+
+__all__ = [
+    "Coalescer",
+    "Query",
+    "SchemaError",
+    "ServeApp",
+    "TokenBucket",
+    "parse_query",
+    "run_server",
+]

@@ -1,0 +1,64 @@
+"""Single-flight request coalescing for the prediction service.
+
+Concurrent queries with the same content fingerprint share one in-flight
+computation: the first caller starts it, every later caller awaits the
+same task and receives the *same object* — for response bodies, the same
+``bytes``, which is what makes coalesced responses bit-identical by
+construction rather than by re-serialization.
+
+The coalescer is confined to the event loop (all bookkeeping happens in
+coroutines scheduled on one loop), so its state needs no lock.  Awaiting
+callers are shielded from each other: one caller's cancellation must not
+cancel the shared flight other callers are still waiting on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro import obs
+
+
+class Coalescer:
+    """Deduplicate concurrent computations by key (asyncio single-flight)."""
+
+    def __init__(self) -> None:
+        """Create an empty coalescer (no flights in progress)."""
+        self._inflight: dict[object, asyncio.Task] = {}
+        self.flights = 0
+        self.merged = 0
+
+    def inflight(self, key: object) -> bool:
+        """Whether a flight for ``key`` is currently in progress."""
+        return key in self._inflight
+
+    @property
+    def inflight_count(self) -> int:
+        """Number of distinct flights currently in progress."""
+        return len(self._inflight)
+
+    async def get(
+        self, key: object, compute: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """The result for ``key``, computing it at most once concurrently.
+
+        The first caller for a key launches ``compute()`` as a task;
+        callers arriving while it runs await that same task (counted in
+        :attr:`merged` and the ``serve.coalesced`` counter).  Once a
+        flight finishes — successfully or not — the key is released and
+        the next request computes afresh: coalescing is a concurrency
+        dedup, not a cache.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.flights += 1
+            task = asyncio.ensure_future(compute())
+            self._inflight[key] = task
+            task.add_done_callback(lambda _t: self._inflight.pop(key, None))
+        else:
+            self.merged += 1
+            obs.add("serve.coalesced")
+        # Shield: cancelling one awaiting caller must not cancel the
+        # flight out from under the others.
+        return await asyncio.shield(task)

@@ -1,0 +1,76 @@
+"""Token-bucket admission control for the prediction service.
+
+One bucket guards the whole query surface: tokens refill continuously at
+``rate`` per second up to a ``burst`` capacity, each admitted request
+spends one, and an empty bucket yields the number of seconds until the
+next token — which the HTTP layer renders as ``429`` with a
+``Retry-After`` header.
+
+The bucket is used from the event loop only (admission happens before a
+request is handed to a worker thread), so it needs no lock; the clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    ``rate`` is the sustained admission rate (tokens per second) and
+    ``burst`` the bucket capacity — the largest instantaneous spike
+    admitted from a full bucket.  A ``rate`` of 0 disables limiting
+    entirely (every :meth:`try_acquire` succeeds).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Create a bucket admitting ``rate``/s with ``burst`` capacity."""
+        if rate < 0:
+            raise ValueError("rate must be >= 0 (0 disables limiting)")
+        self.rate = float(rate)
+        self.capacity = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.rate > 0 and self.capacity < 1.0:
+            raise ValueError("burst must admit at least one request")
+        self._clock = clock
+        self._tokens = self.capacity
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        self._refilled_at = now
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Spend ``n`` tokens; 0.0 on success, else seconds until refill.
+
+        A non-zero return means the request must be rejected now and may
+        be retried after that many seconds (the 429 ``Retry-After``).
+        """
+        if self.rate == 0:
+            return 0.0
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+    def retry_after_header(self, wait_s: float) -> str:
+        """``Retry-After`` header value for a rejected request."""
+        return str(max(1, math.ceil(wait_s)))
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refreshes the refill clock)."""
+        self._refill()
+        return self._tokens

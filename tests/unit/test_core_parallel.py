@@ -166,7 +166,8 @@ def test_shard_space_rejects_zero_shards():
 def test_sharded_grid_bit_identical(model, transport):
     reference = _compute(model, GRID, None, "bracketed", True)
     plan = ExecutionPlan(
-        workers=2, min_parallel_configs=1, transport=transport
+        workers=2, min_parallel_configs=1, transport=transport,
+        clamp_workers=False,
     )
     sharded = evaluate_plan(plan, model, GRID, None, "bracketed", True)
     _assert_bit_identical(sharded, reference)
@@ -182,14 +183,17 @@ def test_sharded_explicit_bit_identical(model, transport):
     )
     reference = _compute(model, cfgs, None, "bracketed", True)
     plan = ExecutionPlan(
-        workers=2, min_parallel_configs=1, transport=transport
+        workers=2, min_parallel_configs=1, transport=transport,
+        clamp_workers=False,
     )
     sharded = evaluate_plan(plan, model, cfgs, None, "bracketed", True)
     _assert_bit_identical(sharded, reference)
 
 
 def test_sharded_matches_all_queueing_variants(model):
-    plan = ExecutionPlan(workers=2, min_parallel_configs=1)
+    plan = ExecutionPlan(
+        workers=2, min_parallel_configs=1, clamp_workers=False
+    )
     for queueing in ("bracketed", "mg1", "none"):
         reference = _compute(model, GRID, None, queueing, True)
         sharded = evaluate_plan(plan, model, GRID, None, queueing, True)
@@ -199,7 +203,7 @@ def test_sharded_matches_all_queueing_variants(model):
 def test_evaluate_space_under_plan_matches(model):
     baseline = evaluate_space(model, GRID)
     clear_evaluation_cache()
-    with parallel_plan(workers=2, min_parallel_configs=1):
+    with parallel_plan(workers=2, min_parallel_configs=1, clamp_workers=False):
         planned = evaluate_space(model, GRID)
     assert np.array_equal(planned.times_s, baseline.times_s)
     assert np.array_equal(planned.energies_j, baseline.energies_j)
@@ -236,7 +240,7 @@ def test_search_identical_under_plan(model):
     best_plain, stats_plain = search_min_energy_within_deadline(
         model, space, deadline_s=1e6
     )
-    with parallel_plan(workers=2, min_parallel_configs=1):
+    with parallel_plan(workers=2, min_parallel_configs=1, clamp_workers=False):
         best_plan, stats_plan = search_min_energy_within_deadline(
             model, space, deadline_s=1e6
         )
@@ -250,7 +254,7 @@ def test_search_checkpoint_pins_chunk_size(model, tmp_path):
     """A checkpoint written under one worker count refuses another."""
     ck = tmp_path / "search.ck"
     space = list(GRID)
-    with parallel_plan(workers=2, min_parallel_configs=1):
+    with parallel_plan(workers=2, min_parallel_configs=1, clamp_workers=False):
         search_min_energy_within_deadline(
             model, space, deadline_s=1e6, checkpoint=ck
         )
@@ -284,3 +288,139 @@ def test_uncacheable_sweeps_skip_disk(model, tmp_path):
         evaluate_configs(model, cfgs, use_cache=False)
         assert plan.cache.stats()["writes"] == 0
         assert plan.cache.entries() == []
+
+
+# ----------------------------------------------------------------------
+# worker clamping on low-CPU hosts (regression: 0.67x pessimization)
+# ----------------------------------------------------------------------
+
+
+def test_effective_workers_clamps_to_available_cpus(monkeypatch):
+    monkeypatch.setattr(parallel, "available_cpus", lambda: 2)
+    assert parallel.effective_workers(1) == 1
+    assert parallel.effective_workers(2) == 2
+    assert parallel.effective_workers(8) == 2
+    monkeypatch.setattr(parallel, "available_cpus", lambda: 16)
+    assert parallel.effective_workers(8) == 8
+
+
+def test_available_cpus_is_positive():
+    assert parallel.available_cpus() >= 1
+
+
+def test_clamped_plan_runs_inline_on_single_cpu_host(model, monkeypatch):
+    """workers=4 on a 1-CPU host must fall back to the inline engine."""
+    from repro import obs
+
+    monkeypatch.setattr(parallel, "available_cpus", lambda: 1)
+    registry = obs.enable_metrics()
+    try:
+        plan = ExecutionPlan(workers=4, min_parallel_configs=1)
+        result = evaluate_plan(plan, model, GRID, None, "bracketed", True)
+        assert registry.counter_value("parallel.worker_clamps") == 1
+        assert registry.counter_value("parallel.clamped_inline_sweeps") == 1
+        assert registry.counter_value("parallel.inline_sweeps") == 1
+        # no sharded sweep ran
+        assert registry.counter_value("parallel.sweeps") == 0
+    finally:
+        obs.disable()
+    _assert_bit_identical(result, _compute(model, GRID, None, "bracketed", True))
+
+
+def test_clamp_partial_uses_available_cpus(model, monkeypatch):
+    """workers=4 on a 2-CPU host shards across 2 workers, bit-identically."""
+    from repro import obs
+
+    monkeypatch.setattr(parallel, "available_cpus", lambda: 2)
+    registry = obs.enable_metrics()
+    try:
+        plan = ExecutionPlan(workers=4, min_parallel_configs=1)
+        result = evaluate_plan(plan, model, GRID, None, "bracketed", True)
+        assert registry.counter_value("parallel.worker_clamps") == 1
+        assert registry.counter_value("parallel.sweeps") == 1
+        assert registry.counter_value("parallel.inline_sweeps") == 0
+    finally:
+        obs.disable()
+    _assert_bit_identical(result, _compute(model, GRID, None, "bracketed", True))
+
+
+def test_clamp_workers_false_bypasses_the_clamp(model, monkeypatch):
+    """The escape hatch shards at the requested width regardless of CPUs."""
+    from repro import obs
+
+    monkeypatch.setattr(parallel, "available_cpus", lambda: 1)
+    registry = obs.enable_metrics()
+    try:
+        plan = ExecutionPlan(
+            workers=2, min_parallel_configs=1, clamp_workers=False
+        )
+        result = evaluate_plan(plan, model, GRID, None, "bracketed", True)
+        assert registry.counter_value("parallel.worker_clamps") == 0
+        assert registry.counter_value("parallel.sweeps") == 1
+    finally:
+        obs.disable()
+    _assert_bit_identical(result, _compute(model, GRID, None, "bracketed", True))
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle (regression: leaked superseded pools, thread races)
+# ----------------------------------------------------------------------
+
+
+def test_superseded_pool_is_shut_down_on_resize():
+    first = parallel._pool(2)
+    second = parallel._pool(3)
+    assert first is not second
+    # the old pool must be unusable (shut down), not silently leaked
+    with pytest.raises(RuntimeError):
+        first.submit(int, 0)
+    assert second.submit(int, 0).result() == 0
+    shutdown_pool()
+
+
+def test_pool_requests_race_to_a_single_pool():
+    """Concurrent _pool() calls from many threads must share one pool."""
+    import threading
+
+    pools = []
+    barrier = threading.Barrier(8)
+
+    def grab():
+        barrier.wait()
+        pools.append(parallel._pool(2))
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(p) for p in pools}) == 1
+    shutdown_pool()
+
+
+def test_shutdown_pool_is_idempotent_and_reentrant():
+    parallel._pool(2)
+    shutdown_pool()
+    shutdown_pool()  # second call is a no-op, not an error
+    assert parallel._POOL is None
+
+
+def test_pool_is_shut_down_at_interpreter_exit():
+    """A process holding a live pool must exit promptly and cleanly."""
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.core import parallel\n"
+        "pool = parallel._pool(2)\n"
+        "assert pool.submit(int, 1).result() == 1\n"
+        "print('pool-alive')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "pool-alive" in proc.stdout

@@ -294,3 +294,72 @@ class TestEvaluationCache:
                 xeon_sp_model, ConfigSpace((i + 1,), (1,), (1.2e9,))
             )
         assert evaluation_cache_info().currsize == maxsize
+
+
+class TestLRUCacheThreadSafety:
+    """The module LRU must survive concurrent mutation (repro serve)."""
+
+    def test_concurrent_get_put_stress(self):
+        import threading
+
+        from repro.core.vectorized import _LRUCache
+
+        cache = _LRUCache(maxsize=8)
+        keys = [f"k{i}" for i in range(24)]  # 3x maxsize: constant eviction
+        errors: list[BaseException] = []
+        gets_per_thread = 400
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(gets_per_thread):
+                    key = keys[(seed * 7 + i) % len(keys)]
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        info = cache.info()
+        # stats stay consistent under contention: every get was either a
+        # hit or a miss, and the cache never grew past its bound
+        assert info.hits + info.misses == n_threads * gets_per_thread
+        assert info.currsize <= cache.maxsize
+        assert info.evictions <= info.misses
+
+    def test_concurrent_eviction_keeps_counts(self):
+        import threading
+
+        from repro.core.vectorized import _LRUCache
+
+        cache = _LRUCache(maxsize=4)
+        n_threads, puts = 6, 200
+        barrier = threading.Barrier(n_threads)
+
+        def writer(seed: int) -> None:
+            barrier.wait()
+            for i in range(puts):
+                cache.put(f"{seed}-{i}", object())
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        info = cache.info()
+        assert info.currsize == cache.maxsize
+        # all keys distinct: every insertion beyond capacity evicted one
+        assert info.evictions == n_threads * puts - cache.maxsize

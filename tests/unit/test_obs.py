@@ -186,3 +186,44 @@ class TestFacade:
         obs.enable_metrics()
         obs.add("hits", 2)
         assert obs.counter_value("hits") == 2.0
+
+
+class TestRegistryThreadSafety:
+    """Metric creation must be race-free (repro serve worker threads)."""
+
+    def test_concurrent_counter_creation_yields_one_object(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            for _ in range(200):
+                seen.append(registry.counter("serve.requests"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+    def test_concurrent_histogram_creation_yields_one_object(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(4)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.histogram("serve.request_seconds"))
+
+        threads = [threading.Thread(target=create) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(h) for h in seen}) == 1

@@ -1,0 +1,122 @@
+"""Single-flight coalescing: dedup, identity, release, cancellation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def test_concurrent_identical_keys_share_one_flight():
+    async def run():
+        coalescer = Coalescer()
+        calls = 0
+        gate = asyncio.Event()
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            await gate.wait()
+            return object()
+
+        tasks = [
+            asyncio.create_task(coalescer.get("k", compute)) for _ in range(8)
+        ]
+        while coalescer.merged < 7:
+            await asyncio.sleep(0.001)
+        assert coalescer.inflight("k")
+        gate.set()
+        results = await asyncio.gather(*tasks)
+        assert calls == 1
+        assert coalescer.flights == 1 and coalescer.merged == 7
+        # every caller receives the *same object*, not an equal copy
+        assert all(r is results[0] for r in results)
+        assert not coalescer.inflight("k")
+
+    asyncio.run(run())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def run():
+        coalescer = Coalescer()
+
+        async def compute_for(key):
+            await asyncio.sleep(0)
+            return key.upper()
+
+        results = await asyncio.gather(
+            coalescer.get("a", lambda: compute_for("a")),
+            coalescer.get("b", lambda: compute_for("b")),
+        )
+        assert results == ["A", "B"]
+        assert coalescer.flights == 2 and coalescer.merged == 0
+
+    asyncio.run(run())
+
+
+def test_sequential_calls_compute_afresh():
+    async def run():
+        coalescer = Coalescer()
+        calls = 0
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            return calls
+
+        assert await coalescer.get("k", compute) == 1
+        assert await coalescer.get("k", compute) == 2
+        assert coalescer.merged == 0
+
+    asyncio.run(run())
+
+
+def test_failed_flight_propagates_to_all_and_releases_key():
+    async def run():
+        coalescer = Coalescer()
+        gate = asyncio.Event()
+
+        async def boom():
+            await gate.wait()
+            raise RuntimeError("engine exploded")
+
+        tasks = [
+            asyncio.create_task(coalescer.get("k", boom)) for _ in range(3)
+        ]
+        while coalescer.merged < 2:
+            await asyncio.sleep(0.001)
+        gate.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert not coalescer.inflight("k")
+
+        async def ok():
+            return "recovered"
+
+        assert await coalescer.get("k", ok) == "recovered"
+
+    asyncio.run(run())
+
+
+def test_cancelling_one_waiter_does_not_cancel_the_flight():
+    async def run():
+        coalescer = Coalescer()
+        gate = asyncio.Event()
+
+        async def compute():
+            await gate.wait()
+            return "done"
+
+        keeper = asyncio.create_task(coalescer.get("k", compute))
+        victim = asyncio.create_task(coalescer.get("k", compute))
+        while coalescer.merged < 1:
+            await asyncio.sleep(0.001)
+        victim.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await victim
+        gate.set()
+        assert await keeper == "done"
+
+    asyncio.run(run())

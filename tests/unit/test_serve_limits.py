@@ -1,0 +1,67 @@
+"""Token-bucket rate limiter: refill math and rejection waits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.limits import TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def test_burst_then_reject():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    wait = bucket.try_acquire()
+    assert wait == pytest.approx(1.0)
+
+
+def test_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    assert bucket.try_acquire() > 0
+    clock.advance(0.5)  # one token at 2/s
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0
+
+
+def test_refill_caps_at_capacity():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+    clock.advance(1000.0)
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_rate_zero_is_unlimited():
+    bucket = TokenBucket(rate=0.0, clock=FakeClock())
+    for _ in range(1000):
+        assert bucket.try_acquire() == 0.0
+
+
+def test_retry_after_header_rounds_up():
+    bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+    assert bucket.retry_after_header(0.2) == "1"
+    assert bucket.retry_after_header(1.0) == "1"
+    assert bucket.retry_after_header(1.2) == "2"
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="rate"):
+        TokenBucket(rate=-1.0)
+    with pytest.raises(ValueError, match="burst"):
+        TokenBucket(rate=5.0, burst=0.5)

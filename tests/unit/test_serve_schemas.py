@@ -1,0 +1,115 @@
+"""Request-schema parsing: strictness, canonicalization, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.schemas import Query, SchemaError, parse_query
+from repro.units import ghz
+
+
+def _body(**overrides):
+    base = {"cluster": "xeon", "program": "SP"}
+    base.update(overrides)
+    return base
+
+
+def test_minimal_body_defaults():
+    q = parse_query("evaluate_space", _body())
+    assert q == Query(
+        endpoint="evaluate_space",
+        cluster="xeon",
+        program="SP",
+        space="physical",
+    )
+    assert q.queueing == "bracketed"
+    assert q.service_overlap is True
+
+
+def test_named_spaces_and_grid():
+    assert parse_query("pareto", _body(space="pareto")).space == "pareto"
+    q = parse_query(
+        "evaluate_space",
+        _body(space={"nodes": [1, 2], "cores": [4], "frequencies_ghz": [1.8]}),
+    )
+    assert q.space == ((1, 2), (4,), (ghz(1.8),))
+
+
+def test_key_order_does_not_change_fingerprint():
+    a = parse_query("evaluate_space", {"cluster": "xeon", "program": "SP"})
+    b = parse_query("evaluate_space", {"program": "SP", "cluster": "xeon"})
+    assert a.digest() == b.digest()
+
+
+def test_different_queries_different_fingerprints():
+    a = parse_query("evaluate_space", _body())
+    b = parse_query("evaluate_space", _body(queueing="mg1"))
+    c = parse_query("pareto", _body())
+    assert len({a.digest(), b.digest(), c.digest()}) == 3
+
+
+def test_search_min_energy_requires_deadline():
+    q = parse_query(
+        "search", _body(objective="min_energy", deadline_s=100.0)
+    )
+    assert q.deadline_s == 100.0 and q.budget_j is None
+    with pytest.raises(SchemaError, match="deadline_s"):
+        parse_query("search", _body(objective="min_energy"))
+    with pytest.raises(SchemaError, match="does not apply"):
+        parse_query(
+            "search",
+            _body(objective="min_energy", deadline_s=100.0, budget_j=1.0),
+        )
+
+
+def test_search_min_time_requires_budget():
+    q = parse_query("search", _body(objective="min_time", budget_j=5e3))
+    assert q.budget_j == 5e3 and q.deadline_s is None
+    with pytest.raises(SchemaError, match="budget_j"):
+        parse_query("search", _body(objective="min_time"))
+
+
+def test_whatif_factors_sorted_and_validated():
+    q = parse_query(
+        "whatif",
+        _body(factors={"network_bandwidth": 2.0, "memory_bandwidth": 1.5}),
+    )
+    assert q.factors == (
+        ("memory_bandwidth", 1.5),
+        ("network_bandwidth", 2.0),
+    )
+    with pytest.raises(SchemaError, match="unknown what-if knobs"):
+        parse_query("whatif", _body(factors={"warp_drive": 2.0}))
+    with pytest.raises(SchemaError, match="positive"):
+        parse_query("whatif", _body(factors={"memory_bandwidth": -1.0}))
+    with pytest.raises(SchemaError, match="factors"):
+        parse_query("whatif", _body())
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"cluster": "nope", "program": "SP"},
+        {"cluster": "xeon", "program": "nope"},
+        {"cluster": "xeon", "program": "SP", "typo_key": 1},
+        {"cluster": "xeon", "program": "SP", "queueing": "psychic"},
+        {"cluster": "xeon", "program": "SP", "service_overlap": "yes"},
+        {"cluster": "xeon", "program": "SP", "class_name": 7},
+        {"cluster": "xeon", "program": "SP", "space": "galactic"},
+        {"cluster": "xeon", "program": "SP", "space": {"nodes": []}},
+        {
+            "cluster": "xeon",
+            "program": "SP",
+            "space": {"nodes": [1.5], "cores": [1], "frequencies_ghz": [1.8]},
+        },
+        "not an object",
+    ],
+)
+def test_rejected_bodies(bad):
+    with pytest.raises(SchemaError):
+        parse_query("evaluate_space", bad)
+
+
+def test_unknown_endpoint():
+    with pytest.raises(SchemaError, match="unknown endpoint"):
+        parse_query("teleport", _body())

@@ -34,6 +34,7 @@ ENFORCED = (
     "src/repro/obs",
     "src/repro/resilience",
     "src/repro/lint",
+    "src/repro/serve",
     "src/repro/mg1.py",
 )
 
