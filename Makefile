@@ -9,14 +9,15 @@ test:
 	pytest tests/
 
 # mirror of .github/workflows/ci.yml: lint + hygiene + docstring gates,
-# tier-1 tests, the instrumentation-overhead, resilience-overhead,
-# vectorized-speedup, parallel-speedup, sim-throughput and
-# serve-throughput gates, the benchmark trend gate, then the docs gate
-# (the CI job additionally runs the tier-1 suite under pytest-cov with a
-# threshold on repro.core / repro.obs / repro.mg1 / repro.resilience /
-# repro.simulate / repro.serve, plus a chaos job — see `make chaos`)
+# tier-1 tests (property suite on the smoke hypothesis profile), the
+# instrumentation-overhead, resilience-overhead, vectorized-speedup,
+# parallel-speedup, sim-throughput and serve-throughput gates, the
+# benchmark trend gate, then the docs gate (the CI job additionally runs
+# the tier-1 suite under pytest-cov with a threshold on repro.core —
+# incl. repro.core.planner — / repro.obs / repro.mg1 / repro.resilience
+# / repro.simulate / repro.serve, plus a chaos job — see `make chaos`)
 ci: lint lint-repro typecheck hygiene bench-hygiene docstrings
-	PYTHONPATH=src python -m pytest -x -q
+	REPRO_HYPOTHESIS_PROFILE=smoke PYTHONPATH=src python -m pytest -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -x -q
 	PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -x -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_speedup.py -x -q

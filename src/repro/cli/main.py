@@ -23,6 +23,7 @@ from repro.analysis.validation import validate_program
 from repro.core.configspace import ConfigSpace, evaluate_space
 from repro.core.model import HybridProgramModel
 from repro.core.pareto import pareto_frontier
+from repro.core.planner import PLAN_MODES
 from repro.core.whatif import WhatIf
 from repro.machines.registry import get_cluster, list_clusters
 from repro.machines.spec import Configuration
@@ -81,6 +82,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist configuration-space results in a fingerprinted "
         "on-disk cache at PATH; warm sweeps are served from it and any "
         "model/space change invalidates the entry (docs/SCALING.md)",
+    )
+    parser.add_argument(
+        "--plan",
+        choices=PLAN_MODES,
+        default=None,
+        metavar="MODE",
+        help="execution planner mode for configuration-space sweeps: "
+        "'auto' picks scalar/vectorized/sharded/cached from a calibrated "
+        "cost model, the others force one strategy — results stay within "
+        "the pinned tolerances either way (docs/PLANNER.md)",
+    )
+    parser.add_argument(
+        "--max-block-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="stream huge sweeps in blocks whose working set fits BYTES; "
+        "streamed results are bit-identical to materialized ones "
+        "(docs/PLANNER.md)",
     )
     parser.add_argument(
         "--sim-backend",
@@ -225,6 +245,50 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster", choices=list_clusters(), required=True)
     p.add_argument("--program", choices=list_programs(), required=True)
     p.add_argument("--config", type=_parse_config, required=True, metavar="n,c,fGHz")
+
+    p = sub.add_parser(
+        "plan",
+        help="execution planner utilities: calibrate the cost model from "
+        "bench reports, or explain a decision (docs/PLANNER.md)",
+    )
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+    pc = plan_sub.add_parser(
+        "calibrate",
+        help="fit the planner cost model from the committed bench JSONs",
+    )
+    pc.add_argument(
+        "--bench-dir",
+        default="benchmarks/out",
+        metavar="DIR",
+        help="directory holding vectorized_speedup.json (+ optional "
+        "parallel_speedup.json)",
+    )
+    pc.add_argument(
+        "--output",
+        default="planner_calibration.json",
+        metavar="CALIBRATION.json",
+        help="where to write the calibration (point "
+        "REPRO_PLANNER_CALIBRATION here to use it)",
+    )
+    pe = plan_sub.add_parser(
+        "explain",
+        help="print the strategy the planner would pick and why",
+    )
+    pe.add_argument(
+        "--configs", type=int, required=True, metavar="N",
+        help="sweep size in configurations",
+    )
+    pe.add_argument(
+        "--plan-workers", type=int, default=1, metavar="N",
+        help="worker count of the ambient plan being considered",
+    )
+    pe.add_argument(
+        "--calibration",
+        default=None,
+        metavar="CALIBRATION.json",
+        help="use this saved calibration instead of "
+        "REPRO_PLANNER_CALIBRATION / the fallback table",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -685,6 +749,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core import planner
+
+    if args.plan_command == "calibrate":
+        try:
+            cost_model = planner.calibrate(args.bench_dir)
+        except planner.CalibrationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        path = planner.save_cost_model(cost_model, args.output)
+        print(f"wrote calibration -> {path}")
+        print(
+            f"  scalar {cost_model.scalar_per_config_s:.3e} s/config, "
+            f"vectorized {cost_model.vectorized_base_s:.3e} s + "
+            f"{cost_model.vectorized_per_config_s:.3e} s/config"
+        )
+        print(
+            f"  shard dispatch {cost_model.shard_dispatch_s:.3e} s + "
+            f"{cost_model.shard_overhead_per_config_s:.3e} s/config, "
+            f"calibration host cpus {cost_model.cpus}"
+        )
+        return 0
+    assert args.plan_command == "explain"
+    cost_model = None
+    if args.calibration is not None:
+        try:
+            cost_model = planner.load_cost_model(args.calibration)
+        except planner.CalibrationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    decision = planner.decide(
+        args.configs,
+        workers=args.plan_workers,
+        mode=args.plan or "auto",
+        cost_model=cost_model,
+        max_block_bytes=args.max_block_bytes,
+    )
+    print(f"strategy: {decision.strategy}")
+    print(f"  configs {decision.size}, effective workers {decision.workers}")
+    print(f"  streamed: {decision.streamed}")
+    print(f"  reason: {decision.reason}")
+    for name, estimate in decision.estimates:
+        print(f"  estimate {name}: {estimate:.3e} s")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.app import run_server
 
@@ -697,6 +807,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate,
         burst=args.burst,
         cache_dir=args.cache_dir,
+        plan=args.plan or "auto",
+        max_block_bytes=args.max_block_bytes,
     )
 
 
@@ -727,25 +839,47 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_batch(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "serve":
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
 def _dispatch_planned(args: argparse.Namespace) -> int:
-    """Run the command under an execution plan when one is requested.
+    """Run the command under execution plan/planner contexts when requested.
 
     ``--workers``/``--cache-dir`` install an ambient
     :class:`~repro.core.parallel.ExecutionPlan`, so every
     configuration-space sweep the command performs (pareto, ucr, batch,
     search, what-if) is sharded across worker processes and/or served
-    from the persistent result cache.
+    from the persistent result cache.  ``--plan``/``--max-block-bytes``
+    additionally activate a :class:`~repro.core.planner.PlannerConfig`,
+    putting strategy selection (and block streaming) under the
+    calibrated cost model.
     """
-    if args.workers == 1 and args.cache_dir is None:
-        return _dispatch_resilient(args)
-    from repro.core.parallel import parallel_plan
+    import contextlib
 
-    with parallel_plan(workers=args.workers, cache_dir=args.cache_dir):
+    wants_plan = args.workers != 1 or args.cache_dir is not None
+    wants_planner = args.plan is not None or args.max_block_bytes is not None
+    if not wants_plan and not wants_planner:
+        return _dispatch_resilient(args)
+    with contextlib.ExitStack() as stack:
+        if wants_plan:
+            from repro.core.parallel import parallel_plan
+
+            stack.enter_context(
+                parallel_plan(workers=args.workers, cache_dir=args.cache_dir)
+            )
+        if wants_planner:
+            from repro.core.planner import planner_config
+
+            stack.enter_context(
+                planner_config(
+                    mode=args.plan or "auto",
+                    max_block_bytes=args.max_block_bytes,
+                )
+            )
         return _dispatch_resilient(args)
 
 

@@ -151,6 +151,16 @@ class ResultCache:
 
     # -- lookup --------------------------------------------------------
 
+    def contains(self, identity: dict[str, Any]) -> bool:
+        """Whether an entry file exists for ``identity``.
+
+        A cheap existence probe for the planner's cache-hit signal: it
+        does not read, validate, or count the entry (a torn or foreign
+        file still reports ``True`` here and is rejected by
+        :meth:`get`).
+        """
+        return self.path_for(identity).exists()
+
     def get(self, identity: dict[str, Any]) -> VectorizedEvaluation | None:
         """The cached evaluation for ``identity``, or ``None`` on a miss.
 

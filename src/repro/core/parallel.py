@@ -39,6 +39,7 @@ dispatch than it saves in compute.
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import pathlib
 import shutil
@@ -69,16 +70,32 @@ DEFAULT_SHARDS_PER_WORKER = 2
 
 @dataclass(frozen=True)
 class _SubGrid:
-    """A contiguous node-axis slice of a grid space.
+    """A contiguous axis-aligned slice of a grid space.
 
     Duck-typed like :class:`~repro.core.configspace.ConfigSpace` (the
-    engine only reads the three axis tuples), so shards take the same
-    grid-broadcast path as the whole space.
+    engine only reads the three axis tuples, and iteration follows the
+    same node-major canonical order), so shards and streamed blocks take
+    the same grid-broadcast path as the whole space.
     """
 
     node_counts: tuple[int, ...]
     core_counts: tuple[int, ...]
     frequencies_hz: tuple[float, ...]
+
+    def __len__(self) -> int:
+        return (
+            len(self.node_counts)
+            * len(self.core_counts)
+            * len(self.frequencies_hz)
+        )
+
+    def __iter__(self):
+        from repro.machines.spec import Configuration
+
+        for n, c, f in itertools.product(
+            self.node_counts, self.core_counts, self.frequencies_hz
+        ):
+            yield Configuration(nodes=n, cores=c, frequency_hz=f)
 
 
 @dataclass(frozen=True)
@@ -476,20 +493,27 @@ def evaluate_plan(
     queueing: str,
     service_overlap: bool,
     cacheable: bool = True,
+    record_strategy: bool = False,
 ) -> vectorized.VectorizedEvaluation:
     """Evaluate a space under ``plan``: disk cache, then shards or inline.
 
     This is the dispatch point :func:`repro.core.vectorized.evaluate_configs`
-    routes through while a plan is active.  ``cacheable`` is false for
-    ad-hoc candidate subsets (the pruned search's chunks), which would
-    only fill the disk cache with junk entries.
+    routes through (via :func:`repro.core.planner.execute`) while a plan
+    is active.  ``cacheable`` is false for ad-hoc candidate subsets (the
+    pruned search's chunks), which would only fill the disk cache with
+    junk entries.  ``record_strategy`` counts the branch actually taken
+    into the planner's labeled ``plan_selected`` metric.
     """
+    from repro.core import planner as _planner
+
     cls = class_name or model.inputs.baseline_class
     identity = None
     if plan.cache is not None and cacheable:
         identity = entry_identity(model, space, cls, queueing, service_overlap)
         cached = plan.cache.get(identity)
         if cached is not None:
+            if record_strategy:
+                _planner.record_selection("cached")
             return cached
 
     size = _space_size(space)
@@ -501,6 +525,8 @@ def evaluate_plan(
         # pessimization; record the clamp so operators can see it
         obs.add("parallel.worker_clamps")
     if workers > 1 and size >= plan.min_parallel_configs:
+        if record_strategy:
+            _planner.record_selection("sharded")
         if not obs.active():
             result = _run_sharded(
                 plan, workers, model, space, cls, queueing, service_overlap
@@ -522,6 +548,8 @@ def evaluate_plan(
             # fall back to the inline single-process engine
             obs.add("parallel.clamped_inline_sweeps")
         obs.add("parallel.inline_sweeps")
+        if record_strategy:
+            _planner.record_selection("vectorized")
         result = vectorized._compute(
             model, space, cls, queueing, service_overlap
         )

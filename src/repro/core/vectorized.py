@@ -370,32 +370,29 @@ def _evaluate(
         if use_cache
         else None
     )
+    # The planner is the single dispatch point: with no active
+    # PlannerConfig it reproduces the legacy routing exactly (ambient
+    # ExecutionPlan -> sharded engine + disk cache, else the broadcast
+    # engine); with one, a cost-model decision picks the strategy.  The
+    # import is deferred: repro.core.planner imports this module.
+    from repro.core import planner as _planner
+
     if key is not None:
         cached = _EVALUATION_CACHE.get(key)
         if cached is not None:
+            if instrument:
+                _planner.record_selection("cached")
             return cached
 
-    # An ambient ExecutionPlan (repro --workers/--cache-dir, or the
-    # parallel_plan() context manager) reroutes the sweep through the
-    # sharded multiprocess engine and the persistent disk cache.  The
-    # import is deferred: repro.core.parallel imports this module.
-    from repro.core import parallel as _parallel
-
-    plan = _parallel.active_plan()
-    if plan is not None:
-        result = _parallel.evaluate_plan(
-            plan,
-            model,
-            space,
-            class_name,
-            queueing,
-            service_overlap,
-            cacheable=use_cache,
-        )
-    else:
-        result = _compute(
-            model, space, class_name, queueing, service_overlap, instrument
-        )
+    result = _planner.execute(
+        model,
+        space,
+        class_name,
+        queueing,
+        service_overlap,
+        cacheable=use_cache,
+        instrument=instrument,
+    )
     if key is not None:
         _EVALUATION_CACHE.put(key, result)
     return result

@@ -28,6 +28,8 @@ DEFAULT_OBS_ENTRY_POINTS: tuple[str, ...] = (
     "repro.core.inputs.characterize",
     "repro.core.model.HybridProgramModel.predict",
     "repro.core.pareto.pareto_frontier",
+    "repro.core.planner.decide",
+    "repro.core.planner.evaluate_space_streamed",
     "repro.core.scaling.strong_scaling",
     "repro.core.scaling.weak_scaling",
     "repro.core.search.search_min_energy_within_deadline",

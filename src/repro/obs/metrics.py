@@ -6,6 +6,14 @@ the only export formats are a JSON-able snapshot and the Prometheus
 text exposition format (dots become underscores, prefixed ``repro_``).
 No background threads, no global state — the enabled registry lives in
 :mod:`repro.obs` and every hot-path call is a no-op while disabled.
+
+Labeled counters use a brace-name convention: a counter named
+``plan_selected{strategy="vectorized"}`` is one independent counter in
+the registry, but the exporter groups every name sharing the base
+before the ``{`` under a single ``# TYPE`` family and renders each as a
+labeled sample — ``repro_plan_selected_total{strategy="vectorized"} 3``.
+The label text between the braces is emitted verbatim, so callers must
+supply well-formed ``key="value"`` pairs.
 """
 
 from __future__ import annotations
@@ -166,12 +174,23 @@ class MetricsRegistry:
     def to_prometheus_text(self) -> str:
         """Prometheus text exposition format of every metric."""
         lines: list[str] = []
-        for name, c in sorted(self._counters.items()):
-            p = _prom_name(name) + "_total"
-            if c.help:
-                lines.append(f"# HELP {p} {c.help}")
+        # group brace-labeled counters (base{key="value"}) by base name so
+        # one # TYPE line covers the whole family; sorted() would otherwise
+        # interleave families ("x_y" sorts before "x{...")
+        families: dict[str, list[Counter]] = {}
+        for name in sorted(self._counters):
+            base = name.partition("{")[0]
+            families.setdefault(base, []).append(self._counters[name])
+        for base, members in families.items():
+            p = _prom_name(base) + "_total"
+            help_text = next((c.help for c in members if c.help), "")
+            if help_text:
+                lines.append(f"# HELP {p} {help_text}")
             lines.append(f"# TYPE {p} counter")
-            lines.append(f"{p} {_prom_value(c.value)}")
+            for c in members:
+                _, brace, labels = c.name.partition("{")
+                suffix = f"{{{labels}" if brace else ""
+                lines.append(f"{p}{suffix} {_prom_value(c.value)}")
         for name, h in sorted(self._histograms.items()):
             p = _prom_name(name)
             if h.help:

@@ -46,6 +46,7 @@ from repro.core.cache import ResultCache, entry_identity
 from repro.core.configspace import ConfigSpace
 from repro.core.model import HybridProgramModel
 from repro.core.pareto import pareto_mask
+from repro.core.planner import PlannerConfig, planner_config
 from repro.core.vectorized import VectorizedEvaluation, evaluate_configs
 from repro.core.whatif import WhatIf
 from repro.machines.registry import get_cluster
@@ -140,8 +141,17 @@ class ServeApp:
         burst: float | None = None,
         response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE,
         clock: Callable[[], float] = time.monotonic,
+        plan: str = "auto",
+        max_block_bytes: int | None = None,
     ) -> None:
         """Wire the caching tiers, limiter and metrics for one service."""
+        # Per-query strategy selection (recorded in /metrics as
+        # plan_selected_total{strategy=…}).  Scalar is excluded: its
+        # results match the vectorized engine only to 1e-9, and response
+        # bytes must not depend on which strategy answered a query.
+        self._planner_config = PlannerConfig(
+            mode=plan, max_block_bytes=max_block_bytes, allow_scalar=False
+        )
         self.result_cache = ResultCache(cache_dir) if cache_dir else None
         self.limiter = TokenBucket(rate, burst, clock=clock)
         self.coalescer = Coalescer()
@@ -312,13 +322,14 @@ class ServeApp:
         with self._stats_lock:
             self.engine_calls += 1
         obs.add("serve.engine_calls")
-        result = evaluate_configs(
-            model,
-            space,
-            cls,
-            queueing=query.queueing,
-            service_overlap=query.service_overlap,
-        )
+        with planner_config(self._planner_config):
+            result = evaluate_configs(
+                model,
+                space,
+                cls,
+                queueing=query.queueing,
+                service_overlap=query.service_overlap,
+            )
         if identity is not None:
             self.result_cache.put(identity, result)
         return result
@@ -621,13 +632,23 @@ def run_server(
     rate: float = 0.0,
     burst: float | None = None,
     cache_dir: str | None = None,
+    plan: str = "auto",
+    max_block_bytes: int | None = None,
 ) -> int:
     """Run the prediction service until SIGINT/SIGTERM; returns exit code.
 
     ``rate``/``burst`` configure the token bucket (0 disables limiting);
-    ``cache_dir`` enables the persistent :class:`ResultCache` warm tier.
+    ``cache_dir`` enables the persistent :class:`ResultCache` warm tier;
+    ``plan``/``max_block_bytes`` configure the per-query execution
+    planner (``repro serve --plan/--max-block-bytes``).
     """
-    app = ServeApp(cache_dir=cache_dir, rate=rate, burst=burst)
+    app = ServeApp(
+        cache_dir=cache_dir,
+        rate=rate,
+        burst=burst,
+        plan=plan,
+        max_block_bytes=max_block_bytes,
+    )
     try:
         return asyncio.run(_serve_forever(app, host, port))
     except KeyboardInterrupt:  # pragma: no cover - signal race on teardown

@@ -9,6 +9,7 @@ from __future__ import annotations
 import os
 
 import pytest
+from hypothesis import settings
 
 from repro.core.model import HybridProgramModel
 from repro.machines.arm import arm_cluster
@@ -16,6 +17,16 @@ from repro.machines.spec import Configuration
 from repro.machines.xeon import xeon_cluster
 from repro.simulate.cluster import SimulatedCluster
 from repro.workloads.registry import get_program
+
+# Hypothesis budget profiles, selected via REPRO_HYPOTHESIS_PROFILE.
+# "smoke" keeps CI's tier-1 job deadline-safe (model characterization
+# makes per-example wall time vary too much for hypothesis deadlines);
+# "deep" is the nightly exhaustive sweep.  Tests that carry an explicit
+# @settings(...) keep their own values — profiles only fill the gaps.
+settings.register_profile("smoke", max_examples=15, deadline=None)
+settings.register_profile("deep", max_examples=250, deadline=None)
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session", autouse=True)
