@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures examples clean ci lint lint-repro typecheck chaos hygiene bench-hygiene docstrings docs-check
+.PHONY: install test bench figures examples clean ci lint lint-repro typecheck chaos hygiene bench-hygiene docstrings docs-check pipeline-smoke
 
 install:
 	pip install -e .
@@ -26,6 +26,7 @@ ci: lint lint-repro typecheck hygiene bench-hygiene docstrings
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_serve_throughput.py -x -q
 	python tools/bench_trend.py
 	python tools/check_docs.py
+	python tools/pipeline_smoke.py
 
 # the CI chaos job: tier-1 under the pinned drop/delay schedule with
 # generous retries — must pass unchanged while exercising the retry path
@@ -72,6 +73,10 @@ docstrings:
 # the documentation must run: examples + fenced README/TUTORIAL blocks
 docs-check:
 	python tools/check_docs.py
+
+# the edit-one-spec incrementality contract of docs/PIPELINE.md
+pipeline-smoke:
+	python tools/pipeline_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -9,6 +9,7 @@ Subcommands mirror the paper's workflow:
 * ``repro pareto``    — time-energy Pareto frontier (Figs. 8-9).
 * ``repro ucr``       — UCR across configurations (Figs. 10-11).
 * ``repro whatif``    — resource-scaling what-if (§V-B).
+* ``repro pipeline``  — incremental reproduction DAG (run/status/repro).
 """
 
 from __future__ import annotations
@@ -132,7 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SCHEDULE.json",
         help="inject a deterministic chaos schedule (drops/delays/"
-        "corruptions) into every instrument call — see docs/resilience.md",
+        "corruptions) into every instrument call — see docs/RESILIENCE.md",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -291,6 +292,71 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "pipeline",
+        help="content-addressed reproduction DAG: run stages incrementally, "
+        "inspect staleness, or reproduce the whole paper (docs/PIPELINE.md)",
+    )
+    pipe_sub = p.add_subparsers(dest="pipeline_command", required=True)
+
+    def _pipeline_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store",
+            default=".repro-pipeline",
+            metavar="DIR",
+            help="artifact store directory (default: .repro-pipeline); "
+            "entries are content-addressed, so one store serves any "
+            "sequence of edits",
+        )
+        sp.add_argument(
+            "--stages",
+            nargs="+",
+            default=None,
+            metavar="NAME",
+            help="restrict to these stages plus their transitive "
+            "dependencies (default: the whole DAG)",
+        )
+        sp.add_argument(
+            "--json",
+            action="store_true",
+            help="machine-readable JSON output instead of the table",
+        )
+
+    pr = pipe_sub.add_parser(
+        "run",
+        help="execute stages whose content fingerprint changed; everything "
+        "else is served from the store",
+    )
+    _pipeline_common(pr)
+    pr.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N independent stages concurrently (each stage's "
+        "internal sweeps still honor the global --workers plan)",
+    )
+    pr.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute selected stages even when their entry exists "
+        "(outputs land at the same fingerprints)",
+    )
+    ps = pipe_sub.add_parser(
+        "status",
+        help="report each stage as fresh/stale/missing with the concrete "
+        "reason, without executing anything",
+    )
+    _pipeline_common(ps)
+    pp = pipe_sub.add_parser(
+        "repro",
+        help="reproduce the paper end to end (characterize -> calibrate -> "
+        "validate -> Fig. 8 -> extensions) and print the summary report",
+    )
+    _pipeline_common(pp)
+    pp.add_argument("--jobs", "-j", type=int, default=1, metavar="N")
+
+    p = sub.add_parser(
         "serve",
         help="run the asyncio HTTP/JSON prediction service "
         "(evaluate_space/search/pareto/whatif/ucr — see docs/SERVING.md)",
@@ -311,6 +377,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="token-bucket burst capacity (default: max(1, rate))",
+    )
+    p.add_argument(
+        "--client-rate",
+        type=float,
+        default=0.0,
+        metavar="REQ_PER_S",
+        help="per-client sustained admission rate (0 = unlimited); "
+        "clients are keyed by X-Client-Id, else the peer address",
+    )
+    p.add_argument(
+        "--client-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-client burst capacity (default: max(1, client-rate))",
     )
 
     # The real parser lives in repro.lint.cli; main() forwards to it
@@ -795,6 +876,124 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.pipeline import (
+        ArtifactStore,
+        PipelineError,
+        paper_pipeline,
+        pipeline_status,
+        run_pipeline,
+    )
+
+    pipeline = paper_pipeline()
+    store = ArtifactStore(args.store)
+    try:
+        if args.pipeline_command == "status":
+            statuses = pipeline_status(pipeline, store, stages=args.stages)
+            if args.json:
+                print(
+                    _json.dumps(
+                        [
+                            {
+                                "stage": s.name,
+                                "state": s.state,
+                                "reasons": list(s.reasons),
+                                "fingerprint": s.fingerprint,
+                            }
+                            for s in statuses
+                        ],
+                        indent=2,
+                    )
+                )
+                return 0
+            rows = [
+                [s.name, s.state, "; ".join(s.reasons) or "-"]
+                for s in statuses
+            ]
+            print(ascii_table(["stage", "state", "why"], rows, "pipeline status"))
+            stale = [s for s in statuses if s.state != "fresh"]
+            print(
+                f"{len(statuses) - len(stale)}/{len(statuses)} fresh; "
+                + (
+                    f"{len(stale)} would run on 'repro pipeline run'"
+                    if stale
+                    else "nothing to do"
+                )
+            )
+            return 0
+
+        run = run_pipeline(
+            pipeline,
+            store,
+            stages=args.stages,
+            workers=args.jobs,
+            force=getattr(args, "force", False),
+        )
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(
+            _json.dumps(
+                [
+                    {
+                        "stage": r.name,
+                        "action": r.action,
+                        "fingerprint": r.fingerprint,
+                        "seconds": r.seconds,
+                    }
+                    for r in run.reports
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for r in run.reports:
+        if r.action == "executed":
+            print(f"  ran     {r.name}  ({r.seconds:.2f}s)")
+        else:
+            print(f"  cached  {r.name}")
+    print(
+        f"{len(run.executed)} executed, {len(run.cached)} cached "
+        f"-> store {store.directory}"
+    )
+
+    if args.pipeline_command == "repro":
+        arts = run.artifacts
+        print()
+        print("reproduction summary")
+        for name in ("validation_xeon_sp", "validation_arm_cp"):
+            s = arts[name]["summary"]
+            print(
+                f"  {name}: |T err| mean {s['time_mean_abs_err_pct']:.1f}% "
+                f"max {s['time_max_abs_err_pct']:.1f}%, "
+                f"|E err| mean {s['energy_mean_abs_err_pct']:.1f}% "
+                f"max {s['energy_max_abs_err_pct']:.1f}%"
+            )
+        fig8 = arts["fig8_pareto_xeon_sp"]
+        print(
+            f"  fig8_pareto_xeon_sp: {fig8['configurations']} configs, "
+            f"{len(fig8['frontier'])} frontier points, UCR "
+            f"{fig8['ucr_min']:.2f}..{fig8['ucr_max']:.2f}"
+        )
+        modern = arts["ext_modern_machine"]
+        print(
+            f"  ext_modern_machine: spot-check |T err| "
+            f"{modern['spot_check_time_mean_abs_err_pct']:.1f}%, "
+            f"energy-min at n={modern['energy_min_nodes']}"
+        )
+        dvfs = arts["ext_dvfs_advice"]
+        print(
+            f"  ext_dvfs_advice: {dvfs['confirmed_configs']}/"
+            f"{dvfs['advised_configs']} advised configs confirmed by the "
+            "testbed"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.app import run_server
 
@@ -809,6 +1008,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         plan=args.plan or "auto",
         max_block_bytes=args.max_block_bytes,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
     )
 
 
@@ -841,6 +1042,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     if args.command == "serve":
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

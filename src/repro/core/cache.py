@@ -27,6 +27,13 @@ results.
 Cache hits, misses, writes and rejections are mirrored into the
 observability layer (``cache.disk.*`` counters) whenever metrics are
 enabled.  See ``docs/SCALING.md`` for the full semantics.
+
+Beyond evaluation results, the cache doubles as a **generic artifact
+store**: :meth:`ResultCache.put_doc` / :meth:`ResultCache.get_doc`
+persist arbitrary JSON documents under the same fingerprinted-identity,
+atomic-write, verify-on-read contract (one ``<digest>.json`` file per
+entry).  The reproduction pipeline (:mod:`repro.pipeline`) keys its
+stage outputs through this surface — see ``docs/PIPELINE.md``.
 """
 
 from __future__ import annotations
@@ -146,8 +153,12 @@ class ResultCache:
         return fingerprint(identity)
 
     def path_for(self, identity: dict[str, Any]) -> pathlib.Path:
-        """The entry file an identity maps to (existing or not)."""
+        """The evaluation entry file an identity maps to (existing or not)."""
         return self.directory / f"{self.digest(identity)}.npz"
+
+    def doc_path_for(self, identity: dict[str, Any]) -> pathlib.Path:
+        """The JSON artifact entry file an identity maps to."""
+        return self.directory / f"{self.digest(identity)}.json"
 
     # -- lookup --------------------------------------------------------
 
@@ -157,9 +168,14 @@ class ResultCache:
         A cheap existence probe for the planner's cache-hit signal: it
         does not read, validate, or count the entry (a torn or foreign
         file still reports ``True`` here and is rejected by
-        :meth:`get`).
+        :meth:`get` / :meth:`get_doc`).  Both entry kinds are probed —
+        an evaluation ``.npz`` and a JSON artifact ``.json`` never share
+        a digest because their identity documents differ in ``kind``.
         """
-        return self.path_for(identity).exists()
+        return (
+            self.path_for(identity).exists()
+            or self.doc_path_for(identity).exists()
+        )
 
     def get(self, identity: dict[str, Any]) -> VectorizedEvaluation | None:
         """The cached evaluation for ``identity``, or ``None`` on a miss.
@@ -227,11 +243,65 @@ class ResultCache:
         obs.add("cache.disk.writes")
         return path
 
+    # -- generic JSON artifacts ----------------------------------------
+
+    def get_doc(self, identity: dict[str, Any]) -> Any | None:
+        """The stored JSON payload for ``identity``, or ``None`` on a miss.
+
+        The same degradation contract as :meth:`get`: an unreadable
+        file, a non-artifact file, or an embedded identity differing
+        from the requested one (digest collision, foreign or torn file)
+        is rejected and counted as a miss, never returned.
+        """
+        path = self.doc_path_for(identity)
+        if not path.exists():
+            self.misses += 1
+            obs.add("cache.disk.misses")
+            return None
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(doc, dict) or doc.get("identity") != identity:
+                raise ValueError("identity mismatch")
+            payload = doc["payload"]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.rejected += 1
+            self.misses += 1
+            obs.add("cache.disk.rejected")
+            obs.add("cache.disk.misses")
+            return None
+        self.hits += 1
+        obs.add("cache.disk.hits")
+        return payload
+
+    def put_doc(self, identity: dict[str, Any], payload: Any) -> pathlib.Path:
+        """Persist a JSON ``payload`` under ``identity``, atomically.
+
+        ``payload`` must be JSON-serializable with finite numbers only
+        (the canonical form rejects NaN/Infinity so stored bytes are
+        deterministic).  Concurrent writers race benignly exactly as in
+        :meth:`put`: complete temp files, last rename wins.
+        """
+        path = self.doc_path_for(identity)
+        text = json.dumps(
+            {"identity": identity, "payload": payload},
+            sort_keys=True,
+            allow_nan=False,
+        )
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        obs.add("cache.disk.writes")
+        return path
+
     # -- maintenance ---------------------------------------------------
 
     def entries(self) -> list[pathlib.Path]:
-        """All entry files currently in the cache directory."""
-        return sorted(self.directory.glob("*.npz"))
+        """All entry files (evaluations and JSON artifacts) in the cache."""
+        return sorted(
+            list(self.directory.glob("*.npz"))
+            + list(self.directory.glob("*.json"))
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

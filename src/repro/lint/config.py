@@ -35,6 +35,7 @@ DEFAULT_OBS_ENTRY_POINTS: tuple[str, ...] = (
     "repro.core.search.search_min_energy_within_deadline",
     "repro.core.search.search_min_time_within_budget",
     "repro.core.whatif.WhatIf.compare",
+    "repro.pipeline.runner.run_pipeline",
     "repro.serve.app.ServeApp.handle",
 )
 
@@ -59,6 +60,7 @@ class LintConfig:
     #: when their target expression mentions a cache/checkpoint path.
     atomic_modules: tuple[str, ...] = (
         "repro/core/cache.py",
+        "repro/pipeline/store.py",
         "repro/resilience/checkpoint.py",
     )
 

@@ -22,7 +22,7 @@ or imperatively: :func:`enable_metrics` / :func:`enable_tracing` /
 :func:`observe`; ``span``/``observe`` take monotonic timings from
 :func:`time.perf_counter`.
 
-See ``docs/observability.md`` for the full API and exporter formats.
+See ``docs/OBSERVABILITY.md`` for the full API and exporter formats.
 """
 
 from __future__ import annotations

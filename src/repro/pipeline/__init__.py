@@ -1,0 +1,67 @@
+"""``repro.pipeline`` — the content-addressed reproduction DAG.
+
+The full paper reproduction (characterize → calibrate → validate →
+figure goldens → extensions) is a dependency graph that was previously
+re-executed wholesale on every invocation.  This package makes it
+incremental, DVC-style:
+
+* a :class:`~repro.pipeline.stage.Stage` declares its *inputs* (files
+  whose content it depends on), *params* (JSON-able knobs), *outputs*
+  (named JSON artifacts) and *deps* (upstream stages whose outputs it
+  consumes);
+* a :class:`~repro.pipeline.dag.Pipeline` assembles stages into a
+  validated DAG with a deterministic topological order;
+* each stage's **identity** is a content fingerprint of its input file
+  digests + params + upstream output digests (the same hashing family as
+  :func:`repro.core.cache.entry_identity`), so any edit to a machine
+  spec, a workload file, or a knob changes exactly the fingerprints of
+  the stages downstream of the change;
+* stage outputs land in an :class:`~repro.pipeline.store.ArtifactStore`
+  built on the extended :class:`~repro.core.cache.ResultCache`, so
+  ``repro pipeline run`` re-executes only stages whose fingerprint has
+  no stored entry (minimal recomputation — identical re-produced outputs
+  re-validate downstream entries without re-running them);
+* ``repro pipeline status`` reports every stage as fresh / stale /
+  missing with the concrete reason (changed input, changed param,
+  changed upstream output, missing artifact).
+
+See ``docs/PIPELINE.md`` for the stage model, fingerprinting rules,
+store layout and a worked example; :mod:`repro.pipeline.paper` ships the
+paper's end-to-end flow as the default pipeline behind
+``repro pipeline repro``.
+"""
+
+from repro.pipeline.dag import Pipeline, PipelineError
+from repro.pipeline.fingerprint import (
+    file_digest,
+    payload_digest,
+    stage_identity,
+)
+from repro.pipeline.paper import paper_pipeline
+from repro.pipeline.runner import (
+    PipelineRun,
+    StageReport,
+    StageStatus,
+    pipeline_status,
+    run_pipeline,
+)
+from repro.pipeline.stage import Stage, StageContext
+from repro.pipeline.store import ArtifactStore, StoreEntry
+
+__all__ = [
+    "ArtifactStore",
+    "Pipeline",
+    "PipelineError",
+    "PipelineRun",
+    "Stage",
+    "StageContext",
+    "StageReport",
+    "StageStatus",
+    "StoreEntry",
+    "file_digest",
+    "paper_pipeline",
+    "payload_digest",
+    "pipeline_status",
+    "run_pipeline",
+    "stage_identity",
+]

@@ -1,0 +1,155 @@
+"""Pipeline assembly: stage collection, validation, topological order.
+
+A :class:`Pipeline` is an immutable, validated DAG of
+:class:`~repro.pipeline.stage.Stage` declarations.  Validation happens
+at construction — duplicate stage or artifact names, references to
+unknown stages, and dependency cycles are all programming errors in the
+pipeline definition and raise :class:`PipelineError` immediately rather
+than failing mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.pipeline.stage import Stage
+
+
+class PipelineError(RuntimeError):
+    """An invalid pipeline definition or an unrunnable pipeline state."""
+
+
+class Pipeline:
+    """A validated DAG of stages with a deterministic topological order.
+
+    The topological order is stable: stages appear as early as their
+    dependencies allow, ties broken by declaration order — so two runs
+    of the same pipeline always walk the same sequence, independent of
+    dict-iteration or scheduling accidents.
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        """Validate ``stages`` and precompute the topological order."""
+        names = [s.name for s in stages]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise PipelineError(f"duplicate stage names: {sorted(duplicates)}")
+        self._stages: dict[str, Stage] = {s.name: s for s in stages}
+
+        producers: dict[str, str] = {}
+        for stage in stages:
+            for out in stage.outputs:
+                if out in producers:
+                    raise PipelineError(
+                        f"artifact {out!r} is produced by both "
+                        f"{producers[out]!r} and {stage.name!r}"
+                    )
+                producers[out] = stage.name
+        self._producers = producers
+
+        for stage in stages:
+            for dep in stage.deps:
+                if dep not in self._stages:
+                    raise PipelineError(
+                        f"stage {stage.name!r} depends on unknown stage "
+                        f"{dep!r}"
+                    )
+        self._order = self._toposort(stages)
+
+    def _toposort(self, stages: Sequence[Stage]) -> tuple[str, ...]:
+        """Kahn's algorithm, declaration order as the tie-breaker."""
+        remaining = {s.name: set(s.deps) for s in stages}
+        order: list[str] = []
+        while remaining:
+            ready = [
+                s.name
+                for s in stages
+                if s.name in remaining and not remaining[s.name]
+            ]
+            if not ready:
+                cycle = sorted(remaining)
+                raise PipelineError(
+                    f"dependency cycle among stages: {cycle}"
+                )
+            for name in ready:
+                order.append(name)
+                del remaining[name]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return tuple(order)
+
+    # -- lookup --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        """Stages in topological order."""
+        return (self._stages[name] for name in self._order)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._stages
+
+    def stage(self, name: str) -> Stage:
+        """The stage named ``name`` (:class:`PipelineError` if absent)."""
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise PipelineError(
+                f"unknown stage {name!r}; pipeline stages: "
+                f"{list(self._order)}"
+            ) from None
+
+    def producer_of(self, artifact: str) -> Stage:
+        """The stage producing ``artifact``."""
+        try:
+            return self._stages[self._producers[artifact]]
+        except KeyError:
+            raise PipelineError(f"no stage produces artifact {artifact!r}") from None
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """Stage names in the deterministic topological order."""
+        return self._order
+
+    # -- graph queries -------------------------------------------------
+
+    def closure(self, names: Iterable[str] | None = None) -> set[str]:
+        """``names`` plus every transitive dependency (all stages if None).
+
+        This is the selection ``repro pipeline run --stages`` executes:
+        a requested stage cannot run without its upstream artifacts, so
+        ancestors ride along (fresh ones are served from the store, not
+        re-executed).
+        """
+        if names is None:
+            return set(self._order)
+        selected: set[str] = set()
+        frontier = [self.stage(n).name for n in names]
+        while frontier:
+            name = frontier.pop()
+            if name in selected:
+                continue
+            selected.add(name)
+            frontier.extend(self._stages[name].deps)
+        return selected
+
+    def downstream(self, names: Iterable[str]) -> set[str]:
+        """Every stage transitively depending on any of ``names``.
+
+        (Excludes ``names`` themselves.)  This is the blast radius of an
+        edit: touching a stage's input staleness-propagates exactly to
+        its downstream set.
+        """
+        roots = {self.stage(n).name for n in names}
+        out: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for stage in self._stages.values():
+                if stage.name in out or stage.name in roots:
+                    continue
+                if any(d in roots or d in out for d in stage.deps):
+                    out.add(stage.name)
+                    changed = True
+        return out

@@ -9,7 +9,7 @@ therefore replays bit-identically across processes: tests and benchmarks
 can drop/delay/corrupt any instrument on a pinned schedule and still pin
 their outputs.
 
-Schedules round-trip through plain JSON (see ``docs/resilience.md`` for
+Schedules round-trip through plain JSON (see ``docs/RESILIENCE.md`` for
 the format), so chaos campaigns are checked into fixtures and shared with
 CI.
 """

@@ -51,7 +51,7 @@ from repro.core.vectorized import VectorizedEvaluation, evaluate_configs
 from repro.core.whatif import WhatIf
 from repro.machines.registry import get_cluster
 from repro.serve.coalesce import Coalescer
-from repro.serve.limits import TokenBucket
+from repro.serve.limits import KeyedTokenBuckets, TokenBucket
 from repro.units import KIB, MIB
 from repro.serve.schemas import ENDPOINTS, Query, SchemaError, parse_query
 from repro.simulate.cluster import SimulatedCluster
@@ -143,6 +143,8 @@ class ServeApp:
         clock: Callable[[], float] = time.monotonic,
         plan: str = "auto",
         max_block_bytes: int | None = None,
+        client_rate: float = 0.0,
+        client_burst: float | None = None,
     ) -> None:
         """Wire the caching tiers, limiter and metrics for one service."""
         # Per-query strategy selection (recorded in /metrics as
@@ -154,6 +156,9 @@ class ServeApp:
         )
         self.result_cache = ResultCache(cache_dir) if cache_dir else None
         self.limiter = TokenBucket(rate, burst, clock=clock)
+        self.client_limiter = KeyedTokenBuckets(
+            client_rate, client_burst, clock=clock
+        )
         self.coalescer = Coalescer()
         self.responses = _ResponseCache(response_cache_size)
         self.registry = (
@@ -176,20 +181,24 @@ class ServeApp:
     # -- request entry --------------------------------------------------
 
     async def handle(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, client: str | None = None
     ) -> tuple[int, str, bytes]:
         """Answer one request: ``(status, content_type, body_bytes)``.
 
         This is the single obs-instrumented entry point for every
         endpoint (span ``serve_request``); the HTTP transport and the
-        tests call it directly.
+        tests call it directly.  ``client`` is the per-client limiter key
+        the transport derived (``X-Client-Id`` header, else the peer
+        address); ``None`` leaves admission to the global bucket alone.
         """
         self._inflight += 1
         self._idle.clear()
         t0 = time.perf_counter()
         try:
             with obs.span("serve_request", method=method, path=path) as sp:
-                status, ctype, payload = await self._route(method, path, body)
+                status, ctype, payload = await self._route(
+                    method, path, body, client
+                )
                 sp.set(status=status)
             obs.add("serve.requests")
             obs.add(f"serve.status.{status}")
@@ -201,7 +210,7 @@ class ServeApp:
                 self._idle.set()
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, client: str | None = None
     ) -> tuple[int, str, bytes]:
         if path == "/healthz":
             if method != "GET":
@@ -218,7 +227,7 @@ class ServeApp:
                 return self._error(404, f"unknown endpoint {endpoint!r}")
             if method != "POST":
                 return self._error(405, "use POST")
-            return await self._query(endpoint, body)
+            return await self._query(endpoint, body, client)
         return self._error(404, f"no route for {path!r}")
 
     def _error(self, status: int, message: str) -> tuple[int, str, bytes]:
@@ -227,7 +236,7 @@ class ServeApp:
     # -- the query path -------------------------------------------------
 
     async def _query(
-        self, endpoint: str, body: bytes
+        self, endpoint: str, body: bytes, client: str | None = None
     ) -> tuple[int, str, bytes]:
         if self.draining:
             obs.add("serve.rejected.draining")
@@ -246,6 +255,14 @@ class ServeApp:
         if wait_s > 0:
             obs.add("serve.rejected.rate_limited")
             doc = {"error": "rate limited", "retry_after_s": math.ceil(wait_s)}
+            return 429, _JSON, canonical_json(doc)
+        client_wait_s = self.client_limiter.try_acquire(client)
+        if client_wait_s > 0:
+            obs.add("serve.rejected.rate_limited_client")
+            doc = {
+                "error": "client rate limited",
+                "retry_after_s": math.ceil(client_wait_s),
+            }
             return 429, _JSON, canonical_json(doc)
 
         key = query.digest()
@@ -558,6 +575,18 @@ async def _serve_connection(
             pass
 
 
+def _peer_key(writer: asyncio.StreamWriter) -> str | None:
+    """The connection's peer address as a client key (``None`` if unknown).
+
+    Only the host part participates — one client's connections share a
+    bucket regardless of ephemeral source port.
+    """
+    peer = writer.get_extra_info("peername")
+    if not peer:
+        return None
+    return str(peer[0]) if isinstance(peer, tuple) else str(peer)
+
+
 async def _connection_loop(
     app: ServeApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
@@ -577,8 +606,11 @@ async def _connection_loop(
         if request is None:
             return
         method, path, headers, body = request
+        client = headers.get("x-client-id") or _peer_key(writer)
         try:
-            status, ctype, payload = await app.handle(method, path, body)
+            status, ctype, payload = await app.handle(
+                method, path, body, client
+            )
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             obs.add("serve.errors.internal")
             status, ctype, payload = (
@@ -634,13 +666,17 @@ def run_server(
     cache_dir: str | None = None,
     plan: str = "auto",
     max_block_bytes: int | None = None,
+    client_rate: float = 0.0,
+    client_burst: float | None = None,
 ) -> int:
     """Run the prediction service until SIGINT/SIGTERM; returns exit code.
 
-    ``rate``/``burst`` configure the token bucket (0 disables limiting);
-    ``cache_dir`` enables the persistent :class:`ResultCache` warm tier;
-    ``plan``/``max_block_bytes`` configure the per-query execution
-    planner (``repro serve --plan/--max-block-bytes``).
+    ``rate``/``burst`` configure the service-wide token bucket and
+    ``client_rate``/``client_burst`` the per-client buckets (0 disables
+    either layer); ``cache_dir`` enables the persistent
+    :class:`ResultCache` warm tier; ``plan``/``max_block_bytes``
+    configure the per-query execution planner
+    (``repro serve --plan/--max-block-bytes``).
     """
     app = ServeApp(
         cache_dir=cache_dir,
@@ -648,6 +684,8 @@ def run_server(
         burst=burst,
         plan=plan,
         max_block_bytes=max_block_bytes,
+        client_rate=client_rate,
+        client_burst=client_burst,
     )
     try:
         return asyncio.run(_serve_forever(app, host, port))

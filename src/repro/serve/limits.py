@@ -1,20 +1,26 @@
 """Token-bucket admission control for the prediction service.
 
-One bucket guards the whole query surface: tokens refill continuously at
-``rate`` per second up to a ``burst`` capacity, each admitted request
-spends one, and an empty bucket yields the number of seconds until the
-next token — which the HTTP layer renders as ``429`` with a
-``Retry-After`` header.
+Two layers guard the query surface.  The **global** bucket caps the
+service's total admission rate: tokens refill continuously at ``rate``
+per second up to a ``burst`` capacity, each admitted request spends one,
+and an empty bucket yields the number of seconds until the next token —
+which the HTTP layer renders as ``429`` with a ``Retry-After`` header.
+:class:`KeyedTokenBuckets` adds **per-client** fairness on top: one
+bucket per client key (``X-Client-Id`` header, else the peer address),
+so a single chatty client exhausts its own budget instead of everyone
+else's; requests with no derivable key are covered by the global bucket
+alone.
 
-The bucket is used from the event loop only (admission happens before a
-request is handed to a worker thread), so it needs no lock; the clock is
-injectable for deterministic tests.
+Both are used from the event loop only (admission happens before a
+request is handed to a worker thread), so they need no lock; the clock
+is injectable for deterministic tests.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from collections import OrderedDict
 from typing import Callable
 
 
@@ -74,3 +80,65 @@ class TokenBucket:
         """Tokens available right now (refreshes the refill clock)."""
         self._refill()
         return self._tokens
+
+
+#: Per-client bucket table bound — oldest-used buckets are evicted past
+#: this (an evicted client simply starts over with a full bucket).
+DEFAULT_MAX_CLIENTS = 1024
+
+
+class KeyedTokenBuckets:
+    """One :class:`TokenBucket` per client key, LRU-bounded.
+
+    Every key gets an independent bucket with the same ``rate``/``burst``
+    the moment it first appears; the table keeps at most ``max_clients``
+    buckets, evicting the least recently used.  A ``rate`` of 0 disables
+    per-client limiting entirely.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+    ) -> None:
+        """Configure the per-key bucket template and the table bound."""
+        if rate < 0:
+            raise ValueError("rate must be >= 0 (0 disables limiting)")
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate = float(rate)
+        self.burst = burst
+        self._clock = clock
+        self.max_clients = max_clients
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def bucket(self, key: str) -> TokenBucket:
+        """The (possibly new) bucket for ``key``, marked recently used."""
+        b = self._buckets.get(key)
+        if b is None:
+            b = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[key] = b
+        self._buckets.move_to_end(key)
+        while len(self._buckets) > self.max_clients:
+            self._buckets.popitem(last=False)
+        return b
+
+    def try_acquire(self, key: str | None, n: float = 1.0) -> float:
+        """Spend ``n`` of ``key``'s tokens; 0.0 admits, else retry-after.
+
+        ``None`` (no derivable client identity) always admits — such
+        requests are governed by the service-wide bucket alone.
+        """
+        if self.rate == 0 or key is None:
+            return 0.0
+        return self.bucket(key).try_acquire(n)
+
+    def retry_after_header(self, wait_s: float) -> str:
+        """``Retry-After`` header value for a rejected request."""
+        return str(max(1, math.ceil(wait_s)))
+
+    def __len__(self) -> int:
+        """How many client buckets are currently tracked."""
+        return len(self._buckets)

@@ -1,0 +1,71 @@
+"""CLI surface of the reproduction DAG: pipeline run/status round trips.
+
+These exercise the argument plumbing and the human/JSON output on a
+single cheap stage; the full eight-stage reproduction (and the
+edit-one-spec incrementality contract) lives in
+``tests/integration/test_pipeline_repro.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.main import main
+
+STAGE = "characterize-xeon-sp"
+
+
+def _args(tmp_path, *rest):
+    return ["pipeline", *rest, "--store", str(tmp_path / "store")]
+
+
+def test_status_cold_reports_missing_and_stale(tmp_path, capsys):
+    assert main(_args(tmp_path, "status")) == 0
+    out = capsys.readouterr().out
+    assert "never executed" in out
+    assert "upstream stage not fresh" in out
+    assert "0/8 fresh" in out
+
+
+def test_run_then_cached_round_trip(tmp_path, capsys):
+    assert main(_args(tmp_path, "run", "--stages", STAGE)) == 0
+    out = capsys.readouterr().out
+    assert f"ran     {STAGE}" in out
+    assert "1 executed, 0 cached" in out
+
+    # second run: served from the store
+    assert main(_args(tmp_path, "run", "--stages", STAGE)) == 0
+    out = capsys.readouterr().out
+    assert f"cached  {STAGE}" in out
+    assert "0 executed, 1 cached" in out
+
+    # status for the selection is now fresh
+    assert main(_args(tmp_path, "status", "--stages", STAGE)) == 0
+    out = capsys.readouterr().out
+    assert "fresh" in out and "nothing to do" in out
+
+
+def test_json_output_is_machine_readable(tmp_path, capsys):
+    assert main(_args(tmp_path, "run", "--stages", STAGE, "--json")) == 0
+    reports = json.loads(capsys.readouterr().out)
+    assert [r["stage"] for r in reports] == [STAGE]
+    assert reports[0]["action"] == "executed"
+    assert len(reports[0]["fingerprint"]) == 16
+
+    assert main(_args(tmp_path, "status", "--stages", STAGE, "--json")) == 0
+    statuses = json.loads(capsys.readouterr().out)
+    assert statuses == [
+        {
+            "stage": STAGE,
+            "state": "fresh",
+            "reasons": [],
+            "fingerprint": reports[0]["fingerprint"],
+        }
+    ]
+
+
+def test_force_reexecutes(tmp_path, capsys):
+    assert main(_args(tmp_path, "run", "--stages", STAGE)) == 0
+    capsys.readouterr()
+    assert main(_args(tmp_path, "run", "--stages", STAGE, "--force")) == 0
+    assert "1 executed, 0 cached" in capsys.readouterr().out

@@ -254,3 +254,84 @@ def test_cli_cold_warm_invalidated_round_trip(tmp_path, capsys):
     entries_after_bt = sorted(p.name for p in cache_dir.glob("*.npz"))
     assert len(entries_after_bt) == 2
     assert set(entries_after_cold) < set(entries_after_bt)
+
+
+# ----------------------------------------------------------------------
+# generic JSON artifact entries (the pipeline store's substrate)
+# ----------------------------------------------------------------------
+
+DOC_IDENTITY = {"kind": "repro_pipeline_stage", "stage": "s", "inputs": {}}
+DOC_PAYLOAD = {"outputs": {"x": [1, 2, 3]}, "output_digests": {"x": "abc"}}
+
+
+def test_doc_round_trip(cache):
+    assert cache.get_doc(DOC_IDENTITY) is None  # cold
+    path = cache.put_doc(DOC_IDENTITY, DOC_PAYLOAD)
+    assert path.exists() and path.suffix == ".json"
+    assert cache.get_doc(DOC_IDENTITY) == DOC_PAYLOAD
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+
+def test_contains_probes_both_entry_kinds(cache, model, result):
+    assert not cache.contains(DOC_IDENTITY)
+    cache.put_doc(DOC_IDENTITY, DOC_PAYLOAD)
+    assert cache.contains(DOC_IDENTITY)
+    npz_identity = _identity(model)
+    assert not cache.contains(npz_identity)
+    cache.put(npz_identity, result)
+    assert cache.contains(npz_identity)
+    assert len(cache.entries()) == 2
+
+
+def test_foreign_doc_rejected(cache):
+    """A document whose embedded identity differs degrades to a miss."""
+    other = dict(DOC_IDENTITY, stage="other")
+    cache.put_doc(other, DOC_PAYLOAD)
+    cache.doc_path_for(other).rename(cache.doc_path_for(DOC_IDENTITY))
+    assert cache.get_doc(DOC_IDENTITY) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_corrupt_doc_rejected(cache):
+    cache.doc_path_for(DOC_IDENTITY).write_text("{not json", encoding="utf-8")
+    assert cache.get_doc(DOC_IDENTITY) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_torn_doc_rejected(cache):
+    path = cache.put_doc(DOC_IDENTITY, DOC_PAYLOAD)
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # simulate a torn write
+    assert cache.get_doc(DOC_IDENTITY) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def test_doc_without_payload_key_rejected(cache):
+    cache.doc_path_for(DOC_IDENTITY).write_text(
+        json.dumps({"identity": DOC_IDENTITY}), encoding="utf-8"
+    )
+    assert cache.get_doc(DOC_IDENTITY) is None
+    assert cache.stats()["rejected"] == 1
+
+
+def _concurrent_put_doc(task):
+    directory, identity, payload = task
+    return str(ResultCache(directory).put_doc(identity, payload))
+
+
+def test_concurrent_doc_writers_race_benignly(tmp_path):
+    """Two pipeline stages racing on one artifact key: one valid entry,
+    no torn reads, no temp droppings."""
+    directory = tmp_path / "cache"
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(4) as pool:
+        paths = pool.map(
+            _concurrent_put_doc, [(directory, DOC_IDENTITY, DOC_PAYLOAD)] * 8
+        )
+    assert len(set(paths)) == 1  # everyone addressed the same entry
+    cache = ResultCache(directory)
+    assert [p.name for p in cache.entries()] == [
+        f"{cache.digest(DOC_IDENTITY)}.json"
+    ]
+    assert list(directory.glob(".*tmp*")) == []
+    assert cache.get_doc(DOC_IDENTITY) == DOC_PAYLOAD

@@ -1,0 +1,140 @@
+"""Pipeline DAG assembly: stage validation, toposort, graph queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.dag import Pipeline, PipelineError
+from repro.pipeline.stage import Stage
+
+
+def _noop(ctx):
+    return {name: {} for name in ctx.stage.outputs}
+
+
+def stage(name, outputs=None, deps=(), **kwargs):
+    return Stage(
+        name=name,
+        run=_noop,
+        outputs=tuple(outputs or (name.replace("-", "_"),)),
+        deps=tuple(deps),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# stage validation
+# ----------------------------------------------------------------------
+
+
+def test_stage_rejects_bad_names():
+    with pytest.raises(ValueError):
+        stage("has space")
+    with pytest.raises(ValueError):
+        stage("/leading-slash")
+    with pytest.raises(ValueError):
+        stage("ok", outputs=("also ok not",))
+
+
+def test_stage_rejects_no_outputs():
+    with pytest.raises(ValueError):
+        Stage(name="a", run=_noop, outputs=())
+
+
+def test_stage_rejects_duplicate_outputs():
+    with pytest.raises(ValueError):
+        stage("a", outputs=("x", "x"))
+
+
+def test_stage_rejects_self_dependency():
+    with pytest.raises(ValueError):
+        stage("a", deps=("a",))
+
+
+# ----------------------------------------------------------------------
+# pipeline validation
+# ----------------------------------------------------------------------
+
+
+def test_rejects_duplicate_stage_names():
+    with pytest.raises(PipelineError, match="duplicate stage names"):
+        Pipeline([stage("a"), stage("a", outputs=("other",))])
+
+
+def test_rejects_duplicate_artifact_producers():
+    with pytest.raises(PipelineError, match="produced by both"):
+        Pipeline([stage("a", outputs=("x",)), stage("b", outputs=("x",))])
+
+
+def test_rejects_unknown_dependency():
+    with pytest.raises(PipelineError, match="unknown stage"):
+        Pipeline([stage("a", deps=("ghost",))])
+
+
+def test_rejects_cycle():
+    with pytest.raises(PipelineError, match="cycle"):
+        Pipeline([stage("a", deps=("b",)), stage("b", deps=("a",))])
+
+
+# ----------------------------------------------------------------------
+# topological order
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def diamond():
+    #   a
+    #  / \
+    # b   c
+    #  \ /
+    #   d
+    return Pipeline(
+        [
+            stage("d", deps=("b", "c")),
+            stage("b", deps=("a",)),
+            stage("c", deps=("a",)),
+            stage("a"),
+        ]
+    )
+
+
+def test_order_is_topological(diamond):
+    order = diamond.order
+    assert order.index("a") < order.index("b")
+    assert order.index("a") < order.index("c")
+    assert order.index("b") < order.index("d")
+    assert order.index("c") < order.index("d")
+
+
+def test_order_breaks_ties_by_declaration(diamond):
+    # b was declared before c; both become ready together
+    assert diamond.order.index("b") < diamond.order.index("c")
+
+
+def test_iteration_and_lookup(diamond):
+    assert len(diamond) == 4
+    assert [s.name for s in diamond] == list(diamond.order)
+    assert "a" in diamond and "ghost" not in diamond
+    assert diamond.stage("a").name == "a"
+    with pytest.raises(PipelineError, match="unknown stage"):
+        diamond.stage("ghost")
+    assert diamond.producer_of("b").name == "b"
+    with pytest.raises(PipelineError, match="no stage produces"):
+        diamond.producer_of("ghost")
+
+
+# ----------------------------------------------------------------------
+# graph queries
+# ----------------------------------------------------------------------
+
+
+def test_closure_pulls_in_ancestors(diamond):
+    assert diamond.closure(["d"]) == {"a", "b", "c", "d"}
+    assert diamond.closure(["b"]) == {"a", "b"}
+    assert diamond.closure(None) == {"a", "b", "c", "d"}
+
+
+def test_downstream_is_the_blast_radius(diamond):
+    assert diamond.downstream(["a"]) == {"b", "c", "d"}
+    assert diamond.downstream(["b"]) == {"d"}
+    assert diamond.downstream(["d"]) == set()

@@ -1,0 +1,102 @@
+"""Stage identity fingerprints: content addressing and change detection."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.pipeline import fingerprint as fp
+from repro.pipeline.dag import PipelineError
+from repro.pipeline.stage import Stage
+
+
+def _noop(ctx):
+    return {}
+
+
+def _stage(tmp_path, params=None, inputs=()):
+    return Stage(
+        name="s",
+        run=_noop,
+        outputs=("out",),
+        inputs=tuple(str(tmp_path / i) for i in inputs),
+        params=params or {},
+    )
+
+
+def test_file_digest_tracks_content_not_metadata(tmp_path):
+    f = tmp_path / "input.txt"
+    f.write_text("hello")
+    before = fp.file_digest(f)
+    # mtime changes alone must not change the digest
+    os.utime(f, (0, 0))
+    assert fp.file_digest(f) == before
+    f.write_text("hello!")
+    assert fp.file_digest(f) != before
+
+
+def test_file_digest_relative_paths_resolve_against_repo_root():
+    relative = "src/repro/machines/xeon.py"
+    absolute = fp.REPO_ROOT / relative
+    assert fp.file_digest(relative) == fp.file_digest(absolute)
+
+
+def test_missing_input_is_a_definition_error(tmp_path):
+    with pytest.raises(PipelineError, match="unreadable"):
+        fp.file_digest(tmp_path / "missing.txt")
+
+
+def test_payload_digest_is_canonical():
+    # key order must not matter; representation is canonical JSON
+    assert fp.payload_digest({"a": 1, "b": 2}) == fp.payload_digest(
+        {"b": 2, "a": 1}
+    )
+    assert fp.payload_digest({"a": 1}) != fp.payload_digest({"a": 2})
+
+
+def test_payload_digest_rejects_nan():
+    with pytest.raises(ValueError):
+        fp.payload_digest({"x": float("nan")})
+
+
+def test_identity_changes_on_each_axis(tmp_path):
+    (tmp_path / "in.txt").write_text("v1")
+    base = fp.stage_identity(
+        _stage(tmp_path, params={"k": 1}, inputs=("in.txt",)), {"up": "d1"}
+    )
+
+    (tmp_path / "in.txt").write_text("v2")
+    changed_input = fp.stage_identity(
+        _stage(tmp_path, params={"k": 1}, inputs=("in.txt",)), {"up": "d1"}
+    )
+    (tmp_path / "in.txt").write_text("v1")
+    changed_param = fp.stage_identity(
+        _stage(tmp_path, params={"k": 2}, inputs=("in.txt",)), {"up": "d1"}
+    )
+    changed_upstream = fp.stage_identity(
+        _stage(tmp_path, params={"k": 1}, inputs=("in.txt",)), {"up": "d2"}
+    )
+
+    digests = {
+        fp.identity_digest(doc)
+        for doc in (base, changed_input, changed_param, changed_upstream)
+    }
+    assert len(digests) == 4  # every axis participates
+
+
+def test_identity_is_stable_across_upstream_ordering(tmp_path):
+    stage = _stage(tmp_path)
+    a = fp.stage_identity(stage, {"x": "1", "y": "2"})
+    b = fp.stage_identity(stage, dict(reversed([("x", "1"), ("y", "2")])))
+    assert fp.identity_digest(a) == fp.identity_digest(b)
+
+
+def test_identity_document_shape(tmp_path):
+    (tmp_path / "in.txt").write_text("v1")
+    doc = fp.stage_identity(_stage(tmp_path, inputs=("in.txt",)), {})
+    assert doc["kind"] == fp.KIND
+    assert doc["format_version"] == fp.FORMAT_VERSION
+    assert doc["stage"] == "s"
+    assert list(doc["inputs"]) == [str(tmp_path / "in.txt")]
+    assert doc["outputs"] == ["out"]

@@ -1,0 +1,340 @@
+"""Incremental pipeline execution: minimal recomputation, early cutoff,
+checkpointed resume, status reasons, and stage fan-out."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.pipeline.dag import Pipeline, PipelineError
+from repro.pipeline.runner import pipeline_status, run_pipeline
+from repro.pipeline.stage import Stage
+from repro.pipeline.store import ArtifactStore
+
+
+class Workbench:
+    """A tiny two-branch DAG over real input files, counting executions.
+
+        source.txt -> parse -> combine <- enrich <- extra.txt
+                                  |
+                               report
+    ``parse`` discards everything after '#', so appending a comment to
+    ``source.txt`` changes the input digest but not the parsed output —
+    the early-cutoff scenario.
+    """
+
+    def __init__(self, tmp_path):
+        self.source = tmp_path / "source.txt"
+        self.extra = tmp_path / "extra.txt"
+        self.source.write_text("alpha beta")
+        self.extra.write_text("gamma")
+        self.store = ArtifactStore(tmp_path / "store")
+        self.calls: list[str] = []
+
+    def _count(self, fn):
+        def wrapped(ctx):
+            self.calls.append(ctx.stage.name)
+            return fn(ctx)
+
+        return wrapped
+
+    def pipeline(self, report_params=None):
+        return Pipeline(
+            [
+                Stage(
+                    name="parse",
+                    run=self._count(
+                        lambda ctx: {
+                            "words": sorted(
+                                self.source.read_text().split("#")[0].split()
+                            )
+                        }
+                    ),
+                    outputs=("words",),
+                    inputs=(str(self.source),),
+                ),
+                Stage(
+                    name="enrich",
+                    run=self._count(
+                        lambda ctx: {"extras": [self.extra.read_text()]}
+                    ),
+                    outputs=("extras",),
+                    inputs=(str(self.extra),),
+                ),
+                Stage(
+                    name="combine",
+                    run=self._count(
+                        lambda ctx: {
+                            "combined": ctx.artifact("words")
+                            + ctx.artifact("extras")
+                        }
+                    ),
+                    outputs=("combined",),
+                    deps=("parse", "enrich"),
+                ),
+                Stage(
+                    name="report",
+                    run=self._count(
+                        lambda ctx: {
+                            "report": {
+                                "n": len(ctx.artifact("combined")),
+                                **dict(ctx.params),
+                            }
+                        }
+                    ),
+                    outputs=("report",),
+                    deps=("combine",),
+                    params=report_params or {"title": "demo"},
+                ),
+            ]
+        )
+
+
+@pytest.fixture
+def bench(tmp_path):
+    return Workbench(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# minimal recomputation
+# ----------------------------------------------------------------------
+
+
+def test_cold_run_executes_everything_in_order(bench):
+    run = run_pipeline(bench.pipeline(), bench.store)
+    assert run.executed == ("parse", "enrich", "combine", "report")
+    assert run.cached == ()
+    assert run.artifacts["combined"] == ["alpha", "beta", "gamma"]
+    assert run.artifacts["report"] == {"n": 3, "title": "demo"}
+
+
+def test_warm_run_is_fully_cached(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    bench.calls.clear()
+    run = run_pipeline(bench.pipeline(), bench.store)
+    assert run.executed == () and len(run.cached) == 4
+    assert bench.calls == []
+    assert run.artifacts["combined"] == ["alpha", "beta", "gamma"]
+
+
+def test_changed_input_reruns_only_its_downstream(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    bench.source.write_text("alpha beta delta")
+    bench.calls.clear()
+    run = run_pipeline(bench.pipeline(), bench.store)
+    # enrich's branch is untouched
+    assert run.executed == ("parse", "combine", "report")
+    assert run.cached == ("enrich",)
+    assert run.artifacts["combined"] == ["alpha", "beta", "delta", "gamma"]
+
+
+def test_early_cutoff_revalidates_downstream(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    # changes the input digest, not the parsed output
+    bench.source.write_text("alpha beta # a comment")
+    bench.calls.clear()
+    run = run_pipeline(bench.pipeline(), bench.store)
+    assert run.executed == ("parse",)
+    assert set(run.cached) == {"enrich", "combine", "report"}
+
+
+def test_changed_param_reruns_the_stage(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    run = run_pipeline(
+        bench.pipeline(report_params={"title": "v2"}), bench.store
+    )
+    assert run.executed == ("report",)
+    assert run.artifacts["report"]["title"] == "v2"
+
+
+def test_reverting_an_edit_needs_no_recomputation(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    bench.source.write_text("other words")
+    run_pipeline(bench.pipeline(), bench.store)
+    bench.source.write_text("alpha beta")  # revert
+    run = run_pipeline(bench.pipeline(), bench.store)
+    assert run.executed == ()  # old entries are still addressed
+
+
+def test_force_reexecutes_selected_stages(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    run = run_pipeline(bench.pipeline(), bench.store, force=True)
+    assert len(run.executed) == 4
+
+
+def test_selection_runs_only_the_closure(bench):
+    run = run_pipeline(bench.pipeline(), bench.store, stages=["parse"])
+    assert run.executed == ("parse",)
+    assert "combined" not in run.artifacts
+
+
+def test_selection_serves_fresh_ancestors_from_store(bench):
+    run_pipeline(bench.pipeline(), bench.store, stages=["parse", "enrich"])
+    bench.calls.clear()
+    run = run_pipeline(bench.pipeline(), bench.store, stages=["combine"])
+    assert run.executed == ("combine",)
+    assert bench.calls == ["combine"]
+
+
+def test_workers_fan_out_matches_serial_results(bench, tmp_path):
+    serial = run_pipeline(bench.pipeline(), bench.store)
+    parallel_store = ArtifactStore(tmp_path / "store2")
+    parallel = run_pipeline(bench.pipeline(), parallel_store, workers=4)
+    assert parallel.artifacts == serial.artifacts
+    assert set(parallel.executed) == set(serial.executed)
+
+
+def test_undeclared_outputs_are_rejected(bench, tmp_path):
+    bad = Pipeline(
+        [
+            Stage(
+                name="bad",
+                run=lambda ctx: {"other": 1},
+                outputs=("declared",),
+            )
+        ]
+    )
+    with pytest.raises(PipelineError, match="returned outputs"):
+        run_pipeline(bad, bench.store)
+
+
+def test_stage_runs_counters(bench):
+    registry = obs.enable_metrics()
+    try:
+        run_pipeline(bench.pipeline(), bench.store)
+        run_pipeline(bench.pipeline(), bench.store)
+        counters = registry.snapshot()["counters"]
+        assert counters["pipeline.stage_runs.executed"] == 4
+        assert counters["pipeline.stage_runs.cached"] == 4
+        assert counters["pipeline.runs"] == 2
+    finally:
+        obs.disable()
+
+
+# ----------------------------------------------------------------------
+# checkpointed stages
+# ----------------------------------------------------------------------
+
+
+class Flaky:
+    """A stage body that dies once, then resumes from its checkpoint."""
+
+    def __init__(self):
+        self.attempts = 0
+        self.resumed_from = None
+
+    def __call__(self, ctx):
+        self.attempts += 1
+        marker = ctx.checkpoint_path("progress")
+        if marker.exists():
+            self.resumed_from = json.loads(marker.read_text())["done"]
+        else:
+            marker.write_text(json.dumps({"done": 5}))
+        if self.attempts == 1:
+            raise RuntimeError("crash mid-campaign")
+        return {"out": {"resumed_from": self.resumed_from}}
+
+
+def _flaky_pipeline(flaky, params=None):
+    return Pipeline(
+        [
+            Stage(
+                name="campaign",
+                run=flaky,
+                outputs=("out",),
+                params=params or {},
+            )
+        ]
+    )
+
+
+def test_checkpoint_survives_a_crash_and_resumes(bench):
+    flaky = Flaky()
+    with pytest.raises(RuntimeError, match="crash"):
+        run_pipeline(_flaky_pipeline(flaky), bench.store)
+    run = run_pipeline(_flaky_pipeline(flaky), bench.store)
+    assert run.artifacts["out"] == {"resumed_from": 5}
+
+
+def test_checkpoint_cleared_when_identity_changes(bench):
+    flaky = Flaky()
+    with pytest.raises(RuntimeError, match="crash"):
+        run_pipeline(_flaky_pipeline(flaky), bench.store)
+    # same stage name, different params: the stale ledger must not leak
+    run = run_pipeline(
+        _flaky_pipeline(flaky, params={"v": 2}), bench.store
+    )
+    assert run.artifacts["out"] == {"resumed_from": None}
+
+
+def test_checkpoint_cleared_after_success(bench):
+    flaky = Flaky()
+    with pytest.raises(RuntimeError, match="crash"):
+        run_pipeline(_flaky_pipeline(flaky), bench.store)
+    run_pipeline(_flaky_pipeline(flaky), bench.store)
+    checkpoints = bench.store.directory / "checkpoints" / "campaign"
+    assert not checkpoints.exists()
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+
+
+def _states(pipeline, store):
+    return {s.name: s for s in pipeline_status(pipeline, store)}
+
+
+def test_status_cold_is_missing_then_stale_downstream(bench):
+    st = _states(bench.pipeline(), bench.store)
+    assert st["parse"].state == "missing"
+    assert st["parse"].reasons == ("never executed",)
+    assert st["combine"].state == "stale"
+    assert "upstream stage not fresh: parse" in st["combine"].reasons
+
+
+def test_status_fresh_after_a_run(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    st = _states(bench.pipeline(), bench.store)
+    assert all(s.state == "fresh" for s in st.values())
+    assert all(s.fingerprint for s in st.values())
+
+
+def test_status_names_the_changed_input(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    bench.source.write_text("changed")
+    st = _states(bench.pipeline(), bench.store)
+    assert st["parse"].state == "stale"
+    assert st["parse"].reasons == (f"input changed: {bench.source}",)
+    assert st["enrich"].state == "fresh"
+    assert st["combine"].state == "stale"
+
+
+def test_status_names_the_changed_param(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    st = _states(bench.pipeline(report_params={"title": "v2"}), bench.store)
+    assert st["report"].state == "stale"
+    assert st["report"].reasons == ("param changed: title",)
+
+
+def test_status_names_the_changed_upstream_artifact(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    # re-run only enrich after its input changed: its output digest moves,
+    # so combine is stale because of the *artifact*, not a file or param
+    bench.extra.write_text("delta")
+    run_pipeline(bench.pipeline(), bench.store, stages=["enrich"])
+    st = _states(bench.pipeline(), bench.store)
+    assert st["enrich"].state == "fresh"
+    assert st["combine"].state == "stale"
+    assert st["combine"].reasons == ("upstream artifact changed: extras",)
+
+
+def test_status_reports_evicted_entries_as_missing(bench):
+    run_pipeline(bench.pipeline(), bench.store)
+    for entry in bench.store.cache.entries():
+        entry.unlink()
+    st = _states(bench.pipeline(), bench.store)
+    assert st["parse"].state == "missing"
+    assert st["parse"].reasons == ("artifact entry missing from store",)

@@ -406,3 +406,55 @@ def test_canonical_json_is_deterministic():
     )
     with pytest.raises(ValueError):
         canonical_json({"x": float("inf")})
+
+
+def test_per_client_rate_limit_isolates_clients(make_app):
+    """Regression: one chatty client must not consume other clients'
+    admission budget — buckets are keyed, the global bucket still
+    governs keyless requests."""
+
+    async def run():
+        clock = FakeClock()
+        app = make_app(client_rate=1.0, client_burst=1, clock=clock)
+        status, _, _ = await app.handle(
+            "POST", "/v1/evaluate_space", _body(), client="alice"
+        )
+        assert status == 200
+        # alice's bucket is dry; she alone is rejected
+        status, _, payload = await app.handle(
+            "POST", "/v1/evaluate_space", _body(), client="alice"
+        )
+        assert status == 429
+        doc = json.loads(payload)
+        assert doc["error"] == "client rate limited"
+        assert doc["retry_after_s"] >= 1
+        assert obs.counter_value("serve.rejected.rate_limited_client") == 1
+        # a different client and a keyless request are both admitted
+        status, _, _ = await app.handle(
+            "POST", "/v1/evaluate_space", _body(), client="bob"
+        )
+        assert status == 200
+        status, _, _ = await app.handle(
+            "POST", "/v1/evaluate_space", _body()
+        )
+        assert status == 200
+        # alice refills with time
+        clock.now += 1.0
+        status, _, _ = await app.handle(
+            "POST", "/v1/evaluate_space", _body(), client="alice"
+        )
+        assert status == 200
+
+    asyncio.run(run())
+
+
+def test_client_limit_disabled_by_default(make_app):
+    async def run():
+        app = make_app()
+        for _ in range(5):
+            status, _, _ = await app.handle(
+                "POST", "/v1/evaluate_space", _body(), client="alice"
+            )
+            assert status == 200
+
+    asyncio.run(run())

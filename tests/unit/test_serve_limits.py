@@ -65,3 +65,75 @@ def test_validation():
         TokenBucket(rate=-1.0)
     with pytest.raises(ValueError, match="burst"):
         TokenBucket(rate=5.0, burst=0.5)
+
+
+# ----------------------------------------------------------------------
+# per-client keyed buckets
+# ----------------------------------------------------------------------
+
+
+def _keyed(rate=1.0, burst=2, **kwargs):
+    from repro.serve.limits import KeyedTokenBuckets
+
+    return KeyedTokenBuckets(rate, burst, **kwargs)
+
+
+def test_keyed_buckets_are_independent_per_client():
+    clock = FakeClock()
+    buckets = _keyed(clock=clock)
+    assert buckets.try_acquire("alice") == 0.0
+    assert buckets.try_acquire("alice") == 0.0
+    assert buckets.try_acquire("alice") > 0  # alice exhausted her burst
+    # bob is unaffected by alice's spending
+    assert buckets.try_acquire("bob") == 0.0
+    assert len(buckets) == 2
+
+
+def test_keyed_buckets_refill_per_client():
+    clock = FakeClock()
+    buckets = _keyed(clock=clock)
+    buckets.try_acquire("alice")
+    buckets.try_acquire("alice")
+    wait = buckets.try_acquire("alice")
+    assert wait == pytest.approx(1.0)
+    clock.advance(1.0)
+    assert buckets.try_acquire("alice") == 0.0
+
+
+def test_keyed_rate_zero_and_none_key_admit():
+    buckets = _keyed(rate=0.0)
+    assert all(buckets.try_acquire("anyone") == 0.0 for _ in range(100))
+    limited = _keyed(rate=1.0, burst=1)
+    # no derivable client identity: governed by the global bucket alone
+    assert all(limited.try_acquire(None) == 0.0 for _ in range(100))
+    assert len(limited) == 0
+
+
+def test_keyed_buckets_lru_eviction_bounds_the_table():
+    clock = FakeClock()
+    buckets = _keyed(clock=clock, max_clients=2)
+    buckets.try_acquire("a")
+    buckets.try_acquire("b")
+    buckets.try_acquire("a")  # refresh a
+    buckets.try_acquire("c")  # evicts b (least recently used)
+    assert len(buckets) == 2
+    # c kept its spent state (one token left of burst=2)...
+    assert buckets.try_acquire("c") == 0.0
+    assert buckets.try_acquire("c") > 0
+    # ...while evicted b starts over with a full bucket
+    assert buckets.try_acquire("b") == 0.0
+    assert len(buckets) == 2
+
+
+def test_keyed_validation():
+    with pytest.raises(ValueError):
+        _keyed(rate=-1.0)
+    from repro.serve.limits import KeyedTokenBuckets
+
+    with pytest.raises(ValueError):
+        KeyedTokenBuckets(1.0, max_clients=0)
+
+
+def test_keyed_retry_after_header_rounds_up():
+    assert _keyed().retry_after_header(0.2) == "1"
+    assert _keyed().retry_after_header(1.4) == "2"

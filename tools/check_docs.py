@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs gate: the documentation must actually run.
 
-Three checks, any failure exits non-zero:
+Five checks, any failure exits non-zero:
 
 1. every ``examples/*.py`` script runs to completion and prints output;
 2. every fenced code block in README.md and docs/TUTORIAL.md executes —
@@ -10,7 +10,11 @@ Three checks, any failure exits non-zero:
    ``console`` blocks contribute their ``repro …`` command lines, which
    run via ``python -m repro`` (install/test lines — pip, pytest, make —
    are environment management, not library usage, and are skipped);
-3. ``docs/README.md`` links every page in ``docs/``.
+3. ``docs/README.md`` links every page in ``docs/``;
+4. no markdown link in README.md or ``docs/*.md`` points at a file that
+   does not exist (dangling intra-docs links);
+5. every subcommand ``repro --help`` advertises is documented in
+   ``docs/API.md``.
 
 Everything executes in a scratch working directory so commands that
 write files (``--trace``, ``--checkpoint``, ``--output``) leave no
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import shlex
 import subprocess
 import sys
@@ -188,11 +193,84 @@ def check_docs_index() -> bool:
     return ok
 
 
+#: ``[text](target)`` — target captured up to the closing paren.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Link targets that are not files in this repository.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_links() -> bool:
+    """No markdown link may point at a missing file (dangling link)."""
+    print("[intra-docs links]")
+    pages = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    ok = True
+    checked = 0
+    for page in pages:
+        text = page.read_text()
+        # ignore links inside fenced code blocks (command examples)
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in _LINK_RE.findall(text):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            rel_target = target.split("#", 1)[0]
+            if not rel_target:
+                continue
+            checked += 1
+            if not (page.parent / rel_target).exists():
+                rel = page.relative_to(ROOT)
+                print(f"  FAIL {rel}: dangling link -> {target}")
+                ok = False
+    if ok:
+        print(f"  ok   {checked} relative links all resolve")
+    return ok
+
+
+def check_cli_coverage() -> bool:
+    """Every ``repro --help`` subcommand must appear in docs/API.md."""
+    print("[CLI coverage in docs/API.md]")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=_PER_UNIT_TIMEOUT_S,
+    )
+    if proc.returncode != 0:
+        print("  FAIL 'repro --help' exited non-zero")
+        return False
+    # argparse renders choice sets as "{a,b,c,...}"; the subcommand set
+    # is the group containing "systems" (option choices like
+    # --sim-backend render the same way)
+    groups = re.findall(r"\{([a-z0-9,\-\s]+)\}", proc.stdout)
+    commands = next(
+        (
+            [c.strip() for c in g.split(",") if c.strip()]
+            for g in groups
+            if "systems" in g
+        ),
+        None,
+    )
+    if commands is None:
+        print("  FAIL could not find the subcommand list in 'repro --help'")
+        return False
+    api = (ROOT / "docs" / "API.md").read_text()
+    ok = True
+    for command in commands:
+        if f"repro {command}" not in api:
+            print(f"  FAIL docs/API.md does not document 'repro {command}'")
+            ok = False
+    if ok:
+        print(f"  ok   all {len(commands)} subcommands documented")
+    return ok
+
+
 def main() -> int:
     ok = check_examples()
     for path in EXECUTED_DOCS:
         ok &= check_document(path)
     ok &= check_docs_index()
+    ok &= check_links()
+    ok &= check_cli_coverage()
     print("docs gate:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 

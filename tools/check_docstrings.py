@@ -32,6 +32,7 @@ from repro.lint.discovery import iter_python_files  # noqa: E402
 ENFORCED = (
     "src/repro/core",
     "src/repro/obs",
+    "src/repro/pipeline",
     "src/repro/resilience",
     "src/repro/lint",
     "src/repro/serve",
