@@ -41,9 +41,11 @@ lint:
 	fi
 
 # the repository's own invariant checker (units, determinism, fork
-# safety, atomic IO, observability coverage) — see docs/LINTING.md
+# safety, atomic IO, observability coverage, async-blocking, lock-guard
+# discipline, lock order) plus the stale-suppression audit — see
+# docs/LINTING.md
 lint-repro:
-	PYTHONPATH=src python -m repro.lint
+	PYTHONPATH=src python -m repro.lint --check-ignores
 
 # strict static typing on the linter and the contract modules it guards
 typecheck:

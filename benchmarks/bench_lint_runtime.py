@@ -3,14 +3,18 @@
 The linter is a blocking CI job and a pre-commit-sized local check
 (``make lint-repro``); it only stays in everyone's loop if a full
 repository pass remains interactive.  This gate lints ``src/`` and
-``tools/`` end to end — parse, all five checkers, suppressions,
-baseline — and fails the build if the wall time reaches
-:data:`BUDGET_SECONDS` (10 s, a generous multiple of the expected
-sub-second runtime, so only a complexity regression such as an
-accidentally quadratic call-graph walk can trip it).
+``tools/`` end to end — parse, the shared analysis core (symbol table +
+call graph), all checkers, suppressions, baseline — and fails the build
+if the wall time reaches :data:`BUDGET_SECONDS` (10 s, a generous
+multiple of the expected sub-second runtime, so only a complexity
+regression such as an accidentally quadratic call-graph walk can trip
+it).
 
-The measured runtime and per-file throughput are pinned to
-``benchmarks/out/lint_runtime.json`` for trend tracking.
+The measured runtime, per-file throughput, and the per-phase split from
+``LintResult.timings`` (parse / symbol table / call graph / checkers)
+are pinned to ``benchmarks/out/lint_runtime.json`` for trend tracking,
+so a blow-up in one phase is attributable even while the total stays
+inside budget.
 """
 
 import pathlib
@@ -48,6 +52,11 @@ def test_lint_runtime_budget(benchmark, write_report):
     )
 
     files_per_s = result.files_scanned / elapsed_s
+    checkers_s = sum(
+        seconds
+        for phase, seconds in result.timings.items()
+        if phase.startswith("rule:")
+    )
     write_report(
         "lint_runtime",
         {
@@ -55,12 +64,23 @@ def test_lint_runtime_budget(benchmark, write_report):
             "budget_s": (BUDGET_SECONDS, "s"),
             "files_scanned": (result.files_scanned, "count"),
             "files_per_s": (files_per_s, "files/s"),
+            "parse_s": (result.timings.get("parse", 0.0), "s"),
+            "symbol_table_s": (result.timings.get("symbol_table", 0.0), "s"),
+            "call_graph_s": (result.timings.get("call_graph", 0.0), "s"),
+            "checkers_s": (checkers_s, "s"),
         },
-        extra={"rules": list(result.rules)},
+        extra={
+            "rules": list(result.rules),
+            "timings": {k: round(v, 6) for k, v in sorted(result.timings.items())},
+        },
     )
     print(
         f"lint runtime: {elapsed_s:.3f}s for {result.files_scanned} files "
-        f"({files_per_s:.0f} files/s, budget {BUDGET_SECONDS:.0f}s)"
+        f"({files_per_s:.0f} files/s, budget {BUDGET_SECONDS:.0f}s; "
+        f"parse {result.timings.get('parse', 0.0):.3f}s, "
+        f"symbols {result.timings.get('symbol_table', 0.0):.3f}s, "
+        f"call graph {result.timings.get('call_graph', 0.0):.3f}s, "
+        f"checkers {checkers_s:.3f}s)"
     )
 
     benchmark.pedantic(_full_repo_lint, rounds=1)

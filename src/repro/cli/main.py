@@ -393,6 +393,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-client burst capacity (default: max(1, client-rate))",
     )
+    p.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size of the bounded thread pool engine evaluations run in "
+        "(default: 4); excess flights queue instead of growing threads",
+    )
 
     # The real parser lives in repro.lint.cli; main() forwards to it
     # before global options are parsed.  This stub only provides the
@@ -995,7 +1003,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.app import run_server
+    from repro.serve.app import DEFAULT_ENGINE_WORKERS, run_server
 
     # The service owns its warm tier directly (the global --cache-dir is
     # reused as its ResultCache directory); --workers still installs the
@@ -1010,6 +1018,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_block_bytes=args.max_block_bytes,
         client_rate=args.client_rate,
         client_burst=args.client_burst,
+        engine_workers=(
+            args.engine_workers
+            if args.engine_workers is not None
+            else DEFAULT_ENGINE_WORKERS
+        ),
     )
 
 

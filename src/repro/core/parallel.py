@@ -215,8 +215,8 @@ def effective_workers(requested: int) -> int:
 # the worker pool (persistent, lazily created)
 # ----------------------------------------------------------------------
 
-_POOL: ProcessPoolExecutor | None = None
-_POOL_WORKERS = 0
+_POOL: ProcessPoolExecutor | None = None  # guarded-by: _POOL_LOCK
+_POOL_WORKERS = 0  # guarded-by: _POOL_LOCK
 
 #: Guards the pool globals: concurrent sweeps (the ``repro serve`` layer
 #: dispatches engine calls from a thread pool) must never observe a
@@ -247,7 +247,7 @@ def _pool(workers: int) -> ProcessPoolExecutor:
         return _POOL
 
 
-def _shutdown_pool_locked() -> None:
+def _shutdown_pool_locked() -> None:  # guarded-by: _POOL_LOCK
     """Shut the current pool down; caller must hold ``_POOL_LOCK``."""
     global _POOL, _POOL_WORKERS
     if _POOL is not None:

@@ -183,11 +183,13 @@ class _LRUCache:
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
-        self._data: OrderedDict[object, VectorizedEvaluation] = OrderedDict()
+        self._data: OrderedDict[object, VectorizedEvaluation] = (
+            OrderedDict()
+        )  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def get(self, key: object) -> VectorizedEvaluation | None:
         with self._lock:

@@ -17,11 +17,22 @@ documented but, before this package, unenforced:
   file (rule ``RL004``).
 * **Observability** — the public pipeline entry points must be covered
   by :mod:`repro.obs` span instrumentation (rule ``RL005``).
+* **Async hygiene** — ``async def`` bodies must not reach blocking calls
+  (``time.sleep``, file IO, ``subprocess``) except through an executor
+  boundary such as ``asyncio.to_thread`` (rule ``RL006``).
+* **Lock discipline** — state annotated ``# guarded-by: <lock>`` must
+  only be touched while holding that lock (or only from the event loop,
+  for ``guarded-by: event-loop``) (rule ``RL007``).
+* **Lock order** — locks must be acquired in a consistent global order,
+  and coroutines must not ``await`` while holding a thread lock
+  (rule ``RL008``).
 
 The framework is plugin-based: checkers register themselves in
 :mod:`repro.lint.registry`, the engine (:mod:`repro.lint.engine`) parses
-every file once into a shared :class:`~repro.lint.project.Project` and
-hands it to each checker, and findings flow through per-line
+every file once into a shared :class:`~repro.lint.project.Project`,
+builds the interprocedural analysis core (:mod:`repro.lint.analysis`:
+symbol table + call graph, computed once and shared), and hands both to
+each checker; findings flow through per-line
 ``# reprolint: ignore[RULE]`` suppressions and the committed baseline
 file before they reach a reporter.  Run it as ``repro lint`` or
 ``python -m repro.lint``; see ``docs/LINTING.md``.

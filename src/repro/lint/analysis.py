@@ -1,0 +1,55 @@
+"""The per-run shared analysis: symbol table + call graph, built once.
+
+Five of the eight rules are interprocedural; without sharing, each one
+would re-walk every AST in the project.  :func:`analyze` builds the
+:class:`~repro.lint.symbols.SymbolTable` and
+:class:`~repro.lint.callgraph.CallGraph` exactly once per
+:class:`~repro.lint.project.Project` and caches the result on the
+project object itself, so checkers can call it independently (unit
+tests lint tiny synthetic projects) while a full engine run pays one
+build.  The engine triggers the build eagerly so its cost is visible
+in the per-phase timings (``bench_lint_runtime.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.project import Project
+from repro.lint.symbols import SymbolTable
+
+_CACHE_ATTR = "_reprolint_analysis"
+
+
+@dataclass
+class ProjectAnalysis:
+    """The shared analysis products for one lint run."""
+
+    symbols: SymbolTable
+    graph: CallGraph
+    #: wall-clock seconds per build phase (``symbol_table``, ``call_graph``)
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+def analyze(project: Project) -> ProjectAnalysis:
+    """The (cached) :class:`ProjectAnalysis` for ``project``."""
+    cached = getattr(project, _CACHE_ATTR, None)
+    if isinstance(cached, ProjectAnalysis):
+        return cached
+    start = time.perf_counter()
+    symbols = SymbolTable(project)
+    symbols_done = time.perf_counter()
+    graph = CallGraph(project, symbols)
+    graph_done = time.perf_counter()
+    analysis = ProjectAnalysis(
+        symbols=symbols,
+        graph=graph,
+        timings={
+            "symbol_table": symbols_done - start,
+            "call_graph": graph_done - symbols_done,
+        },
+    )
+    setattr(project, _CACHE_ATTR, analysis)
+    return analysis

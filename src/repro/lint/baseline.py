@@ -2,7 +2,7 @@
 
 A baseline freezes a set of *known* findings so a newly-adopted rule can
 land as a blocking gate without first fixing the whole tree.  This
-repository ships an **empty** baseline — every true positive the five
+repository ships an **empty** baseline — every true positive the eight
 rules found was fixed instead — so the file mostly documents the
 mechanism and keeps the ``--update-baseline`` workflow honest.
 
@@ -98,3 +98,25 @@ class Baseline:
             else:
                 fresh.append(finding)
         return fresh, absorbed
+
+    def stale(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Baseline entries no current finding matches.
+
+        Pass the *raw* (pre-suppression) findings: an entry is stale
+        only when the violation it recorded is truly gone, at which
+        point the entry should be deleted so it cannot silently absorb
+        an unrelated future regression with the same content key.
+        Multiset-aware: three entries against two live findings report
+        one stale entry.
+        """
+        remaining = Counter(self._counts)
+        for finding in findings:
+            if remaining[finding.key()] > 0:
+                remaining[finding.key()] -= 1
+        stale: list[Finding] = []
+        budget = Counter(remaining)
+        for entry in sorted(self._entries):
+            if budget[entry.key()] > 0:
+                budget[entry.key()] -= 1
+                stale.append(entry)
+        return stale

@@ -6,6 +6,9 @@ RL002     entropy/wall-clock sources outside :mod:`repro.rng`
 RL003     module-global mutation reachable from fork workers
 RL004     non-atomic writes of cache/checkpoint files
 RL005     pipeline entry points without :mod:`repro.obs` spans
+RL006     blocking calls reachable inside ``async def`` bodies
+RL007     guarded state accessed without its declared lock
+RL008     lock-order cycles and awaits under a thread lock
 ========  =====================================================
 """
 
@@ -16,6 +19,9 @@ from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.forksafety import ForkSafetyChecker
 from repro.lint.checkers.atomicio import AtomicIoChecker
 from repro.lint.checkers.obscoverage import ObsCoverageChecker
+from repro.lint.checkers.asyncblocking import AsyncBlockingChecker
+from repro.lint.checkers.lockguard import LockGuardChecker
+from repro.lint.checkers.lockorder import LockOrderChecker
 
 __all__ = [
     "UnitsChecker",
@@ -23,4 +29,7 @@ __all__ = [
     "ForkSafetyChecker",
     "AtomicIoChecker",
     "ObsCoverageChecker",
+    "AsyncBlockingChecker",
+    "LockGuardChecker",
+    "LockOrderChecker",
 ]

@@ -1,0 +1,164 @@
+"""RL006 — blocking calls reachable inside ``async def`` bodies.
+
+One blocking call on the event loop stalls *every* connection the
+server is juggling: a warm-tier ``ResultCache`` disk probe, a model
+build, or a plain ``time.sleep`` inside a coroutine turns the asyncio
+serving tier into a sequential server.  The legal pattern is to cross
+an executor boundary first (``await asyncio.to_thread(f, …)`` /
+``loop.run_in_executor(pool, f, …)``) — the call graph never records
+dispatch targets as call edges, so work behind a boundary is invisible
+to this rule by construction.
+
+The rule resolves transitively: a coroutine calling a sync helper that
+three frames later probes the disk is flagged at the coroutine's call
+site, with the full chain in the message.  Callees that are themselves
+``async def`` are skipped (they suspend, their own bodies are checked
+separately), and calls whose receiver cannot be typed fall back to a
+deliberately short blocking-method-name heuristic
+(:data:`~repro.lint.config.DEFAULT_BLOCKING_METHODS`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.analysis import analyze
+from repro.lint.callgraph import CallGraph, FunctionInfo
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import register
+
+
+@register
+class AsyncBlockingChecker:
+    """Flag blocking work on the event-loop side of coroutines."""
+
+    rule = "RL006"
+    title = "coroutines must not reach blocking calls without an executor"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Scan every ``async def``'s transitive sync call closure."""
+        graph = analyze(project).graph
+        resolver = _BlockingResolver(graph, config)
+        for info in sorted(graph.functions.values(), key=lambda i: i.qualname):
+            if not info.is_async:
+                continue
+            yield from self._check_coroutine(info, graph, resolver, config)
+
+    def _check_coroutine(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        resolver: _BlockingResolver,
+        config: LintConfig,
+    ) -> Iterator[Finding]:
+        seen_lines: set[tuple[int, str]] = set()
+        for site in info.call_sites:
+            chain = resolver.blocking_chain(site.callee)
+            if chain is None:
+                continue
+            key = (site.line, chain[-1])
+            if key in seen_lines:
+                continue
+            seen_lines.add(key)
+            short = info.qualname.rsplit(".", 1)[-1]
+            via = " -> ".join(_leaf(step) for step in chain)
+            detail = (
+                f"calls blocking {_leaf(chain[-1])}()"
+                if len(chain) == 1
+                else f"reaches blocking {_leaf(chain[-1])}() via {via}"
+            )
+            yield Finding(
+                path=info.module.rel,
+                line=site.line,
+                rule=self.rule,
+                message=(
+                    f"async {short}() {detail}; the event loop stalls for "
+                    "every connection — cross an executor boundary first "
+                    "(await asyncio.to_thread(...) / loop.run_in_executor)"
+                ),
+                snippet=info.module.line(site.line),
+            )
+        for call in info.method_calls:
+            if call.attr not in config.blocking_methods:
+                continue
+            key = (call.line, call.attr)
+            if key in seen_lines:
+                continue
+            seen_lines.add(key)
+            short = info.qualname.rsplit(".", 1)[-1]
+            yield Finding(
+                path=info.module.rel,
+                line=call.line,
+                rule=self.rule,
+                message=(
+                    f"async {short}() calls .{call.attr}() on an untyped "
+                    "receiver — assumed blocking; cross an executor "
+                    "boundary first or use a resolvable non-blocking API"
+                ),
+                snippet=info.module.line(call.line),
+            )
+
+
+def _leaf(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+class _BlockingResolver:
+    """Memoized, cycle-safe transitive blocking analysis."""
+
+    def __init__(self, graph: CallGraph, config: LintConfig) -> None:
+        self._graph = graph
+        self._config = config
+        #: qualname → shortest known chain ending in a blocking call,
+        #: ``None`` for proven-clean, absent while unknown
+        self._memo: dict[str, list[str] | None] = {}
+
+    def blocking_chain(self, callee: str) -> list[str] | None:
+        """``[step, …, blocking_call]`` when ``callee`` blocks, else None."""
+        if self._is_blocking_name(callee):
+            return [callee]
+        # A project class constructor runs its __init__ synchronously.
+        if callee in self._graph.symbols.classes:
+            init = f"{callee}.__init__"
+            chain = self._function_chain(init) if init in self._graph.functions else None
+            return [callee, *chain] if chain else None
+        if callee in self._graph.functions:
+            return self._function_chain(callee)
+        return None
+
+    def _is_blocking_name(self, name: str) -> bool:
+        if name in self._config.blocking_calls:
+            return True
+        return any(
+            name.startswith(prefix) for prefix in self._config.blocking_prefixes
+        )
+
+    def _function_chain(self, qualname: str) -> list[str] | None:
+        if qualname in self._memo:
+            return self._memo[qualname]
+        self._memo[qualname] = None  # in-progress: cycles resolve clean
+        info = self._graph.functions[qualname]
+        result: list[str] | None = None
+        if info.is_async:
+            # Calling a coroutine function does not run its body; the
+            # body is checked on its own.
+            self._memo[qualname] = None
+            return None
+        for site in info.call_sites:
+            if self._is_blocking_name(site.callee):
+                result = [qualname, site.callee]
+                break
+            if site.callee in self._graph.functions:
+                sub = self._function_chain(site.callee)
+                if sub is not None:
+                    result = [qualname, *sub]
+                    break
+        if result is None:
+            for call in info.method_calls:
+                if call.attr in self._config.blocking_methods:
+                    result = [qualname, f"<receiver>.{call.attr}"]
+                    break
+        self._memo[qualname] = result
+        return result

@@ -23,9 +23,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.analysis import analyze
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
-from repro.lint.project import Module, Project, import_aliases, resolve_dotted
+from repro.lint.project import Module, Project, resolve_dotted
 from repro.lint.registry import register
 
 #: Fully-qualified call prefixes that are banned wholesale.
@@ -60,10 +61,11 @@ class DeterminismChecker:
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
         """Scan every non-allowlisted module for banned source calls."""
+        symbols = analyze(project).symbols
         for module in project.modules:
             if config.path_matches(module.rel, config.determinism_allowed):
                 continue
-            aliases = import_aliases(module.tree)
+            aliases = symbols.modules[module.name].aliases
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.Call):
                     yield from self._check_call(module, node, aliases)

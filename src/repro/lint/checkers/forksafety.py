@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.lint.callgraph import CallGraph
+from repro.lint.analysis import analyze
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
 from repro.lint.project import Project
@@ -34,7 +34,7 @@ class ForkSafetyChecker:
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
         """Walk the call graph from every pool entry point."""
-        graph = CallGraph(project)
+        graph = analyze(project).graph
         roots = sorted({qual for qual, _, _ in graph.entry_points})
         if not roots:
             return

@@ -1,0 +1,122 @@
+"""RL007 — ``# guarded-by:`` lock-discipline on shared mutable state.
+
+Every recent concurrency bug in this repo (the unlocked vectorized LRU,
+the racing metrics registry) was a *missing* lock on state whose
+discipline lived only in a prose comment.  RL007 makes the comment
+checkable: declare the contract where the state is created ::
+
+    self._data = OrderedDict()  # guarded-by: _lock
+    self.engine_calls = 0       # guarded-by: _stats_lock
+    _POOL = None                # guarded-by: _POOL_LOCK
+
+and every read or write of that attribute/global anywhere in the
+project must happen with the named lock held (``with <lock>:`` on the
+enclosing statement, transitively through the call graph when a
+function is itself annotated ``# guarded-by:`` on its ``def`` line —
+meaning *callers* must hold the lock).
+
+Two modifiers cover the real disciplines in this codebase:
+
+* ``# guarded-by: _lock (writes)`` — only writes need the lock; reads
+  are deliberately lock-free (the metrics registry's hit path).
+* ``# guarded-by: event-loop`` — no lock exists; the state is confined
+  to the asyncio event loop, so it must never be reachable from a
+  thread/process dispatch target (generalizing RL003's reachability
+  to every worker boundary, including ``asyncio.to_thread``).
+
+The declaration line itself and the owning class's ``__init__`` are
+exempt — construction happens before the object is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.analysis import analyze
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import register
+from repro.lint.symbols import EVENT_LOOP_GUARD
+
+
+@register
+class LockGuardChecker:
+    """Enforce declared lock ownership on shared mutable state."""
+
+    rule = "RL007"
+    title = "guarded state must be accessed with its declared lock held"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Check every guarded access recorded by the call graph."""
+        analysis = analyze(project)
+        graph, symbols = analysis.graph, analysis.symbols
+        dispatch_roots = sorted(
+            {d.target for d in graph.dispatches}
+        )
+        worker_reachable = graph.reachable_from(dispatch_roots)
+        for info in sorted(graph.functions.values(), key=lambda i: i.qualname):
+            for access in info.accesses:
+                spec = symbols.guards[access.target]
+                owner = access.target.rsplit(".", 1)[0]
+                if info.qualname == f"{owner}.__init__":
+                    continue  # construction precedes sharing
+                attr = access.target.rsplit(".", 1)[-1]
+                short = info.qualname.rsplit(".", 1)[-1]
+                verb = "writes" if access.write else "reads"
+                if spec.lock == EVENT_LOOP_GUARD:
+                    if info.qualname not in worker_reachable:
+                        continue
+                    yield Finding(
+                        path=info.module.rel,
+                        line=access.line,
+                        rule=self.rule,
+                        message=(
+                            f"{short}() {verb} '{attr}' (declared "
+                            "guarded-by: event-loop) but is reachable from "
+                            "a thread/process dispatch target; event-loop-"
+                            "confined state must stay on the loop"
+                        ),
+                        snippet=info.module.line(access.line),
+                    )
+                    continue
+                if spec.writes_only and not access.write:
+                    continue
+                if spec.lock in access.held:
+                    continue
+                lock_name = spec.lock.rsplit(".", 1)[-1]
+                yield Finding(
+                    path=info.module.rel,
+                    line=access.line,
+                    rule=self.rule,
+                    message=(
+                        f"{short}() {verb} '{attr}' without holding its "
+                        f"declared lock '{lock_name}' (guarded-by: "
+                        f"{lock_name}); wrap the access in "
+                        f"'with {lock_name}:' or annotate the function "
+                        "'# guarded-by:' if callers must hold it"
+                    ),
+                    snippet=info.module.line(access.line),
+                )
+            # Functions annotated "callers must hold <lock>" are only
+            # honest if every call site actually holds it.
+            for site in info.call_sites:
+                callee = graph.functions.get(site.callee)
+                if callee is None or callee.requires_lock is None:
+                    continue
+                if callee.requires_lock in site.held:
+                    continue
+                short = info.qualname.rsplit(".", 1)[-1]
+                callee_short = site.callee.rsplit(".", 1)[-1]
+                lock_name = callee.requires_lock.rsplit(".", 1)[-1]
+                yield Finding(
+                    path=info.module.rel,
+                    line=site.line,
+                    rule=self.rule,
+                    message=(
+                        f"{short}() calls {callee_short}() without holding "
+                        f"'{lock_name}', but {callee_short}() is declared "
+                        f"'# guarded-by: {lock_name}' (caller must hold it)"
+                    ),
+                    snippet=info.module.line(site.line),
+                )

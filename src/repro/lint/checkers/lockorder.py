@@ -1,0 +1,187 @@
+"""RL008 — lock-acquisition ordering: deadlock cycles and awaits.
+
+Two threads acquiring the same two locks in opposite orders deadlock
+the first time their timing overlaps — exactly the latent class that
+Guermouche-style realistic-environment variation turns into a hang.
+The rule builds the lock-order graph from the whole project: a ``with
+A:`` block that (directly, or through any chain of calls) acquires
+``B`` adds the edge ``A → B``; a cycle in that graph is a potential
+deadlock and fails the build at the acquisition site that closes it.
+
+Two refinements keep the graph honest:
+
+* Call-derived self-edges on *instance* locks are skipped — two
+  ``_LRUCache`` objects locking each other's ``_lock`` are different
+  mutexes.  Lexical re-acquisition in one function and module-global
+  self-edges stay fatal (``threading.Lock`` is not reentrant).
+* A function annotated ``# guarded-by: <lock>`` is analyzed with that
+  lock already held, so "caller must hold" helpers participate in
+  ordering without re-acquiring.
+
+The rule also flags any ``await`` lexically inside a ``with <threading
+lock>:`` block: parking the event loop while holding a thread lock
+inverts the executor boundary and can deadlock the loop against its
+own worker pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.analysis import analyze
+from repro.lint.callgraph import CallGraph
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import register
+
+
+def find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Elementary cycles of a directed graph (DFS back-edge closure).
+
+    Returns each cycle as the node path ``[a, b, …, a-again-implied]``;
+    deterministic (sorted traversal) so findings are stable run to run.
+    Exposed for direct unit testing on hand-built graphs.
+    """
+    cycles: list[list[str]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            mark = state.get(nxt)
+            if mark == 1:
+                cycle = stack[stack.index(nxt) :]
+                # canonical rotation so each cycle reports once
+                pivot = cycle.index(min(cycle))
+                canon = tuple(cycle[pivot:] + cycle[:pivot])
+                if canon not in seen_keys:
+                    seen_keys.add(canon)
+                    cycles.append(list(canon))
+            elif mark is None:
+                visit(nxt)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(edges):
+        if node not in state:
+            visit(node)
+    return cycles
+
+
+def _transitive_acquires(
+    graph: CallGraph, memo: dict[str, frozenset[str]], qualname: str
+) -> frozenset[str]:
+    """Locks a call to ``qualname`` may acquire, transitively."""
+    if qualname in memo:
+        return memo[qualname]
+    memo[qualname] = frozenset()  # in-progress: recursion adds nothing
+    info = graph.functions[qualname]
+    acquired = {acq.lock for acq in info.acquisitions}
+    for callee in info.calls:
+        if callee in graph.functions:
+            acquired |= _transitive_acquires(graph, memo, callee)
+    result = frozenset(acquired)
+    memo[qualname] = result
+    return result
+
+
+@register
+class LockOrderChecker:
+    """Fail on lock-order cycles and awaits under a thread lock."""
+
+    rule = "RL008"
+    title = "lock acquisition order must be acyclic; no await under a lock"
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        """Build the project lock-order graph and verify it."""
+        analysis = analyze(project)
+        graph, symbols = analysis.graph, analysis.symbols
+        edges: dict[str, set[str]] = {}
+        #: (held, acquired) → first (module, line) witnessing the edge
+        witness: dict[tuple[str, str], tuple[str, int, str]] = {}
+        memo: dict[str, frozenset[str]] = {}
+
+        def is_instance_lock(lock: str) -> bool:
+            return lock.rsplit(".", 1)[0] in symbols.classes
+
+        def add_edge(
+            held: str, acquired: str, rel: str, line: int, where: str
+        ) -> None:
+            edges.setdefault(held, set()).add(acquired)
+            witness.setdefault((held, acquired), (rel, line, where))
+
+        for info in sorted(graph.functions.values(), key=lambda i: i.qualname):
+            for acq in info.acquisitions:
+                for held in acq.held:
+                    if held == acq.lock and info.requires_lock == held:
+                        continue  # the annotated lock itself, not nesting
+                    add_edge(
+                        held, acq.lock, info.module.rel, acq.line, info.qualname
+                    )
+            for site in info.call_sites:
+                if not site.held or site.callee not in graph.functions:
+                    continue
+                callee = graph.functions[site.callee]
+                inner = _transitive_acquires(graph, memo, site.callee)
+                for held in site.held:
+                    for lock in inner:
+                        if lock == held:
+                            if callee.requires_lock == held:
+                                continue  # sanctioned caller-holds contract
+                            if is_instance_lock(held):
+                                continue  # may be a different instance
+                        add_edge(
+                            held, lock, info.module.rel, site.line, info.qualname
+                        )
+
+        for cycle in find_cycles(edges):
+            closing = (cycle[-1], cycle[0]) if len(cycle) > 1 else (
+                cycle[0],
+                cycle[0],
+            )
+            rel, line, where = witness.get(
+                closing, witness.get((cycle[0], cycle[0]), ("", 1, ""))
+            )
+            order = " -> ".join(
+                lock.rsplit(".", 1)[-1] for lock in [*cycle, cycle[0]]
+            )
+            module = next(
+                (m for m in project.modules if m.rel == rel), None
+            )
+            yield Finding(
+                path=rel or cycle[0],
+                line=line,
+                rule=self.rule,
+                message=(
+                    f"lock-order cycle {order} (closed in "
+                    f"{where.rsplit('.', 1)[-1]}()): two threads taking "
+                    "these locks in opposite orders deadlock; pick one "
+                    "global order and acquire in it everywhere"
+                ),
+                snippet=module.line(line) if module is not None else "",
+            )
+
+        for info in sorted(graph.functions.values(), key=lambda i: i.qualname):
+            for await_site in info.awaits:
+                if not await_site.held:
+                    continue
+                held_names = ", ".join(
+                    lock.rsplit(".", 1)[-1] for lock in await_site.held
+                )
+                short = info.qualname.rsplit(".", 1)[-1]
+                yield Finding(
+                    path=info.module.rel,
+                    line=await_site.line,
+                    rule=self.rule,
+                    message=(
+                        f"{short}() awaits while holding thread lock(s) "
+                        f"{held_names}; the event loop can park behind "
+                        "its own workers — release the lock before "
+                        "awaiting (or use asyncio.Lock)"
+                    ),
+                    snippet=info.module.line(await_site.line),
+                )

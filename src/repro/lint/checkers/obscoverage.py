@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.lint.callgraph import CallGraph
+from repro.lint.analysis import analyze
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
 from repro.lint.project import Module, Project
@@ -44,7 +44,7 @@ class ObsCoverageChecker:
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
         """Verify every configured entry point exists and is instrumented."""
-        graph = CallGraph(project)
+        graph = analyze(project).graph
         for qualname in config.obs_entry_points:
             module = _owning_module(project, qualname)
             if module is None:

@@ -39,7 +39,9 @@ def build_parser(prog: str = "reprolint") -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker for this repository: units "
             "(RL001), determinism (RL002), fork safety (RL003), atomic "
-            "IO (RL004) and observability coverage (RL005)."
+            "IO (RL004), observability coverage (RL005), async-blocking "
+            "(RL006), lock-guard discipline (RL007) and lock ordering "
+            "(RL008)."
         ),
     )
     parser.add_argument(
@@ -93,6 +95,14 @@ def build_parser(prog: str = "reprolint") -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--check-ignores",
+        action="store_true",
+        help=(
+            "fail (exit 1) on stale '# reprolint: ignore' markers that "
+            "no longer suppress anything"
+        ),
     )
     return parser
 
@@ -159,11 +169,32 @@ def run(argv: Sequence[str] | None = None, prog: str = "reprolint") -> int:
         print(f"{prog}: {exc}", file=sys.stderr)
         return 2
 
+    # Stale-baseline entries never fail the build (the fix is simply to
+    # delete them) but they do rot, so every run warns about them.
+    for entry in result.stale_baseline:
+        print(
+            f"{prog}: warning: baseline entry {entry.rule} for "
+            f"{entry.path} no longer matches any finding; delete it "
+            f"(or rerun --update-baseline)",
+            file=sys.stderr,
+        )
+
+    ignores_ok = True
+    if args.check_ignores and result.stale_suppressions:
+        ignores_ok = False
+        for marker in result.stale_suppressions:
+            print(
+                f"{marker.path}:{marker.line}: stale suppression "
+                f"'# reprolint: ignore[{marker.rules}]' — it no longer "
+                "suppresses anything; remove it",
+                file=sys.stderr,
+            )
+
     if args.json:
         print(render_json(result))
     else:
         print(render_text(result, show_snippets=not args.no_snippets))
-    return 0 if result.ok else 1
+    return 0 if result.ok and ignores_ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:

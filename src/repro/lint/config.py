@@ -40,6 +40,59 @@ DEFAULT_OBS_ENTRY_POINTS: tuple[str, ...] = (
 )
 
 
+#: Calls that block the calling thread (rule RL006), as canonical
+#: dotted names after symbol-table resolution.  ``ResultCache`` probes
+#: hit disk, ``evaluate_configs``/``from_measurements``/``execute`` are
+#: the engine and model-build hot paths, and a ``threading`` lock
+#: acquire can park the event loop behind a worker thread.
+DEFAULT_BLOCKING_CALLS: tuple[str, ...] = (
+    "open",
+    "io.open",
+    "os.listdir",
+    "os.makedirs",
+    "os.mkdir",
+    "os.remove",
+    "os.rename",
+    "os.replace",
+    "os.rmdir",
+    "os.scandir",
+    "os.stat",
+    "os.unlink",
+    "repro.core.cache.ResultCache.contains",
+    "repro.core.cache.ResultCache.get",
+    "repro.core.cache.ResultCache.put",
+    "repro.core.model.HybridProgramModel.from_measurements",
+    "repro.core.planner.execute",
+    "repro.core.vectorized.evaluate_configs",
+    "socket.create_connection",
+    "threading.Barrier.wait",
+    "threading.Condition.wait",
+    "threading.Event.wait",
+    "threading.Lock.acquire",
+    "threading.RLock.acquire",
+    "time.sleep",
+    "urllib.request.urlopen",
+)
+
+#: Dotted-name prefixes whose every call blocks (rule RL006).
+DEFAULT_BLOCKING_PREFIXES: tuple[str, ...] = (
+    "requests.",
+    "shutil.",
+    "subprocess.",
+)
+
+#: Method names treated as blocking when the receiver cannot be typed
+#: (rule RL006) — the unresolved-call heuristic.  Deliberately short:
+#: only names that are IO in every library this repo touches.
+DEFAULT_BLOCKING_METHODS: tuple[str, ...] = (
+    "acquire",
+    "read_bytes",
+    "read_text",
+    "write_bytes",
+    "write_text",
+)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Knobs for one lint run (defaults = this repository's contracts)."""
@@ -72,6 +125,17 @@ class LintConfig:
     obs_entry_points: tuple[str, ...] = field(
         default=DEFAULT_OBS_ENTRY_POINTS
     )
+
+    #: RL006 — canonical dotted names of calls that block the thread.
+    blocking_calls: tuple[str, ...] = field(default=DEFAULT_BLOCKING_CALLS)
+
+    #: RL006 — dotted-name prefixes whose every call blocks.
+    blocking_prefixes: tuple[str, ...] = field(
+        default=DEFAULT_BLOCKING_PREFIXES
+    )
+
+    #: RL006 — method names assumed blocking on untyped receivers.
+    blocking_methods: tuple[str, ...] = field(default=DEFAULT_BLOCKING_METHODS)
 
     def path_matches(self, rel_path: str, suffixes: tuple[str, ...]) -> bool:
         """True when ``rel_path`` ends with any allowlisted suffix."""

@@ -1,19 +1,30 @@
-"""The lint engine: parse once, run every checker, filter, summarize.
+"""The lint engine: parse once, analyze once, run every checker.
 
 :func:`lint_paths` is the single entry point used by the CLI, the test
 suite and the benchmark.  It loads a :class:`~repro.lint.project.Project`
-(one parse per file), runs the registered checkers over it, then applies
-the two escape hatches in order: per-line ``# reprolint: ignore[...]``
-suppressions, then the committed baseline.  Files that fail to parse are
-not skipped silently — they surface as rule ``RL000`` findings.
+(one parse per file), eagerly builds the shared interprocedural
+analysis (symbol table + call graph — see :mod:`repro.lint.analysis`)
+so its cost is measured, runs the registered checkers over it, then
+applies the two escape hatches in order: per-line ``# reprolint:
+ignore[...]`` suppressions, then the committed baseline.  Files that
+fail to parse are not skipped silently — they surface as rule ``RL000``
+findings.
+
+The engine also audits the escape hatches themselves: suppression
+markers that no longer match any finding and baseline entries whose
+content key no longer matches any file are reported on the result
+(``stale_suppressions`` / ``stale_baseline``) so ignores cannot rot in
+place — see ``repro lint --check-ignores``.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.lint.analysis import analyze
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
@@ -25,6 +36,15 @@ from repro.lint.suppress import is_suppressed
 PARSE_RULE = "RL000"
 
 
+@dataclass(frozen=True)
+class StaleSuppression:
+    """A ``# reprolint: ignore`` marker that suppresses nothing."""
+
+    path: str  #: repository-relative file path
+    line: int  #: 1-indexed marker line
+    rules: str  #: the marker's rule list ("all" for a bare ignore)
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run."""
@@ -34,6 +54,13 @@ class LintResult:
     suppressed: int = 0  #: findings dropped by per-line markers
     baselined: int = 0  #: findings absorbed by the baseline
     rules: tuple[str, ...] = field(default_factory=tuple)  #: rule ids run
+    #: wall-clock seconds per phase: ``parse``, ``symbol_table``,
+    #: ``call_graph``, and one ``rule:RLxxx`` entry per checker
+    timings: dict[str, float] = field(default_factory=dict)
+    #: markers that suppressed nothing this run (see ``--check-ignores``)
+    stale_suppressions: list[StaleSuppression] = field(default_factory=list)
+    #: baseline entries whose key matched no current finding
+    stale_baseline: list[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -54,12 +81,20 @@ def lint_paths(
     suppressions always apply).
     """
     cfg = config if config is not None else LintConfig()
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
     project = load_project(list(paths), pathlib.Path(root))
-    raw = collect_findings(project, cfg)
+    timings["parse"] = time.perf_counter() - start
+    # Build the shared symbol table + call graph eagerly so the phase
+    # cost lands here instead of inside whichever rule runs first.
+    timings.update(analyze(project).timings)
+    raw = collect_findings(project, cfg, timings=timings)
     kept, suppressed = apply_suppressions(project, raw)
     baselined = 0
+    stale_baseline: list[Finding] = []
     if baseline is not None:
         kept, baselined = baseline.filter(kept)
+        stale_baseline = baseline.stale(raw)
     checkers = all_checkers(cfg.rules)
     return LintResult(
         findings=kept,
@@ -67,14 +102,28 @@ def lint_paths(
         suppressed=suppressed,
         baselined=baselined,
         rules=tuple(checker.rule for checker in checkers),
+        timings=timings,
+        stale_suppressions=find_stale_suppressions(project, raw),
+        stale_baseline=stale_baseline,
     )
 
 
-def collect_findings(project: Project, config: LintConfig) -> list[Finding]:
-    """Run every selected checker over ``project``; sorted, unfiltered."""
+def collect_findings(
+    project: Project,
+    config: LintConfig,
+    timings: dict[str, float] | None = None,
+) -> list[Finding]:
+    """Run every selected checker over ``project``; sorted, unfiltered.
+
+    When ``timings`` is given, each rule's wall-clock cost is recorded
+    under ``rule:<id>``.
+    """
     findings: list[Finding] = []
     for checker in all_checkers(config.rules):
+        start = time.perf_counter()
         findings.extend(checker.check(project, config))
+        if timings is not None:
+            timings[f"rule:{checker.rule}"] = time.perf_counter() - start
     for rel, error, line in project.broken:
         findings.append(
             Finding(
@@ -103,3 +152,39 @@ def apply_suppressions(
         else:
             kept.append(finding)
     return kept, suppressed
+
+
+def find_stale_suppressions(
+    project: Project, raw_findings: Sequence[Finding]
+) -> list[StaleSuppression]:
+    """Markers that matched no (pre-suppression) finding this run.
+
+    A stale ``# reprolint: ignore[RULE]`` is worse than dead weight: it
+    silently re-arms if the flagged code ever comes back, and it makes
+    the next reader believe a violation exists.  ``raw_findings`` must
+    be the unsuppressed findings — a marker is *not* stale when it is
+    doing its job.
+    """
+    covered: set[tuple[str, int]] = set()
+    for finding in raw_findings:
+        covered.add((finding.path, finding.line))
+    stale: list[StaleSuppression] = []
+    for module in project.modules:
+        for line, rules in sorted(module.suppressions.items()):
+            hits = [
+                f
+                for f in raw_findings
+                if f.path == module.rel
+                and f.line == line
+                and (rules is None or f.rule.upper() in rules)
+            ]
+            if hits:
+                continue
+            stale.append(
+                StaleSuppression(
+                    path=module.rel,
+                    line=line,
+                    rules="all" if rules is None else ",".join(sorted(rules)),
+                )
+            )
+    return stale

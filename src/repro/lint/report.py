@@ -59,6 +59,12 @@ def render_json(result: LintResult) -> str:
             "suppressed": result.suppressed,
             "baselined": result.baselined,
             "rules": list(result.rules),
+            "stale_suppressions": len(result.stale_suppressions),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "timings": {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(result.timings.items())
         },
         "findings": [finding.to_dict() for finding in result.findings],
     }

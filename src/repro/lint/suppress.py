@@ -6,19 +6,42 @@ A finding is suppressed when the line it points at carries a marker::
 
 ``ignore[RL001,RL004]`` suppresses the listed rules only; a bare
 ``ignore`` (no bracket) suppresses every rule on that line.  Markers are
-parsed from the raw source (comments never reach the AST), so they work
-on any line a checker can point at.
+parsed from *comment tokens* (comments never reach the AST), so they
+work on any line a checker can point at — but text that merely looks
+like a marker inside a string literal or docstring does not count.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 
 from repro.lint.findings import Finding
 
 _MARKER = re.compile(
     r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
 )
+
+
+def comment_tokens(source: str) -> dict[int, str]:
+    """Map 1-indexed line numbers to the comment text on that line.
+
+    Tokenizes the source so string literals containing ``#`` are never
+    mistaken for comments.  Falls back to a plain line scan when the
+    source cannot be tokenized (the engine reports the syntax error
+    separately; suppression parsing should still do its best).
+    """
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                comments[lineno] = line[line.index("#") :]
+    return comments
 
 
 def suppressions_for(source: str) -> dict[int, frozenset[str] | None]:
@@ -28,10 +51,10 @@ def suppressions_for(source: str) -> dict[int, frozenset[str] | None]:
     ``ignore``); otherwise the frozenset lists the rule ids.
     """
     table: dict[int, frozenset[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "reprolint" not in line:
+    for lineno, comment in comment_tokens(source).items():
+        if "reprolint" not in comment:
             continue
-        match = _MARKER.search(line)
+        match = _MARKER.search(comment)
         if match is None:
             continue
         rules = match.group("rules")

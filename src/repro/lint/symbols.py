@@ -1,0 +1,534 @@
+"""Project-wide symbol table — the shared cross-module analysis core.
+
+One :class:`SymbolTable` is built per lint run (see
+``repro.lint.analysis``) and answers the questions every
+interprocedural checker keeps re-asking:
+
+* *What does this name mean here?*  Import aliases, module-level
+  definitions and class methods resolve to canonical dotted names
+  (``repro.core.cache.ResultCache.get``) via :meth:`SymbolTable.resolve`.
+* *What type is this attribute?*  ``self.result_cache = ResultCache(d)``
+  records attribute ownership, so ``self.result_cache.get(...)`` in any
+  method of that class resolves through the owning class.  Module-level
+  singletons (``_EVALUATION_CACHE = _LRUCache(...)``) and
+  class-annotated parameters work the same way.
+* *Which names are locks, and what do they guard?*  Assignments of
+  ``threading.Lock()`` / ``RLock()`` register canonical lock ids, and
+  ``# guarded-by: <lock>`` comments declare the lock-discipline
+  contract checked by RL007 (see docs/LINTING.md).
+
+Everything here is conservative and syntactic: when a name cannot be
+resolved confidently the table says so (``None``) rather than guessing,
+so downstream rules stay quiet instead of wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.project import Module, Project, dotted_parts
+from repro.lint.project import import_aliases as module_import_aliases
+from repro.lint.suppress import comment_tokens
+
+#: Special ``guarded-by`` value for state confined to the asyncio event
+#: loop: no lock is required, but the state must never be reached from a
+#: thread or process dispatch target.
+EVENT_LOOP_GUARD = "event-loop"
+
+#: Canonical constructors whose result is treated as a mutex.
+LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+_GUARD_MARKER = re.compile(
+    r"#\s*guarded-by:\s*(?P<lock>event-loop|[A-Za-z_][\w.]*)"
+    r"(?:\s*\((?P<mode>writes)\))?"
+)
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One ``# guarded-by:`` declaration attached to a shared name."""
+
+    target: str  #: canonical guarded name (``mod.Class.attr`` / ``mod.NAME``)
+    lock: str  #: canonical lock id, or :data:`EVENT_LOOP_GUARD`
+    writes_only: bool  #: only writes need the lock (lock-free read path)
+    line: int  #: declaration line (itself exempt from checking)
+    module: str  #: dotted name of the declaring module
+
+
+@dataclass
+class FunctionSymbol:
+    """One function or method definition."""
+
+    qualname: str  #: canonical dotted name (``mod.Class.meth`` / ``mod.fn``)
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None  #: unqualified owning class, if a method
+    #: parameter name → canonical class qualname (from annotations that
+    #: resolve to a project class)
+    param_types: dict[str, str] = field(default_factory=dict)
+    #: lock the *caller* must hold when invoking this function
+    #: (function-level ``# guarded-by:`` on the ``def`` line)
+    requires_lock: str | None = None
+
+    @property
+    def is_async(self) -> bool:
+        """True for ``async def`` functions."""
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassSymbol:
+    """One class definition with its methods and attribute types."""
+
+    qualname: str  #: canonical dotted name (``mod.Class``)
+    module: Module
+    node: ast.ClassDef
+    methods: dict[str, FunctionSymbol] = field(default_factory=dict)
+    #: attribute name → canonical constructor qualname inferred from
+    #: ``self.x = Ctor(...)`` in any method (or a class-body assignment)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module slice of the symbol table."""
+
+    module: Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    classes: dict[str, ClassSymbol] = field(default_factory=dict)
+    #: every name assigned at module level (shadow-detection and
+    #: canonicalization of module globals)
+    global_names: set[str] = field(default_factory=set)
+    #: module-level name → canonical constructor qualname
+    global_types: dict[str, str] = field(default_factory=dict)
+
+
+def _class_like(name: str) -> bool:
+    """Heuristic: does the final dotted segment look like a class name?
+
+    ``ResultCache`` and ``_LRUCache`` qualify; ``get_metrics`` does not.
+    Keeps attribute-ownership inference from recording factory-function
+    return values it cannot see into.
+    """
+    leaf = name.rsplit(".", 1)[-1].lstrip("_")
+    return bool(leaf) and leaf[0].isupper()
+
+
+def _annotation_name(node: ast.expr) -> ast.expr | None:
+    """Unwrap ``X | None`` / ``Optional[X]`` annotations to the bare name."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left_none = isinstance(node.left, ast.Constant) and node.left.value is None
+        right_none = isinstance(node.right, ast.Constant) and node.right.value is None
+        if left_none and not right_none:
+            return _annotation_name(node.right)
+        if right_none and not left_none:
+            return _annotation_name(node.left)
+        return None
+    if isinstance(node, ast.Subscript):
+        parts = dotted_parts(node.value)
+        if parts and parts[-1] == "Optional":
+            if isinstance(node.slice, ast.expr):
+                return _annotation_name(node.slice)
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return node
+    return None
+
+
+def _ctor_name(
+    value: ast.expr, aliases: dict[str, str], module_name: str
+) -> str | None:
+    """Constructor qualname for ``Ctor(...)`` expressions, else ``None``.
+
+    A bare class-like name not covered by an import alias is assumed to
+    be defined in the same module.  Follows both arms of a conditional
+    expression (``A(...) if cond else B(...)``) as long as they agree.
+    """
+    if isinstance(value, ast.IfExp):
+        body = _ctor_name(value.body, aliases, module_name)
+        orelse = _ctor_name(value.orelse, aliases, module_name)
+        if body is not None and (orelse is None or orelse == body):
+            return body
+        return orelse
+    if not isinstance(value, ast.Call):
+        return None
+    parts = dotted_parts(value.func)
+    if parts is None:
+        return None
+    head, rest = parts[0], parts[1:]
+    if head in aliases:
+        resolved = ".".join([aliases[head], *rest])
+    elif not rest:
+        resolved = f"{module_name}.{head}"
+    else:
+        resolved = ".".join(parts)
+    return resolved if _class_like(resolved) else None
+
+
+class SymbolTable:
+    """All definitions of a :class:`Project`, with name resolution."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.modules: dict[str, ModuleSymbols] = {}
+        #: every function and method, keyed by canonical qualname
+        self.functions: dict[str, FunctionSymbol] = {}
+        #: every class, keyed by canonical qualname
+        self.classes: dict[str, ClassSymbol] = {}
+        #: canonical ids of names bound to :data:`LOCK_CONSTRUCTORS`
+        self.locks: set[str] = set()
+        #: guard target → declaration (the RL007 contract)
+        self.guards: dict[str, GuardSpec] = {}
+        for module in project.modules:
+            self._index_module(module)
+        # Parameter annotations can only be typed once every class is
+        # known, so this runs as a second pass.
+        for symbol in self.functions.values():
+            self._type_parameters(symbol)
+
+    # -- construction ------------------------------------------------
+
+    def _index_module(self, module: Module) -> None:
+        syms = ModuleSymbols(module=module, aliases=module_import_aliases(module.tree))
+        self.modules[module.name] = syms
+        comments = comment_tokens(module.source)
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(syms, stmt, class_name=None, comments=comments)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(syms, stmt, comments)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._index_global(syms, stmt, comments)
+        # Imported names are module-level bindings too (``import_aliases``
+        # already walks nested ``if TYPE_CHECKING:`` / ``try:`` blocks).
+        for name in syms.aliases:
+            syms.global_names.add(name)
+
+    def _index_function(
+        self,
+        syms: ModuleSymbols,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        comments: dict[int, str],
+    ) -> FunctionSymbol:
+        mod = syms.module.name
+        qual = (
+            f"{mod}.{class_name}.{node.name}" if class_name else f"{mod}.{node.name}"
+        )
+        symbol = FunctionSymbol(
+            qualname=qual, module=syms.module, node=node, class_name=class_name
+        )
+        guard = _GUARD_MARKER.search(comments.get(node.lineno, ""))
+        if guard is not None:
+            symbol.requires_lock = self._canonical_lock(
+                guard.group("lock"), mod, class_name
+            )
+        self.functions[qual] = symbol
+        if class_name is None:
+            syms.functions[node.name] = symbol
+            syms.global_names.add(node.name)
+        return symbol
+
+    def _index_class(
+        self, syms: ModuleSymbols, node: ast.ClassDef, comments: dict[int, str]
+    ) -> None:
+        mod = syms.module.name
+        qual = f"{mod}.{node.name}"
+        cls = ClassSymbol(qualname=qual, module=syms.module, node=node)
+        self.classes[qual] = cls
+        syms.classes[node.name] = cls
+        syms.global_names.add(node.name)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[stmt.name] = self._index_function(
+                    syms, stmt, class_name=node.name, comments=comments
+                )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._index_class_attr(syms, cls, stmt, comments)
+        # ``self.x = Ctor(...)`` inside any method fills attribute types
+        # and ``# guarded-by`` declarations on instance state.
+        for method in cls.methods.values():
+            for sub in ast.walk(method.node):
+                if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    self._index_self_assign(syms, cls, sub, comments)
+
+    def _index_class_attr(
+        self,
+        syms: ModuleSymbols,
+        cls: ClassSymbol,
+        stmt: ast.Assign | ast.AnnAssign,
+        comments: dict[int, str],
+    ) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            canonical = f"{cls.qualname}.{target.id}"
+            if stmt.value is not None:
+                ctor = _ctor_name(stmt.value, syms.aliases, syms.module.name)
+                if ctor is not None:
+                    cls.attr_types.setdefault(target.id, ctor)
+                    if ctor in LOCK_CONSTRUCTORS:
+                        self.locks.add(canonical)
+            self._maybe_guard(
+                syms,
+                stmt.lineno,
+                canonical,
+                comments,
+                class_name=cls.node.name,
+                end_lineno=stmt.end_lineno,
+            )
+
+    def _index_self_assign(
+        self,
+        syms: ModuleSymbols,
+        cls: ClassSymbol,
+        stmt: ast.Assign | ast.AnnAssign,
+        comments: dict[int, str],
+    ) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            canonical = f"{cls.qualname}.{target.attr}"
+            if stmt.value is not None:
+                ctor = _ctor_name(stmt.value, syms.aliases, syms.module.name)
+                if ctor is not None:
+                    cls.attr_types.setdefault(target.attr, ctor)
+                    if ctor in LOCK_CONSTRUCTORS:
+                        self.locks.add(canonical)
+            self._maybe_guard(
+                syms,
+                stmt.lineno,
+                canonical,
+                comments,
+                class_name=cls.node.name,
+                end_lineno=stmt.end_lineno,
+            )
+
+    def _index_global(
+        self,
+        syms: ModuleSymbols,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        comments: dict[int, str],
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets: list[ast.expr] = list(stmt.targets)
+        else:
+            targets = [stmt.target]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            syms.global_names.add(target.id)
+            canonical = f"{syms.module.name}.{target.id}"
+            value = stmt.value if not isinstance(stmt, ast.AugAssign) else None
+            if value is not None:
+                ctor = _ctor_name(value, syms.aliases, syms.module.name)
+                if ctor is not None:
+                    syms.global_types.setdefault(target.id, ctor)
+                    if ctor in LOCK_CONSTRUCTORS:
+                        self.locks.add(canonical)
+            self._maybe_guard(
+                syms,
+                stmt.lineno,
+                canonical,
+                comments,
+                class_name=None,
+                end_lineno=stmt.end_lineno,
+            )
+
+    def _maybe_guard(
+        self,
+        syms: ModuleSymbols,
+        lineno: int,
+        canonical: str,
+        comments: dict[int, str],
+        class_name: str | None,
+        end_lineno: int | None = None,
+    ) -> None:
+        # Formatters may wrap the assignment, pushing the trailing
+        # comment onto the statement's last physical line — accept the
+        # marker anywhere in the statement's line span.
+        match = None
+        for line in range(lineno, (end_lineno or lineno) + 1):
+            match = _GUARD_MARKER.search(comments.get(line, ""))
+            if match is not None:
+                break
+        if match is None:
+            return
+        lock = self._canonical_lock(match.group("lock"), syms.module.name, class_name)
+        self.guards.setdefault(
+            canonical,
+            GuardSpec(
+                target=canonical,
+                lock=lock,
+                writes_only=match.group("mode") == "writes",
+                line=lineno,
+                module=syms.module.name,
+            ),
+        )
+
+    def _canonical_lock(
+        self, lock: str, module_name: str, class_name: str | None
+    ) -> str:
+        """Canonical id for a ``guarded-by`` lock name.
+
+        ``event-loop`` passes through; already-dotted names resolve via
+        the module's aliases; a bare name binds to the enclosing class
+        attribute when one exists, else to the module global.
+        """
+        if lock == EVENT_LOOP_GUARD:
+            return lock
+        syms = self.modules.get(module_name)
+        if "." in lock:
+            head, _, rest = lock.partition(".")
+            if syms is not None and head in syms.aliases:
+                return f"{syms.aliases[head]}.{rest}"
+            return lock
+        if class_name is not None:
+            candidate = f"{module_name}.{class_name}.{lock}"
+            if (
+                syms is None
+                or lock not in syms.global_names
+                or candidate in self.locks
+            ):
+                return candidate
+        return f"{module_name}.{lock}"
+
+    def _type_parameters(self, symbol: FunctionSymbol) -> None:
+        syms = self.modules[symbol.module.name]
+        args = symbol.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            name_node = _annotation_name(arg.annotation)
+            if name_node is None:
+                continue
+            resolved = self.resolve_parts(dotted_parts(name_node), syms)
+            if resolved is not None and resolved in self.classes:
+                symbol.param_types[arg.arg] = resolved
+
+    # -- resolution --------------------------------------------------
+
+    def resolve_parts(
+        self, parts: list[str] | None, syms: ModuleSymbols
+    ) -> str | None:
+        """Resolve a dotted-name chain in a module's top-level scope."""
+        if not parts:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in syms.aliases:
+            return ".".join([syms.aliases[head], *rest])
+        if head in syms.global_names:
+            return ".".join([syms.module.name, head, *rest])
+        if head == "open" and not rest:
+            return "open"
+        return None
+
+    def resolve(
+        self,
+        node: ast.expr,
+        syms: ModuleSymbols,
+        fn: FunctionSymbol | None = None,
+        local_names: frozenset[str] = frozenset(),
+    ) -> str | None:
+        """Canonical dotted name of ``node`` as seen from ``fn``.
+
+        Handles ``self.attr`` chains via attribute ownership, annotated
+        parameters, module-level singletons and import aliases.  Names
+        shadowed by function locals (``local_names``) resolve to
+        ``None`` — a local binding hides the module global.
+        """
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        head = parts[0]
+        if fn is not None:
+            if head == "self" and fn.class_name is not None:
+                cls = self.classes.get(f"{fn.module.name}.{fn.class_name}")
+                return self._resolve_instance(cls, parts[1:])
+            if head in fn.param_types:
+                cls = self.classes.get(fn.param_types[head])
+                return self._resolve_instance(cls, parts[1:])
+            if head in local_names:
+                return None
+        if head in syms.global_types and len(parts) > 1:
+            owner = syms.global_types[head]
+            cls = self.classes.get(owner)
+            resolved = self._resolve_instance(cls, parts[1:])
+            if resolved is not None:
+                return resolved
+            return ".".join([owner, *parts[1:]])
+        return self.resolve_parts(parts, syms)
+
+    def _resolve_instance(
+        self, cls: ClassSymbol | None, attrs: list[str]
+    ) -> str | None:
+        """Resolve ``.a.b`` attribute access on an instance of ``cls``."""
+        if cls is None:
+            return None
+        if not attrs:
+            return cls.qualname
+        first, rest = attrs[0], attrs[1:]
+        if not rest:
+            return f"{cls.qualname}.{first}"
+        owner = cls.attr_types.get(first)
+        if owner is None:
+            return None
+        nested = self.classes.get(owner)
+        if nested is not None:
+            return self._resolve_instance(nested, rest)
+        return ".".join([owner, *rest])
+
+    def resolve_type(
+        self,
+        node: ast.expr,
+        syms: ModuleSymbols,
+        fn: FunctionSymbol | None = None,
+    ) -> str | None:
+        """Best-effort *type* (constructor qualname) of a value expression.
+
+        ``self._engine_pool`` types as whatever ``__init__`` assigned to
+        it; an annotated parameter types as its annotation; a
+        module-level singleton types as its constructor.
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head, chain = parts[0], parts[1:]
+        owner: str | None = None
+        if fn is not None and head == "self" and fn.class_name is not None:
+            owner = f"{fn.module.name}.{fn.class_name}"
+        elif fn is not None and head in fn.param_types:
+            owner = fn.param_types[head]
+        elif head in syms.global_types:
+            owner = syms.global_types[head]
+        else:
+            return None
+        for attr in chain:
+            cls = self.classes.get(owner) if owner is not None else None
+            if cls is None:
+                return None
+            owner = cls.attr_types.get(attr)
+            if owner is None:
+                return None
+        return owner
+
+    def guard_for(self, target: str) -> GuardSpec | None:
+        """The ``guarded-by`` declaration covering ``target``, if any."""
+        return self.guards.get(target)

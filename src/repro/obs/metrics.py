@@ -105,8 +105,8 @@ class MetricsRegistry:
     """Named counters and histograms, created on first use."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}  # guarded-by: _create_lock (writes)
+        self._histograms: dict[str, Histogram] = {}  # guarded-by: _create_lock (writes)
         # Creation-only lock: the hit path stays lock-free (a plain dict
         # read), but concurrent first-use of the same name must not build
         # two Counter/Histogram objects and silently drop one's updates.
@@ -146,8 +146,12 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         """Drop every metric."""
-        self._counters.clear()
-        self._histograms.clear()
+        # Unlocked, this races the double-checked creation path: a
+        # counter created between the two clears keeps taking updates
+        # that the next snapshot never sees.
+        with self._create_lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> dict:
         """JSON-able dump of every metric."""

@@ -31,6 +31,7 @@ coalescing/caching/admission, and the Prometheus text exposition at
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
 import math
 import signal
@@ -64,6 +65,13 @@ DEFAULT_RESPONSE_CACHE_SIZE = 256
 
 #: Default graceful-drain budget (seconds).
 DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+#: Default size of the bounded engine worker pool.  Engine evaluations
+#: are memory-hungry (block-streamed spaces); running one per accepted
+#: request on the loop's default executor lets a burst multiply peak
+#: memory by the thread cap, so computes go through a dedicated small
+#: pool instead and excess flights queue.
+DEFAULT_ENGINE_WORKERS = 4
 
 _JSON = "application/json"
 _TEXT = "text/plain; version=0.0.4"  # Prometheus exposition content type
@@ -145,8 +153,11 @@ class ServeApp:
         max_block_bytes: int | None = None,
         client_rate: float = 0.0,
         client_burst: float | None = None,
+        engine_workers: int = DEFAULT_ENGINE_WORKERS,
     ) -> None:
         """Wire the caching tiers, limiter and metrics for one service."""
+        if engine_workers < 1:
+            raise ValueError("engine_workers must be >= 1")
         # Per-query strategy selection (recorded in /metrics as
         # plan_selected_total{strategy=…}).  Scalar is excluded: its
         # results match the vectorized engine only to 1e-9, and response
@@ -160,23 +171,33 @@ class ServeApp:
             client_rate, client_burst, clock=clock
         )
         self.coalescer = Coalescer()
-        self.responses = _ResponseCache(response_cache_size)
+        self.responses = _ResponseCache(
+            response_cache_size
+        )  # guarded-by: event-loop
         self.registry = (
             obs.get_metrics() if obs.metrics_enabled() else obs.enable_metrics()
         )
-        self.engine_calls = 0
-        self.draining = False
+        self.engine_calls = 0  # guarded-by: _stats_lock
+        self.draining = False  # guarded-by: event-loop
         #: Test hook: called (with the query) in the worker thread right
         #: before an engine evaluation — lets tests hold the first flight
         #: open while concurrent identical requests pile up behind it.
         self.pre_compute: Callable[[Query], None] | None = None
-        self._models: dict[tuple[str, str], HybridProgramModel] = {}
-        self._specs: dict[str, Any] = {}
+        self._models: dict[
+            tuple[str, str], HybridProgramModel
+        ] = {}  # guarded-by: _model_lock
+        self._specs: dict[str, Any] = {}  # guarded-by: _model_lock
         self._model_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._inflight = 0
+        self._inflight = 0  # guarded-by: event-loop
         self._idle = asyncio.Event()
         self._idle.set()
+        # The bounded worker pool every engine evaluation runs in (the
+        # ROADMAP "serve under load" item): back-pressure comes from the
+        # pool queue instead of unbounded thread growth.
+        self._engine_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=engine_workers, thread_name_prefix="repro-engine"
+        )
 
     # -- request entry --------------------------------------------------
 
@@ -281,8 +302,11 @@ class ServeApp:
         return 200, _JSON, response
 
     async def _compute(self, query: Query) -> bytes:
-        """One coalesced flight: evaluate in a worker thread, serialize."""
-        doc = await asyncio.to_thread(self._compute_sync, query)
+        """One coalesced flight: evaluate in the engine pool, serialize."""
+        loop = asyncio.get_running_loop()
+        doc = await loop.run_in_executor(
+            self._engine_pool, self._compute_sync, query
+        )
         return canonical_json(doc)
 
     # -- model / evaluation tiers (worker-thread side) ------------------
@@ -302,7 +326,11 @@ class ServeApp:
             return model
 
     def _space_for(self, query: Query) -> ConfigSpace:
-        spec = self._specs[query.cluster]
+        # _model_for populates _specs from concurrent pool threads; an
+        # unlocked read here can miss the entry a parallel first-build
+        # for the same cluster just wrote.
+        with self._model_lock:
+            spec = self._specs[query.cluster]
         if query.space == "physical":
             return ConfigSpace.physical(spec)
         if query.space == "pareto":
@@ -477,6 +505,10 @@ class ServeApp:
             return True
         except asyncio.TimeoutError:
             return False
+
+    def close(self) -> None:
+        """Shut the engine worker pool down (idempotent; after drain)."""
+        self._engine_pool.shutdown(wait=True, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------
@@ -668,6 +700,7 @@ def run_server(
     max_block_bytes: int | None = None,
     client_rate: float = 0.0,
     client_burst: float | None = None,
+    engine_workers: int = DEFAULT_ENGINE_WORKERS,
 ) -> int:
     """Run the prediction service until SIGINT/SIGTERM; returns exit code.
 
@@ -676,7 +709,9 @@ def run_server(
     either layer); ``cache_dir`` enables the persistent
     :class:`ResultCache` warm tier; ``plan``/``max_block_bytes``
     configure the per-query execution planner
-    (``repro serve --plan/--max-block-bytes``).
+    (``repro serve --plan/--max-block-bytes``); ``engine_workers`` sizes
+    the bounded thread pool engine evaluations run in
+    (``repro serve --engine-workers``).
     """
     app = ServeApp(
         cache_dir=cache_dir,
@@ -686,8 +721,11 @@ def run_server(
         max_block_bytes=max_block_bytes,
         client_rate=client_rate,
         client_burst=client_burst,
+        engine_workers=engine_workers,
     )
     try:
         return asyncio.run(_serve_forever(app, host, port))
     except KeyboardInterrupt:  # pragma: no cover - signal race on teardown
         return 0
+    finally:
+        app.close()

@@ -25,9 +25,9 @@ class Coalescer:
 
     def __init__(self) -> None:
         """Create an empty coalescer (no flights in progress)."""
-        self._inflight: dict[object, asyncio.Task] = {}
-        self.flights = 0
-        self.merged = 0
+        self._inflight: dict[object, asyncio.Task] = {}  # guarded-by: event-loop
+        self.flights = 0  # guarded-by: event-loop
+        self.merged = 0  # guarded-by: event-loop
 
     def inflight(self, key: object) -> bool:
         """Whether a flight for ``key`` is currently in progress."""

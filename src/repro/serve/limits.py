@@ -47,8 +47,8 @@ class TokenBucket:
         if self.rate > 0 and self.capacity < 1.0:
             raise ValueError("burst must admit at least one request")
         self._clock = clock
-        self._tokens = self.capacity
-        self._refilled_at = clock()
+        self._tokens = self.capacity  # guarded-by: event-loop
+        self._refilled_at = clock()  # guarded-by: event-loop
 
     def _refill(self) -> None:
         now = self._clock()
@@ -112,7 +112,9 @@ class KeyedTokenBuckets:
         self.burst = burst
         self._clock = clock
         self.max_clients = max_clients
-        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._buckets: OrderedDict[str, TokenBucket] = (
+            OrderedDict()
+        )  # guarded-by: event-loop
 
     def bucket(self, key: str) -> TokenBucket:
         """The (possibly new) bucket for ``key``, marked recently used."""

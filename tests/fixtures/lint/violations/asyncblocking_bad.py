@@ -1,0 +1,29 @@
+"""RL006 fixture: blocking calls reachable from ``async def`` bodies."""
+
+import asyncio
+import time
+
+
+def _load(path):
+    # Blocking file IO two hops below the coroutine.
+    with open(path) as fh:
+        return fh.read()
+
+
+def _prepare(path):
+    return _load(path)
+
+
+async def fetch(path):
+    data = _prepare(path)  # transitively blocking: _prepare -> _load -> open
+    await asyncio.sleep(0)
+    return data
+
+
+async def nap():
+    time.sleep(0.1)  # directly blocking on the event loop
+
+
+async def fine(path):
+    # The sanctioned shape: the blocking chain runs in a worker thread.
+    return await asyncio.to_thread(_prepare, path)

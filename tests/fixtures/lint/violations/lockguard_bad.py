@@ -1,0 +1,28 @@
+"""RL007 fixture: guarded state accessed without its declared lock."""
+
+import threading
+
+_TOTALS_LOCK = threading.Lock()
+_TOTALS = {}  # guarded-by: _TOTALS_LOCK
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def racy_read(self):
+        return self.value  # missing 'with self._lock:'
+
+
+def record(key):
+    _TOTALS[key] = _TOTALS.get(key, 0) + 1  # missing 'with _TOTALS_LOCK:'
+
+
+def totals_snapshot():
+    with _TOTALS_LOCK:
+        return dict(_TOTALS)  # correctly locked

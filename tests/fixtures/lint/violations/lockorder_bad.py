@@ -1,0 +1,24 @@
+"""RL008 fixture: opposite-order lock nesting and an await under a lock."""
+
+import asyncio
+import threading
+
+_MODELS_LOCK = threading.Lock()
+_STATS_LOCK = threading.Lock()
+
+
+def refresh_models():
+    with _MODELS_LOCK:
+        with _STATS_LOCK:  # order: models -> stats
+            pass
+
+
+def snapshot_stats():
+    with _STATS_LOCK:
+        with _MODELS_LOCK:  # order: stats -> models (closes the cycle)
+            pass
+
+
+async def publish():
+    with _STATS_LOCK:
+        await asyncio.sleep(0)  # event loop parks while holding the lock

@@ -1,0 +1,423 @@
+"""Unit tests for the shared interprocedural analysis core.
+
+Exercises :mod:`repro.lint.symbols` (alias resolution, attribute
+ownership, guard parsing), :mod:`repro.lint.callgraph` (held locks,
+dispatch points) and the lock-order cycle finder on hand-built graphs —
+independently of any checker.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.lint.analysis import ProjectAnalysis, analyze
+from repro.lint.callgraph import CallGraph
+from repro.lint.checkers.lockorder import find_cycles
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+from repro.lint.project import load_project
+from repro.lint.symbols import EVENT_LOOP_GUARD, SymbolTable
+
+
+def _project(tmp_path: pathlib.Path, files: dict[str, str]):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return load_project([tmp_path], tmp_path)
+
+
+class TestSymbolTable:
+    def test_import_alias_resolution(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import numpy as np
+                from os import path as osp
+                """
+            },
+        )
+        aliases = SymbolTable(project).modules["mod"].aliases
+        assert aliases["np"] == "numpy"
+        assert aliases["osp"] == "os.path"
+
+    def test_attribute_ownership_resolves_methods(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "store.py": """\
+                class ResultCache:
+                    def get(self, key):
+                        return None
+                """,
+                "mod.py": """\
+                from store import ResultCache
+
+
+                class App:
+                    def __init__(self):
+                        self.cache = ResultCache()
+
+                    def use(self):
+                        return self.cache.get(1)
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        assert "store.ResultCache.get" in graph.functions["mod.App.use"].calls
+
+    def test_optional_param_annotation_types(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "store.py": """\
+                class ResultCache:
+                    def get(self, key):
+                        return None
+                """,
+                "mod.py": """\
+                from typing import Optional
+
+                from store import ResultCache
+
+
+                def pipe(cache: ResultCache | None):
+                    return cache.get(1)
+
+
+                def pipe2(cache: Optional[ResultCache]):
+                    return cache.get(2)
+                """,
+            },
+        )
+        graph = CallGraph(project)
+        assert "store.ResultCache.get" in graph.functions["mod.pipe"].calls
+        assert "store.ResultCache.get" in graph.functions["mod.pipe2"].calls
+
+    def test_module_singleton_type(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                class Registry:
+                    def add(self, item):
+                        pass
+
+
+                _REGISTRY = Registry()
+
+
+                def record(item):
+                    _REGISTRY.add(item)
+                """
+            },
+        )
+        graph = CallGraph(project)
+        assert "mod.Registry.add" in graph.functions["mod.record"].calls
+
+    def test_lock_detection(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                """
+            },
+        )
+        table = SymbolTable(project)
+        assert "mod._L" in table.locks
+        assert "mod.Box._lock" in table.locks
+
+    def test_guard_parsing_modes(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+                COUNTS = {}  # guarded-by: _L (writes)
+                QUEUE = []  # guarded-by: event-loop
+
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.items = []  # guarded-by: _lock
+
+                    def flush(self):  # guarded-by: _lock
+                        self.items.clear()
+                """
+            },
+        )
+        table = SymbolTable(project)
+        counts = table.guard_for("mod.COUNTS")
+        assert counts is not None
+        assert counts.lock == "mod._L"
+        assert counts.writes_only
+        queue = table.guard_for("mod.QUEUE")
+        assert queue is not None
+        assert queue.lock == EVENT_LOOP_GUARD
+        items = table.guard_for("mod.Box.items")
+        assert items is not None
+        assert items.lock == "mod.Box._lock"  # bare name binds to the class attr
+        assert not items.writes_only
+        assert table.functions["mod.Box.flush"].requires_lock == "mod.Box._lock"
+
+    def test_guard_marker_on_wrapped_assignment(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+                TABLE = (
+                    {}
+                )  # guarded-by: _L
+                """
+            },
+        )
+        spec = SymbolTable(project).guard_for("mod.TABLE")
+        assert spec is not None
+        assert spec.lock == "mod._L"
+
+    def test_guard_marker_inside_string_is_ignored(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": '''\
+                DOC = "state is  # guarded-by: _L"
+                EXAMPLE = """
+                x = 1  # guarded-by: _L
+                """
+                '''
+            },
+        )
+        assert SymbolTable(project).guards == {}
+
+    def test_resolve_type_chases_attributes(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import concurrent.futures
+
+
+                class App:
+                    def __init__(self):
+                        self.pool = concurrent.futures.ThreadPoolExecutor()
+                """
+            },
+        )
+        table = SymbolTable(project)
+        cls = table.classes["mod.App"]
+        assert cls.attr_types["pool"] == "concurrent.futures.ThreadPoolExecutor"
+
+
+class TestCallGraph:
+    def test_held_locks_at_call_sites(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                def helper():
+                    pass
+
+
+                def locked():
+                    with _L:
+                        helper()
+
+
+                def unlocked():
+                    helper()
+                """
+            },
+        )
+        graph = CallGraph(project)
+        (site,) = graph.functions["mod.locked"].call_sites
+        assert site.callee == "mod.helper"
+        assert site.held == ("mod._L",)
+        (free_site,) = graph.functions["mod.unlocked"].call_sites
+        assert free_site.held == ()
+
+    def test_to_thread_dispatch_point(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+
+
+                def work():
+                    pass
+
+
+                async def go():
+                    await asyncio.to_thread(work)
+                """
+            },
+        )
+        graph = CallGraph(project)
+        assert [(d.target, d.kind) for d in graph.dispatches] == [
+            ("mod.work", "offload")
+        ]
+
+    def test_typed_executor_submit_dispatch(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import concurrent.futures
+
+
+                class App:
+                    def __init__(self):
+                        self.pool = concurrent.futures.ThreadPoolExecutor()
+
+                    def work(self):
+                        pass
+
+                    def go(self):
+                        self.pool.submit(self.work)
+                """
+            },
+        )
+        graph = CallGraph(project)
+        assert [(d.target, d.kind) for d in graph.dispatches] == [
+            ("mod.App.work", "thread")
+        ]
+
+    def test_nested_function_does_not_inherit_held_locks(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                def helper():
+                    pass
+
+
+                def outer():
+                    with _L:
+                        def later():
+                            helper()
+                        return later
+                """
+            },
+        )
+        graph = CallGraph(project)
+        # later() runs after the with-block exits; its call must not be
+        # recorded as happening under _L.
+        sites = [
+            s for s in graph.functions["mod.outer"].call_sites
+            if s.callee == "mod.helper"
+        ]
+        assert sites and all(s.held == () for s in sites)
+
+    def test_analysis_is_cached_per_project(self, tmp_path):
+        project = _project(tmp_path, {"mod.py": "x = 1\n"})
+        first = analyze(project)
+        assert isinstance(first, ProjectAnalysis)
+        assert analyze(project) is first
+        assert "symbol_table" in first.timings
+        assert "call_graph" in first.timings
+
+
+class TestFindCycles:
+    def test_acyclic_graph(self):
+        assert find_cycles({"a": {"b"}, "b": {"c"}, "c": set()}) == []
+
+    def test_simple_cycle(self):
+        assert find_cycles({"a": {"b"}, "b": {"a"}}) == [["a", "b"]]
+
+    def test_self_loop(self):
+        assert find_cycles({"a": {"a"}}) == [["a"]]
+
+    def test_cycle_reported_once_regardless_of_entry(self):
+        # Both x->a and y->a reach the same cycle; it must dedup.
+        edges = {"x": {"a"}, "y": {"a"}, "a": {"b"}, "b": {"a"}}
+        assert find_cycles(edges) == [["a", "b"]]
+
+    def test_disjoint_cycles(self):
+        edges = {"a": {"b"}, "b": {"a"}, "c": {"d"}, "d": {"c"}}
+        assert find_cycles(edges) == [["a", "b"], ["c", "d"]]
+
+    def test_three_node_cycle_canonical_rotation(self):
+        edges = {"b": {"c"}, "c": {"a"}, "a": {"b"}}
+        assert find_cycles(edges) == [["a", "b", "c"]]
+
+
+class TestRecursionSafety:
+    def test_mutually_recursive_blocking_chain_terminates(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(
+                """\
+                import time
+
+
+                def a():
+                    b()
+
+
+                def b():
+                    a()
+                    time.sleep(1)
+
+
+                async def c():
+                    a()
+                """
+            )
+        )
+        result = lint_paths(
+            [tmp_path], tmp_path, config=LintConfig(rules=("RL006",))
+        )
+        assert [f.rule for f in result.findings] == ["RL006"]
+        assert "a -> b -> sleep" in result.findings[0].message
+
+    def test_recursive_lock_acquisition_terminates(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(
+                """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+
+                def f(n):
+                    with _A:
+                        g(n)
+
+
+                def g(n):
+                    with _B:
+                        f(n - 1)
+                """
+            )
+        )
+        result = lint_paths(
+            [tmp_path], tmp_path, config=LintConfig(rules=("RL008",))
+        )
+        assert result.findings, "mutual recursion nests _A and _B both ways"
+        assert {f.rule for f in result.findings} == {"RL008"}

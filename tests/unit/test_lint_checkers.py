@@ -1,4 +1,4 @@
-"""Behavioural tests for the five built-in reprolint checkers, driven by
+"""Behavioural tests for the built-in reprolint checkers, driven by
 small synthetic source trees written to ``tmp_path``."""
 
 from __future__ import annotations
@@ -417,3 +417,485 @@ class TestObsCoverageRL005:
             **_OBS_CONFIG,
         )
         assert result.ok
+
+
+class TestAsyncBlockingRL006:
+    def test_direct_blocking_call_flagged(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import time
+
+
+                async def nap():
+                    time.sleep(1)
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL006"]
+        assert "sleep" in result.findings[0].message
+
+    def test_transitive_chain_flagged_with_path(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import subprocess
+
+
+                def run_tool():
+                    subprocess.run(["true"])
+
+
+                def wrapper():
+                    run_tool()
+
+
+                async def go():
+                    wrapper()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL006"]
+        assert "wrapper -> run_tool -> run" in result.findings[0].message
+
+    def test_to_thread_boundary_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import asyncio
+                import time
+
+
+                def work():
+                    time.sleep(1)
+
+
+                async def go():
+                    await asyncio.to_thread(work)
+                """
+            },
+        )
+        assert result.ok
+
+    def test_run_in_executor_boundary_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import asyncio
+                import time
+
+
+                def work():
+                    time.sleep(1)
+
+
+                async def go():
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, work)
+                """
+            },
+        )
+        assert result.ok
+
+    def test_awaiting_async_helper_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import asyncio
+                import time
+
+
+                def work():
+                    time.sleep(1)
+
+
+                async def helper():
+                    return await asyncio.to_thread(work)
+
+
+                async def go():
+                    return await helper()
+                """
+            },
+        )
+        assert result.ok
+
+    def test_blocking_method_heuristic_on_untyped_receiver(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                async def read(path):
+                    return path.read_text()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL006"]
+        assert "read_text" in result.findings[0].message
+
+    def test_explicit_lock_acquire_flagged(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                async def go():
+                    _L.acquire()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL006"]
+
+    def test_asyncio_sleep_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL006"],
+            {
+                "mod.py": """\
+                import asyncio
+
+
+                async def nap():
+                    await asyncio.sleep(1)
+                """
+            },
+        )
+        assert result.ok
+
+
+class TestLockGuardRL007:
+    def test_unlocked_attribute_access_flagged(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL007"],
+            {
+                "mod.py": """\
+                import threading
+
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.items = []  # guarded-by: _lock
+
+                    def good(self):
+                        with self._lock:
+                            self.items.append(1)
+
+                    def bad(self):
+                        self.items.append(2)
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL007"]
+        assert "bad()" in result.findings[0].message
+
+    def test_writes_only_guard_allows_lock_free_reads(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL007"],
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+                TABLE = {}  # guarded-by: _L (writes)
+
+
+                def read(key):
+                    return TABLE.get(key)
+
+
+                def write(key, value):
+                    TABLE[key] = value
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL007"]
+        assert "write" in result.findings[0].message
+
+    def test_requires_lock_function_and_call_sites(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL007"],
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+                STATE = {}  # guarded-by: _L
+
+
+                def _flush_locked():  # guarded-by: _L
+                    STATE.clear()
+
+
+                def good():
+                    with _L:
+                        _flush_locked()
+
+
+                def bad():
+                    _flush_locked()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL007"]
+        assert "_flush_locked" in result.findings[0].message
+        assert result.findings[0].line > 10  # the call site, not the body
+
+    def test_event_loop_guard_worker_reachability(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL007"],
+            {
+                "mod.py": """\
+                import asyncio
+
+
+                class App:
+                    def __init__(self):
+                        self.inflight = 0  # guarded-by: event-loop
+
+                    async def handle(self):
+                        self.inflight += 1  # fine: runs on the loop
+                        await asyncio.to_thread(self.work)
+                        self.inflight -= 1
+
+                    def work(self):
+                        self.inflight += 1  # raced from a worker thread
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL007"]
+        assert "work()" in result.findings[0].message
+        assert "event-loop" in result.findings[0].message
+
+    def test_init_is_exempt(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL007"],
+            {
+                "mod.py": """\
+                import threading
+
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.items = []  # guarded-by: _lock
+                        self.items.append(0)
+                """
+            },
+        )
+        assert result.ok
+
+
+class TestLockOrderRL008:
+    def test_opposite_nesting_is_a_cycle(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+
+                def forward():
+                    with _A:
+                        with _B:
+                            pass
+
+
+                def backward():
+                    with _B:
+                        with _A:
+                            pass
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL008"]
+        assert "lock-order cycle" in result.findings[0].message
+
+    def test_cycle_through_call_graph(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+
+                def take_b():
+                    with _B:
+                        pass
+
+
+                def take_a():
+                    with _A:
+                        pass
+
+
+                def forward():
+                    with _A:
+                        take_b()
+
+
+                def backward():
+                    with _B:
+                        take_a()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL008"]
+        assert "lock-order cycle" in result.findings[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+
+                def one():
+                    with _A:
+                        with _B:
+                            pass
+
+
+                def two():
+                    with _A:
+                        with _B:
+                            pass
+                """
+            },
+        )
+        assert result.ok
+
+    def test_instance_lock_self_edge_is_not_a_cycle(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+
+                class Node:
+                    def __init__(self, peer):
+                        self._lock = threading.Lock()
+                        self.peer = peer
+
+                    def poke(self):
+                        with self._lock:
+                            other_total(self.peer)
+
+
+                def other_total(node):
+                    with node._lock:
+                        pass
+                """
+            },
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_module_lock_reacquire_via_call_is_fatal(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                def inner():
+                    with _L:
+                        pass
+
+
+                def outer():
+                    with _L:
+                        inner()
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL008"]
+
+    def test_requires_lock_helper_is_sanctioned(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+
+                def _drop_locked():  # guarded-by: _L
+                    pass
+
+
+                def outer():
+                    with _L:
+                        _drop_locked()
+                """
+            },
+        )
+        assert result.ok
+
+    def test_await_under_thread_lock_flagged(self, tmp_path):
+        result = _lint(
+            tmp_path,
+            ["RL008"],
+            {
+                "mod.py": """\
+                import asyncio
+                import threading
+
+                _L = threading.Lock()
+
+
+                async def bad():
+                    with _L:
+                        await asyncio.sleep(0)
+
+
+                async def good():
+                    with _L:
+                        pass
+                    await asyncio.sleep(0)
+                """
+            },
+        )
+        assert [f.rule for f in result.findings] == ["RL008"]
+        assert "awaits while holding" in result.findings[0].message

@@ -112,9 +112,18 @@ class TestBaseline:
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         rules = [rule for rule, _ in registered_rules()]
-        assert rules == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert rules == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+        ]
 
     def test_subset_selection(self):
         selected = all_checkers(["rl001", "RL003"])

@@ -40,6 +40,9 @@ class TestCliOnFixtures:
             ("forksafety_bad.py", "RL003"),
             ("atomicio_bad.py", "RL004"),
             ("repro", "RL005"),
+            ("asyncblocking_bad.py", "RL006"),
+            ("lockguard_bad.py", "RL007"),
+            ("lockorder_bad.py", "RL008"),
         ],
     )
     def test_each_violation_fixture_fails(self, capsys, target, rule):
@@ -63,7 +66,18 @@ class TestCliOnFixtures:
         document = json.loads(capsys.readouterr().out)
         assert document["summary"]["ok"] is False
         rules = {f["rule"] for f in document["findings"]}
-        assert rules == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert rules == {
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+        }
+        assert "symbol_table" in document["timings"]
+        assert "call_graph" in document["timings"]
 
     def test_repro_cli_forwards_lint_subcommand(self, capsys):
         code = repro_main(
@@ -75,7 +89,16 @@ class TestCliOnFixtures:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule in (
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+        ):
             assert rule in out
 
     def test_update_baseline_then_clean(self, tmp_path, capsys):
@@ -196,3 +219,159 @@ class TestSeededRegressions:
         result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL005",)))
         assert [f.rule for f in result.findings] == ["RL005"]
         assert "calibrate" in result.findings[0].message
+
+    def test_rl006_asyncblocking_regression(self, tmp_path):
+        # Drop the executor boundary: the coroutine calls the engine
+        # pipeline (ResultCache probes, model builds) inline.
+        _seed(
+            tmp_path,
+            "src/repro/serve/app.py",
+            "app.py",
+            "        doc = await loop.run_in_executor(\n"
+            "            self._engine_pool, self._compute_sync, query\n"
+            "        )",
+            "        doc = self._compute_sync(query)",
+        )
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL006",)))
+        assert result.findings, "inlining _compute_sync must surface RL006"
+        assert {f.rule for f in result.findings} == {"RL006"}
+        assert any("_compute_sync" in f.message for f in result.findings)
+
+    def test_rl006_pristine_app_is_clean(self, tmp_path):
+        shutil.copy(REPO_ROOT / "src/repro/serve/app.py", tmp_path / "app.py")
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL006",)))
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_rl007_lockguard_regression(self, tmp_path):
+        # Strip the lock from the LRU's info() snapshot: four unlocked
+        # reads of guarded statistics.
+        _seed(
+            tmp_path,
+            "src/repro/core/vectorized.py",
+            "vectorized.py",
+            "    def info(self) -> CacheInfo:\n        with self._lock:",
+            "    def info(self) -> CacheInfo:\n        if True:",
+        )
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL007",)))
+        assert result.findings, "unlocking info() must surface RL007"
+        assert {f.rule for f in result.findings} == {"RL007"}
+        assert all("_lock" in f.message for f in result.findings)
+
+    def test_rl007_pristine_vectorized_is_clean(self, tmp_path):
+        shutil.copy(
+            REPO_ROOT / "src/repro/core/vectorized.py", tmp_path / "vectorized.py"
+        )
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL007",)))
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_rl008_lockorder_cycle_regression(self, tmp_path):
+        # Nest the two ServeApp locks in opposite orders.
+        source = (REPO_ROOT / "src/repro/serve/app.py").read_text()
+        first = (
+            "        with self._model_lock:\n"
+            "            spec = self._specs[query.cluster]"
+        )
+        second = (
+            "        with self._stats_lock:\n"
+            "            self.engine_calls += 1"
+        )
+        assert first in source and second in source
+        seeded = source.replace(
+            first,
+            "        with self._model_lock:\n"
+            "            with self._stats_lock:\n"
+            "                spec = self._specs[query.cluster]",
+        ).replace(
+            second,
+            "        with self._stats_lock:\n"
+            "            with self._model_lock:\n"
+            "                self.engine_calls += 1",
+        )
+        (tmp_path / "app.py").write_text(seeded)
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL008",)))
+        assert result.findings, "opposite-order nesting must surface RL008"
+        assert {f.rule for f in result.findings} == {"RL008"}
+        assert any("lock-order cycle" in f.message for f in result.findings)
+
+    def test_rl008_await_under_lock_regression(self, tmp_path):
+        _seed(
+            tmp_path,
+            "src/repro/serve/app.py",
+            "app.py",
+            "        doc = await loop.run_in_executor(\n"
+            "            self._engine_pool, self._compute_sync, query\n"
+            "        )",
+            "        with self._model_lock:\n"
+            "            doc = await loop.run_in_executor(\n"
+            "                self._engine_pool, self._compute_sync, query\n"
+            "            )",
+        )
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL008",)))
+        assert result.findings, "awaiting under _model_lock must surface RL008"
+        assert {f.rule for f in result.findings} == {"RL008"}
+        assert any("awaits while holding" in f.message for f in result.findings)
+
+    def test_rl008_pristine_app_is_clean(self, tmp_path):
+        shutil.copy(REPO_ROOT / "src/repro/serve/app.py", tmp_path / "app.py")
+        result = lint_paths([tmp_path], tmp_path, config=LintConfig(rules=("RL008",)))
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestCheckIgnores:
+    """``--check-ignores``: stale suppressions fail, live ones pass."""
+
+    def test_stale_ignore_fails(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1  # reprolint: ignore[RL001]\n")
+        code = lint_main(
+            ["--root", str(tmp_path), "--check-ignores", str(tmp_path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "stale suppression" in captured.err
+        assert "mod.py:1" in captured.err
+
+    def test_live_ignore_passes(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "def f(x):\n    return x * 1e9  # reprolint: ignore[RL001]\n"
+        )
+        code = lint_main(
+            ["--root", str(tmp_path), "--check-ignores", str(tmp_path)]
+        )
+        assert code == 0
+        assert "stale" not in capsys.readouterr().err
+
+    def test_without_flag_stale_ignore_does_not_fail(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1  # reprolint: ignore[RL001]\n")
+        code = lint_main(["--root", str(tmp_path), str(tmp_path)])
+        assert code == 0
+
+    def test_marker_in_docstring_is_not_a_suppression(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            '"""Docs may quote `# reprolint: ignore[RL001]` safely."""\n'
+            "x = 1\n"
+        )
+        code = lint_main(
+            ["--root", str(tmp_path), "--check-ignores", str(tmp_path)]
+        )
+        assert code == 0
+        assert "stale" not in capsys.readouterr().err
+
+    def test_repo_ignores_are_all_live(self):
+        result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tools"], REPO_ROOT)
+        assert result.stale_suppressions == []
+
+    def test_stale_baseline_entry_warns(self, tmp_path, capsys):
+        from repro.lint.baseline import Baseline
+        from repro.lint.findings import Finding
+
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        Baseline.save(
+            baseline,
+            [Finding(path="gone.py", line=1, rule="RL001", message="m", snippet="s")],
+        )
+        code = lint_main(
+            ["--root", str(tmp_path), "--baseline", str(baseline), str(tmp_path)]
+        )
+        assert code == 0
+        assert "no longer matches" in capsys.readouterr().err

@@ -458,3 +458,95 @@ def test_client_limit_disabled_by_default(make_app):
             assert status == 200
 
     asyncio.run(run())
+
+
+# ---------------------------------------------------------------------
+# the bounded engine worker pool
+# ---------------------------------------------------------------------
+
+
+def test_engine_workers_must_be_positive():
+    with pytest.raises(ValueError, match="engine_workers"):
+        ServeApp(engine_workers=0)
+
+
+def test_engine_pool_bounds_concurrent_evaluations(make_app):
+    async def run():
+        app = make_app(engine_workers=1)
+        release = threading.Event()
+        started = threading.Event()
+        state = threading.Lock()
+        active = 0
+        peak = 0
+
+        def hold(_query):
+            nonlocal active, peak
+            with state:
+                active += 1
+                peak = max(peak, active)
+            started.set()
+            assert release.wait(timeout=30), "release signal never arrived"
+            with state:
+                active -= 1
+
+        app.pre_compute = hold
+        # Distinct queries (different queueing models) so they do not
+        # coalesce: both want an engine evaluation at once.
+        tasks = [
+            asyncio.create_task(
+                app.handle("POST", "/v1/evaluate_space", _body(queueing=q))
+            )
+            for q in ("none", "mg1")
+        ]
+        deadline = asyncio.get_running_loop().time() + 30
+        while not started.is_set():
+            assert asyncio.get_running_loop().time() < deadline, (
+                "no evaluation reached the engine pool"
+            )
+            await asyncio.sleep(0.001)
+        # let the second flight reach the pool queue, then open the gate
+        await asyncio.sleep(0.01)
+        release.set()
+        results = await asyncio.gather(*tasks)
+
+        assert [status for status, _, _ in results] == [200, 200]
+        assert app.engine_calls == 2
+        assert peak == 1, "a 1-worker pool must serialize evaluations"
+        app.close()
+
+    asyncio.run(run())
+
+
+def test_engine_pool_threads_carry_prefix(make_app):
+    async def run():
+        app = make_app()
+        names = []
+
+        def capture(_query):
+            names.append(threading.current_thread().name)
+
+        app.pre_compute = capture
+        status, _, _ = await app.handle("POST", "/v1/evaluate_space", _body())
+        assert status == 200
+        assert names and all(n.startswith("repro-engine") for n in names)
+        app.close()
+
+    asyncio.run(run())
+
+
+def test_close_is_idempotent_and_rejects_new_computes(make_app):
+    async def run():
+        app = make_app()
+        status, _, _ = await app.handle("POST", "/v1/evaluate_space", _body())
+        assert status == 200
+        app.close()
+        app.close()  # second close is a no-op
+        # A fresh compute after close fails fast (the executor refuses
+        # new work) instead of hanging; the HTTP transport would render
+        # this as its last-resort 500.
+        with pytest.raises(RuntimeError):
+            await app.handle(
+                "POST", "/v1/evaluate_space", _body(queueing="mg1")
+            )
+
+    asyncio.run(run())
